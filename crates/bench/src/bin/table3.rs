@@ -1,0 +1,53 @@
+//! Table 3: characterization of BulkSC — squashed instructions (for
+//! BSCexact / BSCdypvt / BSCbase), average set sizes, speculative line
+//! displacements, Private Buffer supplies, and aliasing-caused extra cache
+//! invalidations.
+//!
+//! `cargo run --release -p bulksc-bench --bin table3 [-- fast]`
+
+use bulksc::{BulkConfig, Model};
+use bulksc_bench::{budget_from_env, run_app};
+use bulksc_stats::Table;
+use bulksc_workloads::catalog;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let budget = if fast { 6_000 } else { budget_from_env() };
+
+    println!("Table 3 — Characterization of BulkSC ({budget} instructions/core)");
+    println!("(unless marked, data is for BSCdypvt, as in the paper)\n");
+    let mut table = Table::new(vec![
+        "App".into(),
+        "Sq%exact".into(),
+        "Sq%dypvt".into(),
+        "Sq%base".into(),
+        "Read".into(),
+        "Write".into(),
+        "PrivW".into(),
+        "RdDisp/100k".into(),
+        "PrivBuf/1k".into(),
+        "ExtraInv/1k".into(),
+    ]);
+
+    for app in catalog() {
+        let exact = run_app(Model::Bulk(BulkConfig::bsc_exact()), &app, budget);
+        let dypvt = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, budget);
+        let base = run_app(Model::Bulk(BulkConfig::bsc_base()), &app, budget);
+        table.row(vec![
+            app.name.to_string(),
+            format!("{:.2}", exact.squashed_pct),
+            format!("{:.2}", dypvt.squashed_pct),
+            format!("{:.2}", base.squashed_pct),
+            format!("{:.1}", dypvt.read_set),
+            format!("{:.1}", dypvt.write_set),
+            format!("{:.1}", dypvt.priv_write_set),
+            format!("{:.1}", dypvt.read_displacements_per_100k),
+            format!("{:.1}", dypvt.priv_supplies_per_1k),
+            format!("{:.1}", dypvt.extra_invs_per_1k),
+        ]);
+        eprintln!("  {} done", app.name);
+    }
+    println!("{table}");
+    println!("Paper shape: Sq%base >> Sq%dypvt ≈ Sq%exact (aliasing dominates BSCbase);");
+    println!("PrivW >> Write; read-set displacements are harmless (no squashes).");
+}

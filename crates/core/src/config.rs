@@ -1,0 +1,252 @@
+//! Configuration of the BulkSC machine and its evaluation presets.
+//!
+//! The paper's Table 2 defines four BulkSC configurations; each is a
+//! [`BulkConfig`] preset here:
+//!
+//! | paper | preset | meaning |
+//! |---|---|---|
+//! | `BSCbase`  | [`BulkConfig::bsc_base`]  | basic design of §4 |
+//! | `BSCdypvt` | [`BulkConfig::bsc_dypvt`] | + dynamically-private data (§5.2) |
+//! | `BSCstpvt` | [`BulkConfig::bsc_stpvt`] | + statically-private data (§5.1) |
+//! | `BSCexact` | [`BulkConfig::bsc_exact`] | `BSCdypvt` with a "magic" alias-free signature |
+
+use bulksc_cpu::{BaselineModel, CoreConfig};
+use bulksc_mem::{CacheConfig, DirConfig};
+use bulksc_net::{Cycle, FabricConfig};
+use bulksc_sig::{SigMode, SignatureConfig};
+
+/// How BulkSC treats private data (paper §5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrivateMode {
+    /// No private-data optimization (`BSCbase`).
+    None,
+    /// Dynamically-private data: Wpriv + Private Buffer (§5.2).
+    Dynamic,
+    /// Statically-private data: the page attribute marks stack/private
+    /// regions; Wpriv goes straight to the directory (§5.1).
+    Static,
+}
+
+/// Parameters of the BulkSC consistency machinery.
+#[derive(Clone, Debug)]
+pub struct BulkConfig {
+    /// Target dynamic instructions per chunk (Table 2: ≈1000).
+    pub chunk_size: u64,
+    /// Maximum simultaneously active (undecided) chunks per core
+    /// (Table 2: 2).
+    pub chunks_per_core: u32,
+    /// Commit arbitration latency added by the arbiter (Table 2: 30
+    /// cycles round trip; the fabric hops account for part of it).
+    pub arb_latency: Cycle,
+    /// Signature geometry.
+    pub sig: SignatureConfig,
+    /// Bloom signatures or the "magic" exact signature (`BSCexact`).
+    pub sig_mode: SigMode,
+    /// The RSig commit bandwidth optimization (§4.2.2): send W only, let
+    /// the arbiter ask for R when its list is non-empty.
+    pub rsig_opt: bool,
+    /// Private-data handling (§5).
+    pub private: PrivateMode,
+    /// Private Buffer capacity in lines (§5.2: ≈24).
+    pub private_buffer: u32,
+    /// Consecutive squashes of one chunk before the chunk size starts
+    /// halving (§3.3 forward progress, first measure).
+    pub backoff_after: u32,
+    /// Consecutive squashes before pre-arbitration (§3.3, second measure).
+    pub prearb_after: u32,
+    /// Cycles to wait before retrying a denied commit request.
+    pub commit_retry: Cycle,
+    /// Number of range arbiters (1 = the single-arbiter design; >1 =
+    /// the distributed arbiter of §4.2.3 with a G-arbiter).
+    pub num_arbiters: u32,
+}
+
+impl BulkConfig {
+    /// The basic BulkSC design of §4 (`BSCbase`).
+    pub fn bsc_base() -> Self {
+        BulkConfig {
+            chunk_size: 1000,
+            chunks_per_core: 2,
+            arb_latency: 20, // + 2 × 5-cycle hops ≈ Table 2's 30 cycles
+            sig: SignatureConfig::default(),
+            sig_mode: SigMode::Bloom,
+            rsig_opt: true,
+            private: PrivateMode::None,
+            private_buffer: 24,
+            backoff_after: 1,
+            prearb_after: 6,
+            commit_retry: 30,
+            num_arbiters: 1,
+        }
+    }
+
+    /// `BSCbase` + the dynamically-private data optimization (§5.2) —
+    /// the paper's preferred configuration.
+    pub fn bsc_dypvt() -> Self {
+        BulkConfig { private: PrivateMode::Dynamic, ..Self::bsc_base() }
+    }
+
+    /// `BSCbase` + the statically-private data optimization (§5.1).
+    pub fn bsc_stpvt() -> Self {
+        BulkConfig { private: PrivateMode::Static, ..Self::bsc_base() }
+    }
+
+    /// `BSCdypvt` with a "magic" alias-free signature.
+    pub fn bsc_exact() -> Self {
+        BulkConfig { sig_mode: SigMode::Exact, ..Self::bsc_dypvt() }
+    }
+
+    /// Same configuration with a different chunk size (Figure 10 sweeps
+    /// 1000 / 2000 / 4000).
+    pub fn with_chunk_size(mut self, n: u64) -> Self {
+        self.chunk_size = n;
+        self
+    }
+
+    /// Same configuration with the RSig optimization disabled (the `N`
+    /// bars of Figure 11).
+    pub fn without_rsig(mut self) -> Self {
+        self.rsig_opt = false;
+        self
+    }
+
+    /// Same configuration with `n` range arbiters plus the G-arbiter
+    /// (§4.2.3).
+    pub fn with_arbiters(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one arbiter");
+        self.num_arbiters = n;
+        self
+    }
+}
+
+/// Which consistency machinery the simulated machine runs.
+#[derive(Clone, Debug)]
+pub enum Model {
+    /// One of the baselines (SC, RC, SC++).
+    Baseline(BaselineModel),
+    /// BulkSC with the given configuration.
+    Bulk(BulkConfig),
+}
+
+impl Model {
+    /// Short display name (matches the paper's configuration names).
+    pub fn name(&self) -> String {
+        match self {
+            Model::Baseline(BaselineModel::Sc) => "SC".into(),
+            Model::Baseline(BaselineModel::Rc) => "RC".into(),
+            Model::Baseline(BaselineModel::Scpp) => "SC++".into(),
+            Model::Bulk(b) => {
+                let base = match (b.sig_mode, b.private) {
+                    (SigMode::Exact, _) => "BSCexact",
+                    (_, PrivateMode::None) => "BSCbase",
+                    (_, PrivateMode::Dynamic) => "BSCdypvt",
+                    (_, PrivateMode::Static) => "BSCstpvt",
+                };
+                base.to_string()
+            }
+        }
+    }
+}
+
+/// Full machine configuration (Table 2).
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Consistency model.
+    pub model: Model,
+    /// Number of cores (Table 2: 8).
+    pub cores: u32,
+    /// Number of directory modules (Table 2: 1).
+    pub dirs: u32,
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// Directory/L2 parameters.
+    pub dir: DirConfig,
+    /// Interconnect parameters.
+    pub fabric: FabricConfig,
+    /// Dynamic instructions each core executes before stopping (the run
+    /// length of an experiment).
+    pub budget: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 8-core CMP with a single directory, running `model`.
+    pub fn cmp8(model: Model) -> Self {
+        let mut dir = DirConfig::default();
+        if let Model::Bulk(b) = &model {
+            dir.sig = b.sig.clone();
+            dir.sig_mode = b.sig_mode;
+            // §4.3: a speculative accessor is never marked owner.
+            dir.grant_exclusive = false;
+        }
+        SystemConfig {
+            model,
+            cores: 8,
+            dirs: 1,
+            core: CoreConfig::default(),
+            l1: CacheConfig::l1_default(),
+            dir,
+            fabric: FabricConfig::default(),
+            budget: 200_000,
+        }
+    }
+
+    /// Number of arbiters the model needs (0 for baselines).
+    pub fn num_arbiters(&self) -> u32 {
+        match &self.model {
+            Model::Baseline(_) => 0,
+            Model::Bulk(b) => b.num_arbiters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_names() {
+        assert_eq!(Model::Bulk(BulkConfig::bsc_base()).name(), "BSCbase");
+        assert_eq!(Model::Bulk(BulkConfig::bsc_dypvt()).name(), "BSCdypvt");
+        assert_eq!(Model::Bulk(BulkConfig::bsc_stpvt()).name(), "BSCstpvt");
+        assert_eq!(Model::Bulk(BulkConfig::bsc_exact()).name(), "BSCexact");
+        assert_eq!(Model::Baseline(BaselineModel::Rc).name(), "RC");
+        assert_eq!(Model::Baseline(BaselineModel::Scpp).name(), "SC++");
+    }
+
+    #[test]
+    fn preset_parameters() {
+        let b = BulkConfig::bsc_base();
+        assert_eq!(b.chunk_size, 1000);
+        assert_eq!(b.chunks_per_core, 2);
+        assert_eq!(b.private_buffer, 24);
+        assert!(b.rsig_opt);
+        assert_eq!(b.private, PrivateMode::None);
+        assert_eq!(BulkConfig::bsc_exact().sig_mode, SigMode::Exact);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let b = BulkConfig::bsc_dypvt().with_chunk_size(4000).without_rsig().with_arbiters(4);
+        assert_eq!(b.chunk_size, 4000);
+        assert!(!b.rsig_opt);
+        assert_eq!(b.num_arbiters, 4);
+    }
+
+    #[test]
+    fn cmp8_defaults() {
+        let cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.dirs, 1);
+        assert_eq!(cfg.num_arbiters(), 1);
+        let base = SystemConfig::cmp8(Model::Baseline(BaselineModel::Sc));
+        assert_eq!(base.num_arbiters(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arbiter")]
+    fn zero_arbiters_rejected() {
+        BulkConfig::bsc_base().with_arbiters(0);
+    }
+}

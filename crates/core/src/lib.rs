@@ -1,0 +1,57 @@
+//! BulkSC: Bulk Enforcement of Sequential Consistency (ISCA 2007) — a
+//! from-scratch reproduction.
+//!
+//! This crate is the paper's primary contribution: a chip multiprocessor
+//! that provides sequential consistency by executing dynamically-built
+//! *chunks* of instructions that commit atomically, with signatures,
+//! checkpoints, and a commit arbiter doing the enforcement that
+//! conventional SC machines do with load-store-queue snooping.
+//!
+//! The crate assembles the substrates from the rest of the workspace:
+//!
+//! * [`chunk`] — chunks, their signatures and store buffers, and the
+//!   Private Buffer of §5.2;
+//! * [`node`] — the BulkSC core (§4.1): checkpointed execution, wait-free
+//!   stores, bulk disambiguation/invalidation, squash with exponential
+//!   backoff and pre-arbitration;
+//! * [`arbiter`] / [`garbiter`] — the commit arbiter (§4.2), the RSig
+//!   optimization, and the distributed G-arbiter design (§4.2.3);
+//! * [`system`] — the whole machine of Figure 5, including the baseline
+//!   SC/RC/SC++ cores for the paper's comparisons;
+//! * [`config`] — Table 2 presets (`BSCbase`, `BSCdypvt`, `BSCstpvt`,
+//!   `BSCexact`);
+//! * [`report`] — run metrics in the units of Tables 3–4 and Figures 9–11.
+//!
+//! # Example
+//!
+//! ```
+//! use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+//! use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+//!
+//! let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+//! cfg.budget = 3_000; // tiny demo run
+//! let app = by_name("lu").expect("catalog app");
+//! let programs: Vec<Box<dyn ThreadProgram>> = (0..8)
+//!     .map(|t| Box::new(SyntheticApp::new(app, t, 8, 42)) as Box<dyn ThreadProgram>)
+//!     .collect();
+//! let mut sys = System::new(cfg, programs);
+//! assert!(sys.run(20_000_000), "run finished");
+//! let report = SimReport::collect(&sys);
+//! assert!(report.chunks_committed > 0);
+//! ```
+
+pub mod arbiter;
+pub mod chunk;
+pub mod config;
+pub mod garbiter;
+pub mod node;
+pub mod report;
+pub mod system;
+
+pub use arbiter::{ArbStats, Arbiter};
+pub use chunk::{Chunk, ChunkState, PrivateBuffer};
+pub use config::{BulkConfig, Model, PrivateMode, SystemConfig};
+pub use garbiter::{GArbStats, GArbiter};
+pub use node::{BulkNode, BulkStats};
+pub use report::SimReport;
+pub use system::{CoreNode, System};

@@ -1,0 +1,173 @@
+//! Aggregated run metrics in the paper's units.
+//!
+//! [`SimReport::collect`] condenses a finished [`System`] into exactly the
+//! quantities the paper's evaluation reports: Figure 9/10 speedups come
+//! from `cycles`, Table 3's characterization and Table 4's commit/
+//! coherence columns are precomputed here, and Figure 11 reads the traffic
+//! breakdown.
+
+use bulksc_net::{TrafficClass, TrafficStats};
+use bulksc_stats::{per_100k, per_1k, percent};
+
+use crate::system::System;
+
+/// Everything one experiment run produces.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Configuration name (`SC`, `RC`, `SC++`, `BSCdypvt`, ...).
+    pub model: String,
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// True if every core finished within the cycle bound.
+    pub finished: bool,
+    /// Useful (committed) dynamic instructions across all cores.
+    pub retired: u64,
+    /// Dynamic instructions wasted in squashes (BulkSC and SC++).
+    pub squashed_instrs: u64,
+    /// Squashed instructions as % of useful instructions (Table 3).
+    pub squashed_pct: f64,
+
+    // Table 3 — BulkSC characterization (zeroes for baselines).
+    /// Chunks committed.
+    pub chunks_committed: u64,
+    /// Average read-set size (lines).
+    pub read_set: f64,
+    /// Average write-set size (lines).
+    pub write_set: f64,
+    /// Average private-write-set size (lines).
+    pub priv_write_set: f64,
+    /// Speculative read-set line displacements per 100k commits.
+    pub read_displacements_per_100k: f64,
+    /// Data served from the Private Buffer per 1k commits.
+    pub priv_supplies_per_1k: f64,
+    /// Aliasing-caused cache invalidations per 1k commits.
+    pub extra_invs_per_1k: f64,
+    /// Chunk squashes split by cause.
+    pub alias_squashes: u64,
+    /// True-sharing squashes.
+    pub true_squashes: u64,
+
+    // Table 4 — commit process and coherence operations.
+    /// Directory entries looked up per commit during expansion.
+    pub lookups_per_commit: f64,
+    /// % of those lookups caused by aliasing.
+    pub unnecessary_lookups_pct: f64,
+    /// % of directory entry updates caused by aliasing.
+    pub unnecessary_updates_pct: f64,
+    /// Cores receiving the W signature, per commit.
+    pub nodes_per_wsig: f64,
+    /// Time-average number of W signatures pending in the arbiter.
+    pub pending_w_sigs: f64,
+    /// % of time the arbiter's W list is non-empty.
+    pub nonempty_w_pct: f64,
+    /// % of commits that had to supply the R signature.
+    pub rsig_required_pct: f64,
+    /// % of commits with an empty W signature.
+    pub empty_w_pct: f64,
+
+    /// Interconnect bytes by Figure 11 category.
+    pub traffic: TrafficStats,
+}
+
+impl SimReport {
+    /// Collapse a run into its metrics.
+    pub fn collect(sys: &System) -> SimReport {
+        let model = sys.config().model.name();
+        let mut retired = 0u64;
+        let mut squashed = 0u64;
+        let mut chunks = 0u64;
+        let mut alias_squashes = 0u64;
+        let mut true_squashes = 0u64;
+        let mut read_disp = 0u64;
+        let mut priv_supplies = 0u64;
+        let mut extra_invs = 0u64;
+        let (mut rs, mut ws, mut ps) = (
+            bulksc_stats::RunningMean::new(),
+            bulksc_stats::RunningMean::new(),
+            bulksc_stats::RunningMean::new(),
+        );
+        let mut empty_w = 0u64;
+        for n in sys.nodes() {
+            if let Some(b) = n.bulk_stats() {
+                retired += b.retired;
+                squashed += b.squashed_instrs;
+                chunks += b.chunks_committed;
+                alias_squashes += b.alias_squashes + b.overflow_squashes;
+                true_squashes += b.true_squashes;
+                read_disp += b.read_set_displacements;
+                priv_supplies += b.priv_buffer_supplies;
+                extra_invs += b.extra_cache_invs;
+                rs.merge(&b.read_set);
+                ws.merge(&b.write_set);
+                ps.merge(&b.priv_write_set);
+                empty_w += b.empty_w_commits;
+            }
+            if let Some(b) = n.baseline_stats() {
+                retired += b.retired;
+                squashed += b.squashed_instrs;
+            }
+        }
+
+        let mut lookups = 0u64;
+        let mut unnecessary_lookups = 0u64;
+        let mut updates = 0u64;
+        let mut unnecessary_updates = 0u64;
+        let mut inv_targets = 0u64;
+        for d in sys.dir_stats() {
+            lookups += d.lookups;
+            unnecessary_lookups += d.unnecessary_lookups;
+            updates += d.updates;
+            unnecessary_updates += d.unnecessary_updates;
+            inv_targets += d.inv_targets;
+        }
+
+        let mut requests = 0u64;
+        let mut rsig_required = 0u64;
+        let mut grants = 0u64;
+        let (mut pending_sum, mut nonempty_sum, mut arbs) = (0.0f64, 0.0f64, 0u32);
+        for a in sys.arbiter_stats() {
+            requests += a.requests;
+            rsig_required += a.rsig_required;
+            grants += a.grants;
+            // The run may still be inside the stats window: finish a copy.
+            let mut tw = a.pending_w;
+            tw.finish(sys.cycles().max(1));
+            pending_sum += tw.average();
+            nonempty_sum += tw.nonzero_fraction();
+            arbs += 1;
+        }
+        let _ = requests;
+
+        SimReport {
+            model,
+            cycles: sys.cycles(),
+            finished: sys.finished(),
+            retired,
+            squashed_instrs: squashed,
+            squashed_pct: percent(squashed, retired.max(1)),
+            chunks_committed: chunks,
+            read_set: rs.mean(),
+            write_set: ws.mean(),
+            priv_write_set: ps.mean(),
+            read_displacements_per_100k: per_100k(read_disp, chunks),
+            priv_supplies_per_1k: per_1k(priv_supplies, chunks),
+            extra_invs_per_1k: per_1k(extra_invs, chunks),
+            alias_squashes,
+            true_squashes,
+            lookups_per_commit: if chunks == 0 { 0.0 } else { lookups as f64 / chunks as f64 },
+            unnecessary_lookups_pct: percent(unnecessary_lookups, lookups),
+            unnecessary_updates_pct: percent(unnecessary_updates, updates),
+            nodes_per_wsig: if chunks == 0 { 0.0 } else { inv_targets as f64 / chunks as f64 },
+            pending_w_sigs: if arbs == 0 { 0.0 } else { pending_sum / arbs as f64 },
+            nonempty_w_pct: if arbs == 0 { 0.0 } else { 100.0 * nonempty_sum / arbs as f64 },
+            rsig_required_pct: percent(rsig_required, grants.max(1)),
+            empty_w_pct: percent(empty_w, chunks),
+            traffic: *sys.traffic(),
+        }
+    }
+
+    /// Bytes in one Figure 11 traffic category.
+    pub fn traffic_bytes(&self, class: TrafficClass) -> u64 {
+        self.traffic.bytes(class)
+    }
+}

@@ -1,0 +1,326 @@
+//! The complete simulated machine (Figure 5 of the paper): cores with
+//! their L1s and BDMs, directory modules, arbiter(s), the optional
+//! G-arbiter, and the interconnect — advanced cycle by cycle,
+//! deterministically.
+
+use bulksc_cpu::{BaselineNode, CoreStats, ValueStore};
+use bulksc_net::{Cycle, Envelope, Fabric, NodeId};
+use bulksc_workloads::{AddressMap, ThreadProgram};
+
+use bulksc_mem::{DirStats, Directory};
+
+use crate::arbiter::{ArbStats, Arbiter};
+use crate::config::{Model, SystemConfig};
+use crate::garbiter::GArbiter;
+use crate::node::{BulkNode, BulkStats};
+
+/// One core endpoint: a baseline core or a BulkSC core.
+pub enum CoreNode {
+    /// SC / RC / SC++ (from `bulksc-cpu`).
+    Baseline(BaselineNode),
+    /// The BulkSC checkpointed core.
+    Bulk(BulkNode),
+}
+
+impl CoreNode {
+    fn tick(&mut self, now: Cycle, fab: &mut Fabric, values: &mut ValueStore) {
+        match self {
+            CoreNode::Baseline(n) => n.tick(now, fab, values),
+            CoreNode::Bulk(n) => n.tick(now, fab, values),
+        }
+    }
+
+    fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &mut ValueStore) {
+        match self {
+            CoreNode::Baseline(n) => n.handle(now, env, fab, values),
+            CoreNode::Bulk(n) => n.handle(now, env, fab, values),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        match self {
+            CoreNode::Baseline(n) => n.finished(),
+            CoreNode::Bulk(n) => n.finished(),
+        }
+    }
+
+    fn idle_until(&self, now: Cycle) -> Cycle {
+        match self {
+            CoreNode::Baseline(n) => n.idle_until(now),
+            CoreNode::Bulk(n) => n.idle_until(now),
+        }
+    }
+
+    /// The thread program, for reading observations after a run.
+    pub fn program(&self) -> &dyn ThreadProgram {
+        match self {
+            CoreNode::Baseline(n) => n.program(),
+            CoreNode::Bulk(n) => n.program(),
+        }
+    }
+
+    /// BulkSC statistics, if this is a BulkSC core.
+    pub fn bulk_stats(&self) -> Option<&BulkStats> {
+        match self {
+            CoreNode::Bulk(n) => Some(n.stats()),
+            CoreNode::Baseline(_) => None,
+        }
+    }
+
+    /// Baseline statistics, if this is a baseline core.
+    pub fn baseline_stats(&self) -> Option<&CoreStats> {
+        match self {
+            CoreNode::Baseline(n) => Some(n.stats()),
+            CoreNode::Bulk(_) => None,
+        }
+    }
+
+    /// One-line diagnostic snapshot.
+    pub fn debug_state(&self) -> String {
+        match self {
+            CoreNode::Baseline(n) => n.debug_state(),
+            CoreNode::Bulk(n) => n.debug_state(),
+        }
+    }
+}
+
+/// The whole machine.
+pub struct System {
+    cfg: SystemConfig,
+    nodes: Vec<CoreNode>,
+    dirs: Vec<Directory>,
+    arbiters: Vec<Arbiter>,
+    garbiter: Option<GArbiter>,
+    fabric: Fabric,
+    values: ValueStore,
+    now: Cycle,
+}
+
+impl System {
+    /// Build the machine of `cfg` running one program per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program count does not match the core count, or if a
+    /// distributed-arbiter configuration does not pair arbiters with
+    /// directories one-to-one.
+    pub fn new(cfg: SystemConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        assert_eq!(programs.len() as u32, cfg.cores, "one program per core");
+        let map = AddressMap::new(cfg.cores);
+        let num_dirs = cfg.dirs;
+        assert!(num_dirs >= 1, "at least one directory");
+        if matches!(cfg.model, Model::Baseline(_)) {
+            assert_eq!(num_dirs, 1, "baseline models are wired for a single directory");
+        }
+
+        let nodes: Vec<CoreNode> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| match &cfg.model {
+                Model::Baseline(m) => CoreNode::Baseline(BaselineNode::new(
+                    i as u32,
+                    *m,
+                    cfg.core,
+                    cfg.l1,
+                    p,
+                    cfg.budget,
+                    dir_of_static,
+                )),
+                Model::Bulk(b) => CoreNode::Bulk(BulkNode::new(
+                    i as u32,
+                    cfg.core,
+                    b.clone(),
+                    cfg.l1,
+                    p,
+                    cfg.budget,
+                    num_dirs,
+                    map,
+                )),
+            })
+            .collect();
+
+        let dirs: Vec<Directory> = (0..num_dirs)
+            .map(|i| Directory::new(NodeId::Dir(i), cfg.dir.clone()))
+            .collect();
+
+        let (arbiters, garbiter) = match &cfg.model {
+            Model::Baseline(_) => (Vec::new(), None),
+            Model::Bulk(b) => {
+                let n = b.num_arbiters;
+                let arbs: Vec<Arbiter> = if n == 1 {
+                    vec![Arbiter::new(
+                        NodeId::Arbiter(0),
+                        b.arb_latency,
+                        (0..num_dirs).collect(),
+                        num_dirs,
+                    )]
+                } else {
+                    assert_eq!(
+                        n, num_dirs,
+                        "distributed arbiters pair one-to-one with directories"
+                    );
+                    (0..n)
+                        .map(|i| {
+                            Arbiter::new(NodeId::Arbiter(i), b.arb_latency, vec![i], num_dirs)
+                        })
+                        .collect()
+                };
+                let g = (n > 1).then(|| GArbiter::new(b.arb_latency, n));
+                (arbs, g)
+            }
+        };
+
+        System {
+            fabric: Fabric::new(cfg.fabric),
+            nodes,
+            dirs,
+            arbiters,
+            garbiter,
+            cfg,
+            values: ValueStore::new(),
+            now: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn cycles(&self) -> Cycle {
+        self.now
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Committed memory values.
+    pub fn values(&self) -> &ValueStore {
+        &self.values
+    }
+
+    /// Interconnect traffic so far.
+    pub fn traffic(&self) -> &bulksc_net::TrafficStats {
+        self.fabric.traffic()
+    }
+
+    /// The core endpoints (stats, programs, observations).
+    pub fn nodes(&self) -> &[CoreNode] {
+        &self.nodes
+    }
+
+    /// The directory modules.
+    pub fn dir_stats(&self) -> Vec<&DirStats> {
+        self.dirs.iter().map(|d| d.stats()).collect()
+    }
+
+    /// The arbiter modules (empty for baselines).
+    pub fn arbiter_stats(&self) -> Vec<&ArbStats> {
+        self.arbiters.iter().map(|a| a.stats()).collect()
+    }
+
+    /// The G-arbiter, if this is a distributed-arbiter machine.
+    pub fn garbiter_stats(&self) -> Option<&crate::garbiter::GArbStats> {
+        self.garbiter.as_ref().map(|g| g.stats())
+    }
+
+    /// Per-thread observation logs (litmus outcomes).
+    pub fn observations(&self) -> Vec<Vec<u64>> {
+        self.nodes.iter().map(|n| n.program().observations()).collect()
+    }
+
+    /// True once every core has finished and the network has drained.
+    pub fn finished(&self) -> bool {
+        self.nodes.iter().all(|n| n.finished()) && self.fabric.is_idle()
+    }
+
+    /// Advance one cycle: deliver due messages, then tick every core.
+    pub fn step(&mut self) {
+        let due = self.fabric.deliver_due(self.now);
+        for env in due {
+            match env.dst {
+                NodeId::Core(c) => {
+                    self.nodes[c as usize].handle(self.now, env, &mut self.fabric, &mut self.values)
+                }
+                NodeId::Dir(d) => {
+                    self.dirs[d as usize].handle(self.now, env, &mut self.fabric, &self.values)
+                }
+                NodeId::Arbiter(a) => {
+                    self.arbiters[a as usize].handle(self.now, env, &mut self.fabric)
+                }
+                NodeId::GArbiter => self
+                    .garbiter
+                    .as_mut()
+                    .expect("G-arbiter configured")
+                    .handle(self.now, env, &mut self.fabric),
+            }
+        }
+        for n in &mut self.nodes {
+            n.tick(self.now, &mut self.fabric, &mut self.values);
+        }
+        self.now += 1;
+    }
+
+    /// Run until every core finishes or `max_cycles` elapse. Returns true
+    /// if the machine finished. Idle stretches are skipped, so wall-clock
+    /// cost tracks useful simulation work.
+    pub fn run(&mut self, max_cycles: Cycle) -> bool {
+        while self.now < max_cycles {
+            if self.finished() {
+                return true;
+            }
+            // Fast-forward: if no node can work now and no message is due,
+            // jump straight to the next event — and step there.
+            let node_next = self
+                .nodes
+                .iter()
+                .map(|n| n.idle_until(self.now))
+                .min()
+                .unwrap_or(Cycle::MAX);
+            let net_next = self.fabric.next_delivery().unwrap_or(Cycle::MAX);
+            let next = node_next.min(net_next);
+            if next == Cycle::MAX {
+                // Nothing will ever happen again.
+                return self.finished();
+            }
+            if next > self.now {
+                self.now = next.min(max_cycles);
+            }
+            self.step();
+        }
+        self.finished()
+    }
+
+    /// One-line diagnostic snapshot of the whole machine (for debugging
+    /// stuck runs).
+    pub fn debug_state(&self) -> String {
+        let mut s = String::new();
+        for n in &self.nodes {
+            s.push_str(&n.debug_state());
+            s.push('\n');
+        }
+        for d in &self.dirs {
+            s.push_str(&d.debug_state());
+            s.push('\n');
+        }
+        for a in &self.arbiters {
+            s.push_str(&format!("arbiter pending={}\n", a.pending()));
+        }
+        if let Some(g) = &self.garbiter {
+            s.push_str(&g.debug_state());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "fabric idle={} next={:?} now={}",
+            self.fabric.is_idle(),
+            self.fabric.next_delivery(),
+            self.now
+        ));
+        s
+    }
+}
+
+/// Line-to-directory routing for baseline nodes (single-directory default;
+/// multi-directory baselines route the same way BulkSC cores do).
+fn dir_of_static(line: bulksc_sig::LineAddr) -> u32 {
+    let _ = line;
+    0
+}

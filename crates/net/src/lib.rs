@@ -1,0 +1,30 @@
+//! The generic interconnection network of the BulkSC architecture
+//! (Figure 5 of the paper).
+//!
+//! The paper deliberately targets "a distributed directory and a generic
+//! network": nothing in BulkSC needs a broadcast medium. This crate provides
+//! that generic network for the simulator:
+//!
+//! * the wire vocabulary — every message any protocol in the workspace puts
+//!   on the network ([`Message`]), with a per-message [`TrafficClass`] and
+//!   byte size so Figure 11's traffic breakdown (Rd/Wr, RdSig, WrSig, Inv,
+//!   Other) falls out of the accounting;
+//! * the fabric itself ([`Fabric`]) — deterministic latency-modelled message
+//!   delivery between [`NodeId`] endpoints;
+//! * traffic statistics ([`TrafficStats`]).
+//!
+//! The fabric is deliberately simple: an unloaded fixed per-message latency
+//! (Table 2 of the paper quotes unloaded round trips) plus deterministic
+//! FIFO ordering between identical timestamps. Contention modelling is out
+//! of scope, as it is in the paper's latency table.
+
+pub mod fabric;
+pub mod msg;
+pub mod traffic;
+
+pub use fabric::{Envelope, Fabric, FabricConfig};
+pub use msg::{ChunkTag, Message, NodeId};
+pub use traffic::{TrafficClass, TrafficStats};
+
+/// Simulation time, in processor clock cycles.
+pub type Cycle = u64;

@@ -1,0 +1,322 @@
+//! The wire vocabulary: every message the simulated machine puts on the
+//! interconnect.
+//!
+//! Three protocols share the network:
+//!
+//! 1. **Demand coherence** — a directory-based MESI-flavoured protocol used
+//!    by the baselines (SC, RC, SC++). BulkSC uses only its read side: under
+//!    BulkSC even write misses are issued as read requests, because the
+//!    processor cannot be marked owner of a speculatively-written line
+//!    (paper §4.3).
+//! 2. **Chunk commit** — the arbiter/directory flows of Figures 7 and 8,
+//!    including the RSig bandwidth optimization (§4.2.2), distributed
+//!    arbitration through the G-arbiter (§4.2.3), and the
+//!    statically-private Wpriv path (§5.1).
+//! 3. **Maintenance** — directory-cache displacement disambiguation
+//!    (§4.3.3) and pre-arbitration for forward progress (§3.3).
+//!
+//! Signatures travel as [`TrackedSig`] values: the Bloom half is "what is on
+//! the wire" (and determines the byte size), the exact half rides along so
+//! receivers can attribute aliasing costs for the paper's tables.
+
+use bulksc_sig::{LineAddr, LineData, TrackedSig};
+
+use crate::traffic::{TrafficClass, TrafficStats};
+
+/// Bytes of a plain control message (requests, acks, grants).
+pub const CTRL_BYTES: u64 = 8;
+
+/// Bytes of a data-carrying message: control header plus one 32 B line.
+pub const DATA_BYTES: u64 = CTRL_BYTES + bulksc_sig::LINE_BYTES;
+
+/// An endpoint on the interconnect (Figure 5 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// A processor core together with its private L1 and BDM.
+    Core(u32),
+    /// A directory module (with its DirBDM).
+    Dir(u32),
+    /// A commit arbiter module.
+    Arbiter(u32),
+    /// The global arbiter coordinating multi-range commits (§4.2.3).
+    GArbiter,
+}
+
+/// Identifies a chunk across the machine: the core that built it plus a
+/// per-core sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkTag {
+    /// The core that executed the chunk.
+    pub core: u32,
+    /// Monotonic per-core chunk sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for ChunkTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}#{}", self.core, self.seq)
+    }
+}
+
+/// Every message of every protocol in the simulated machine.
+#[derive(Clone, Debug)]
+pub enum Message {
+    // ------------------------------------------------------------------
+    // Demand coherence (baselines; BulkSC uses the read side only).
+    // ------------------------------------------------------------------
+    /// Core → dir: read miss; requester wants a shared copy.
+    ReadShared { line: LineAddr },
+    /// Core → dir: write miss; requester wants an exclusive copy
+    /// (baselines only).
+    ReadExcl { line: LineAddr },
+    /// Core → dir: upgrade a shared copy to exclusive (baselines only).
+    Upgrade { line: LineAddr },
+    /// Dir → core: data response; `exclusive` grants M/E rights. `data`
+    /// is the value snapshot taken when the directory served the request
+    /// (its linearization point for the line).
+    Data { line: LineAddr, exclusive: bool, data: LineData },
+    /// Dir → core: upgrade acknowledged (no data needed).
+    UpgradeAck { line: LineAddr },
+    /// Dir → core: invalidate this line (baseline write, or directory-cache
+    /// displacement fallback).
+    Inv { line: LineAddr },
+    /// Core → dir: invalidation done; `dirty` means data was written back
+    /// with this ack.
+    InvAck { line: LineAddr, dirty: bool },
+    /// Dir → owner core: surrender the line (another core wants it);
+    /// `for_excl` tells the owner to invalidate rather than downgrade.
+    Fetch { line: LineAddr, for_excl: bool },
+    /// Owner core → dir: line surrendered; `dirty` carries data bytes.
+    /// `had_line=false` models the silent-eviction "false owner" reply of
+    /// §4.3.1.
+    FetchResp { line: LineAddr, dirty: bool, had_line: bool },
+    /// Core → dir: voluntary writeback of a dirty line. `keep_shared` is
+    /// true for BulkSC's first-speculative-write-to-a-dirty-line writeback
+    /// (§5.2), where the line stays cached in Shared state; false for
+    /// evictions.
+    Writeback { line: LineAddr, keep_shared: bool },
+    /// Dir → core: request bounced (line is being committed, §4.3.2);
+    /// retry later.
+    Nack { line: LineAddr },
+
+    // ------------------------------------------------------------------
+    // Chunk commit (Figures 7 and 8).
+    // ------------------------------------------------------------------
+    /// Core → arbiter (or G-arbiter): permission-to-commit. With the RSig
+    /// optimization the R signature is omitted until requested.
+    CommitReq {
+        chunk: ChunkTag,
+        w: Box<TrackedSig>,
+        r: Option<Box<TrackedSig>>,
+    },
+    /// Arbiter → core: the W list was non-empty, send the R signature.
+    RSigReq { chunk: ChunkTag },
+    /// Core → arbiter: the requested R signature.
+    RSigResp { chunk: ChunkTag, r: Box<TrackedSig> },
+    /// Arbiter/G-arbiter → core: permission granted or denied.
+    CommitResp { chunk: ChunkTag, ok: bool },
+    /// Arbiter → dir: forward the committing chunk's W signature.
+    WSigToDir { chunk: ChunkTag, w: Box<TrackedSig> },
+    /// Dir → core: W signature of a committing chunk, for bulk
+    /// disambiguation and bulk invalidation. `needs_ack` is false for the
+    /// statically-private coherence path (§5.1), which does not hold up a
+    /// commit.
+    WSigInv {
+        chunk: ChunkTag,
+        w: Box<TrackedSig>,
+        needs_ack: bool,
+    },
+    /// Core → dir: bulk invalidation done ("done" message 4 of Fig. 7(a)).
+    WSigInvAck { chunk: ChunkTag },
+    /// Dir → arbiter: all invalidation acks collected ("done" message 5).
+    DirDone { chunk: ChunkTag },
+    /// Arbiter/G-arbiter → core: commit fully complete everywhere. Models
+    /// the processor inspecting the arbiter (§4.1.3); carried at zero cost.
+    CommitComplete { chunk: ChunkTag },
+    /// Core → dir: Wpriv of a committing chunk under the statically-private
+    /// scheme, sent directly to the directory to keep private data coherent
+    /// (§5.1).
+    PrivSigToDir { chunk: ChunkTag, w: Box<TrackedSig> },
+
+    // ------------------------------------------------------------------
+    // Distributed arbitration (§4.2.3, Figure 8(b)).
+    // ------------------------------------------------------------------
+    /// G-arbiter → range arbiter: check (and on success reserve) this
+    /// chunk's signatures against your W list.
+    ArbCheck {
+        chunk: ChunkTag,
+        w: Box<TrackedSig>,
+        r: Option<Box<TrackedSig>>,
+    },
+    /// Range arbiter → G-arbiter: outcome of the check.
+    ArbCheckResp { chunk: ChunkTag, ok: bool },
+    /// G-arbiter → range arbiter: proceed with the reserved commit
+    /// (`commit=true`, forward W to your directory) or abandon the
+    /// reservation (`commit=false`).
+    ArbRelease { chunk: ChunkTag, commit: bool },
+    /// Range arbiter → G-arbiter: this arbiter's directories finished.
+    ArbDone { chunk: ChunkTag },
+
+    // ------------------------------------------------------------------
+    // Maintenance.
+    // ------------------------------------------------------------------
+    /// Dir → core: a directory-cache entry for `line` was displaced; the
+    /// address is delivered as a signature for bulk disambiguation with the
+    /// local R and W signatures (§4.3.3).
+    DisplaceSig { line: LineAddr, sig: Box<TrackedSig> },
+    /// Core → arbiter: request pre-arbitration — permission to execute with
+    /// other commits locked out (§3.3 forward-progress guarantee).
+    PreArbReq,
+    /// Arbiter → core: pre-arbitration granted; run your chunk and commit.
+    PreArbGrant,
+}
+
+impl Message {
+    /// Account this message's bytes to the Figure 11 categories.
+    ///
+    /// A message may span categories: a `CommitReq` header is `Other`, its
+    /// W signature bytes are `WrSig`, and its optional R signature bytes are
+    /// `RdSig`.
+    pub fn account(&self, stats: &mut TrafficStats) {
+        use Message::*;
+        stats.count_message();
+        match self {
+            ReadShared { .. } | ReadExcl { .. } | Upgrade { .. } | UpgradeAck { .. } => {
+                stats.add(TrafficClass::ReadWrite, CTRL_BYTES)
+            }
+            Data { .. } => stats.add(TrafficClass::ReadWrite, DATA_BYTES),
+            Fetch { .. } => stats.add(TrafficClass::ReadWrite, CTRL_BYTES),
+            FetchResp { dirty, .. } => stats.add(
+                TrafficClass::ReadWrite,
+                if *dirty { DATA_BYTES } else { CTRL_BYTES },
+            ),
+            Writeback { .. } => stats.add(TrafficClass::ReadWrite, DATA_BYTES),
+            Inv { .. } => stats.add(TrafficClass::Inv, CTRL_BYTES),
+            InvAck { dirty, .. } => stats.add(
+                TrafficClass::Inv,
+                if *dirty { DATA_BYTES } else { CTRL_BYTES },
+            ),
+            Nack { .. } => stats.add(TrafficClass::Other, CTRL_BYTES),
+
+            CommitReq { w, r, .. } | ArbCheck { w, r, .. } => {
+                stats.add(TrafficClass::Other, CTRL_BYTES);
+                stats.add(TrafficClass::WrSig, w.wire_bytes() as u64);
+                if let Some(r) = r {
+                    stats.add(TrafficClass::RdSig, r.wire_bytes() as u64);
+                }
+            }
+            RSigReq { .. } => stats.add(TrafficClass::Other, CTRL_BYTES),
+            RSigResp { r, .. } => {
+                stats.add(TrafficClass::Other, CTRL_BYTES);
+                stats.add(TrafficClass::RdSig, r.wire_bytes() as u64);
+            }
+            CommitResp { .. } | ArbCheckResp { .. } | ArbRelease { .. } | ArbDone { .. } => {
+                stats.add(TrafficClass::Other, CTRL_BYTES)
+            }
+            WSigToDir { w, .. } | PrivSigToDir { w, .. } => {
+                stats.add(TrafficClass::WrSig, CTRL_BYTES + w.wire_bytes() as u64)
+            }
+            WSigInv { w, .. } => {
+                stats.add(TrafficClass::WrSig, CTRL_BYTES + w.wire_bytes() as u64)
+            }
+            WSigInvAck { .. } | DirDone { .. } => stats.add(TrafficClass::Inv, CTRL_BYTES),
+            // Models the processor inspecting the arbiter; free on the wire.
+            CommitComplete { .. } => {}
+            DisplaceSig { sig, .. } => {
+                stats.add(TrafficClass::Other, CTRL_BYTES + sig.wire_bytes() as u64)
+            }
+            PreArbReq | PreArbGrant => stats.add(TrafficClass::Other, CTRL_BYTES),
+        }
+    }
+
+    /// Total bytes of this message on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        let mut t = TrafficStats::new();
+        self.account(&mut t);
+        t.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulksc_sig::{SigMode, SignatureConfig};
+
+    fn sig(lines: &[u64]) -> Box<TrackedSig> {
+        let mut s = TrackedSig::new(&SignatureConfig::default(), SigMode::Bloom);
+        for &l in lines {
+            s.insert(LineAddr(l));
+        }
+        Box::new(s)
+    }
+
+    #[test]
+    fn control_and_data_sizes() {
+        assert_eq!(Message::ReadShared { line: LineAddr(1) }.wire_bytes(), 8);
+        assert_eq!(
+            Message::Data { line: LineAddr(1), exclusive: false, data: [0; 4] }.wire_bytes(),
+            40
+        );
+        assert_eq!(
+            Message::InvAck { line: LineAddr(1), dirty: true }.wire_bytes(),
+            40
+        );
+        assert_eq!(
+            Message::InvAck { line: LineAddr(1), dirty: false }.wire_bytes(),
+            8
+        );
+    }
+
+    #[test]
+    fn commit_req_splits_categories() {
+        let m = Message::CommitReq {
+            chunk: ChunkTag { core: 0, seq: 1 },
+            w: sig(&[1, 2, 3]),
+            r: Some(sig(&[4, 5, 6, 7])),
+        };
+        let mut t = TrafficStats::new();
+        m.account(&mut t);
+        assert!(t.bytes(TrafficClass::WrSig) > 0);
+        assert!(t.bytes(TrafficClass::RdSig) > 0);
+        assert_eq!(t.bytes(TrafficClass::Other), CTRL_BYTES);
+        assert_eq!(t.bytes(TrafficClass::ReadWrite), 0);
+    }
+
+    #[test]
+    fn rsig_omission_saves_rdsig_bytes() {
+        let with = Message::CommitReq {
+            chunk: ChunkTag { core: 0, seq: 1 },
+            w: sig(&[1]),
+            r: Some(sig(&(0..30).collect::<Vec<_>>())),
+        };
+        let without = Message::CommitReq {
+            chunk: ChunkTag { core: 0, seq: 1 },
+            w: sig(&[1]),
+            r: None,
+        };
+        assert!(with.wire_bytes() > without.wire_bytes());
+    }
+
+    #[test]
+    fn commit_complete_is_free() {
+        let m = Message::CommitComplete { chunk: ChunkTag { core: 3, seq: 9 } };
+        assert_eq!(m.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn wsig_messages_are_wrsig_class() {
+        let m = Message::WSigInv {
+            chunk: ChunkTag { core: 1, seq: 2 },
+            w: sig(&[10, 11]),
+            needs_ack: true,
+        };
+        let mut t = TrafficStats::new();
+        m.account(&mut t);
+        assert_eq!(t.total(), t.bytes(TrafficClass::WrSig));
+    }
+
+    #[test]
+    fn chunk_tag_display() {
+        assert_eq!(ChunkTag { core: 2, seq: 17 }.to_string(), "C2#17");
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-category interconnect traffic accounting.
+//!
+//! Figure 11 of the paper breaks network traffic into five categories:
+//! reads and writes (`Rd/Wr`), R-signature transfers (`RdSig`), W-signature
+//! transfers (`WrSig`), invalidations (`Inv`), and everything else
+//! (`Other`). [`TrafficStats`] accumulates bytes per category; a single
+//! message may contribute to several categories (a commit request's header
+//! is `Other` while the W signature it carries is `WrSig`).
+
+use std::fmt;
+
+/// Figure 11's traffic categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Demand reads/writes: requests, data responses, writebacks.
+    ReadWrite,
+    /// R-signature bytes (commit arbitration).
+    RdSig,
+    /// W-signature bytes (commit arbitration and forwarding).
+    WrSig,
+    /// Invalidations and their acknowledgements.
+    Inv,
+    /// Arbitration control, nacks, displacement traffic, and other messages.
+    Other,
+}
+
+impl TrafficClass {
+    /// All categories, in Figure 11's legend order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::ReadWrite,
+        TrafficClass::RdSig,
+        TrafficClass::WrSig,
+        TrafficClass::Inv,
+        TrafficClass::Other,
+    ];
+
+    /// The label the paper uses for this category.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::ReadWrite => "Rd/Wr",
+            TrafficClass::RdSig => "RdSig",
+            TrafficClass::WrSig => "WrSig",
+            TrafficClass::Inv => "Inv",
+            TrafficClass::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Bytes moved on the interconnect, by category.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_net::{TrafficClass, TrafficStats};
+/// let mut t = TrafficStats::new();
+/// t.add(TrafficClass::Inv, 8);
+/// t.add(TrafficClass::Inv, 8);
+/// assert_eq!(t.bytes(TrafficClass::Inv), 16);
+/// assert_eq!(t.total(), 16);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    read_write: u64,
+    rd_sig: u64,
+    wr_sig: u64,
+    inv: u64,
+    other: u64,
+    messages: u64,
+}
+
+impl TrafficStats {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account `bytes` to `class`.
+    pub fn add(&mut self, class: TrafficClass, bytes: u64) {
+        *self.slot(class) += bytes;
+    }
+
+    /// Count one message (independent of its byte accounting).
+    pub fn count_message(&mut self) {
+        self.messages += 1;
+    }
+
+    fn slot(&mut self, class: TrafficClass) -> &mut u64 {
+        match class {
+            TrafficClass::ReadWrite => &mut self.read_write,
+            TrafficClass::RdSig => &mut self.rd_sig,
+            TrafficClass::WrSig => &mut self.wr_sig,
+            TrafficClass::Inv => &mut self.inv,
+            TrafficClass::Other => &mut self.other,
+        }
+    }
+
+    /// Bytes accounted to `class` so far.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        match class {
+            TrafficClass::ReadWrite => self.read_write,
+            TrafficClass::RdSig => self.rd_sig,
+            TrafficClass::WrSig => self.wr_sig,
+            TrafficClass::Inv => self.inv,
+            TrafficClass::Other => self.other,
+        }
+    }
+
+    /// Total bytes across all categories.
+    pub fn total(&self) -> u64 {
+        TrafficClass::ALL.iter().map(|&c| self.bytes(c)).sum()
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_per_class() {
+        let mut t = TrafficStats::new();
+        for (i, &c) in TrafficClass::ALL.iter().enumerate() {
+            t.add(c, (i as u64 + 1) * 10);
+        }
+        assert_eq!(t.bytes(TrafficClass::ReadWrite), 10);
+        assert_eq!(t.bytes(TrafficClass::Other), 50);
+        assert_eq!(t.total(), 150);
+    }
+
+    #[test]
+    fn message_count_independent_of_bytes() {
+        let mut t = TrafficStats::new();
+        t.count_message();
+        t.count_message();
+        assert_eq!(t.messages(), 2);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(TrafficClass::ReadWrite.label(), "Rd/Wr");
+        assert_eq!(TrafficClass::RdSig.to_string(), "RdSig");
+    }
+}

@@ -1,0 +1,132 @@
+//! Addressing vocabulary shared by the whole workspace.
+//!
+//! The simulated machine uses 64-bit word-granular addresses. Caches,
+//! directories, and signatures all operate on *cache-line* addresses
+//! ([`LineAddr`]), which are word addresses shifted down by the line size.
+//!
+//! The line size is fixed at 32 bytes (4 words), matching Table 2 of the
+//! BulkSC paper (32 B lines in both L1 and L2).
+
+use std::fmt;
+
+/// Bytes per cache line (Table 2 of the paper: 32 B).
+pub const LINE_BYTES: u64 = 32;
+
+/// 64-bit words per cache line.
+pub const LINE_WORDS: u64 = LINE_BYTES / 8;
+
+/// The value payload of one cache line, as carried by data responses on
+/// the interconnect.
+pub type LineData = [u64; LINE_WORDS as usize];
+
+/// A word-granular memory address.
+///
+/// `Addr(n)` names the `n`-th 64-bit word of the simulated address space.
+/// Word granularity (rather than byte) keeps the value store simple while
+/// still letting distinct variables share a cache line, which is all the
+/// false-sharing behaviour the paper's experiments require.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_sig::{Addr, LineAddr};
+/// let a = Addr(7);
+/// assert_eq!(a.line(), LineAddr(1)); // words 4..8 form line 1
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A cache-line-granular memory address.
+///
+/// This is the unit signatures, caches, and the directory operate on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl Addr {
+    /// The cache line containing this word.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_WORDS)
+    }
+
+    /// Offset of this word within its cache line (`0..LINE_WORDS`).
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_WORDS
+    }
+}
+
+impl LineAddr {
+    /// The first word of this line.
+    pub fn base_word(self) -> Addr {
+        Addr(self.0 * LINE_WORDS)
+    }
+
+    /// Iterate over the words of this line.
+    pub fn words(self) -> impl Iterator<Item = Addr> {
+        let base = self.0 * LINE_WORDS;
+        (base..base + LINE_WORDS).map(Addr)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_map_to_lines() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(3).line(), LineAddr(0));
+        assert_eq!(Addr(4).line(), LineAddr(1));
+        assert_eq!(Addr(4).line_offset(), 0);
+        assert_eq!(Addr(7).line_offset(), 3);
+    }
+
+    #[test]
+    fn line_words_roundtrip() {
+        let line = LineAddr(9);
+        let words: Vec<Addr> = line.words().collect();
+        assert_eq!(words.len(), LINE_WORDS as usize);
+        for w in words {
+            assert_eq!(w.line(), line);
+        }
+        assert_eq!(line.base_word().line(), line);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let l: LineAddr = Addr(12).into();
+        assert_eq!(l, LineAddr(3));
+        assert_eq!(format!("{}", Addr(255)), "0xff");
+        assert_eq!(format!("{}", LineAddr(255)), "L0xff");
+        assert_eq!(format!("{:?}", LineAddr(16)), "Line(0x10)");
+    }
+}

@@ -1,0 +1,240 @@
+//! Signatures that carry both a Bloom encoding and an exact shadow set.
+//!
+//! The simulator needs both at once: the configured encoding drives the
+//! machine (disambiguation, arbitration, expansion), while the exact shadow
+//! measures what an alias-free machine would have done — the difference is
+//! exactly the aliasing cost the paper reports in Tables 3 and 4 and in the
+//! `BSCexact` bars of Figures 9–11.
+
+use crate::addr::LineAddr;
+use crate::bloom::{Signature, SignatureConfig};
+use crate::exact::ExactSet;
+
+/// Which encoding the machine consults for disambiguation decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SigMode {
+    /// Use the Bloom signature (real hardware; may alias).
+    Bloom,
+    /// Use the exact shadow set (the paper's "magic" alias-free signature,
+    /// configuration `BSCexact`).
+    Exact,
+}
+
+/// A signature maintaining both encodings simultaneously.
+///
+/// All mutation goes through [`TrackedSig::insert`] and
+/// [`TrackedSig::clear`] so the two encodings can never drift apart; the
+/// Bloom side is always a superset of the exact side.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_sig::{LineAddr, SigMode, SignatureConfig, TrackedSig};
+/// let cfg = SignatureConfig::default();
+/// let mut w = TrackedSig::new(&cfg, SigMode::Bloom);
+/// w.insert(LineAddr(7));
+/// assert!(w.contains(LineAddr(7)));
+/// assert_eq!(w.exact().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrackedSig {
+    mode: SigMode,
+    bloom: Signature,
+    exact: ExactSet,
+}
+
+impl TrackedSig {
+    /// An empty tracked signature.
+    pub fn new(cfg: &SignatureConfig, mode: SigMode) -> Self {
+        TrackedSig {
+            mode,
+            bloom: Signature::new(cfg),
+            exact: ExactSet::new(),
+        }
+    }
+
+    /// The encoding used for machine decisions.
+    pub fn mode(&self) -> SigMode {
+        self.mode
+    }
+
+    /// The Bloom encoding (what goes on the wire).
+    pub fn bloom(&self) -> &Signature {
+        &self.bloom
+    }
+
+    /// The exact shadow set (for statistics and `BSCexact`).
+    pub fn exact(&self) -> &ExactSet {
+        &self.exact
+    }
+
+    /// Accumulate an address into both encodings.
+    pub fn insert(&mut self, line: LineAddr) {
+        self.bloom.insert(line);
+        self.exact.insert(line);
+    }
+
+    /// Membership as the machine sees it (mode-dependent).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        match self.mode {
+            SigMode::Bloom => self.bloom.contains(line),
+            SigMode::Exact => self.exact.contains(line),
+        }
+    }
+
+    /// Membership in the exact shadow (no aliasing).
+    pub fn contains_exact(&self, line: LineAddr) -> bool {
+        self.exact.contains(line)
+    }
+
+    /// Emptiness as the machine sees it.
+    ///
+    /// Note the Bloom signature is empty iff the exact set is, so this is
+    /// mode-independent in practice; it exists for symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Number of distinct lines actually inserted.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Clear both encodings (chunk commit or squash).
+    pub fn clear(&mut self) {
+        self.bloom.clear();
+        self.exact.clear();
+    }
+
+    /// In-place union of both encodings.
+    pub fn union_with(&mut self, other: &TrackedSig) {
+        self.bloom.union_with(&other.bloom);
+        self.exact.union_with(&other.exact);
+    }
+
+    /// Collision test as the machine sees it (mode-dependent). The caller's
+    /// mode decides; the operand's encodings are consulted accordingly.
+    pub fn intersects(&self, other: &TrackedSig) -> bool {
+        match self.mode {
+            SigMode::Bloom => self.bloom.intersects(&other.bloom),
+            SigMode::Exact => self.exact.intersects(&other.exact),
+        }
+    }
+
+    /// Collision test against the exact shadows only: "would an alias-free
+    /// machine have collided?" Used to classify squashes as true or aliased.
+    pub fn intersects_exact(&self, other: &TrackedSig) -> bool {
+        self.exact.intersects(&other.exact)
+    }
+
+    /// δ as the machine sees it: candidate set indices in a structure with
+    /// `num_sets` sets.
+    pub fn decode_sets(&self, num_sets: u32) -> Vec<u32> {
+        match self.mode {
+            SigMode::Bloom => self.bloom.decode_sets(num_sets),
+            SigMode::Exact => self.exact.decode_sets(num_sets),
+        }
+    }
+
+    /// Bytes this signature occupies on the interconnect (see
+    /// [`wire_bytes`](crate::compress::wire_bytes)).
+    pub fn wire_bytes(&self) -> u32 {
+        match self.mode {
+            SigMode::Bloom => crate::compress::wire_bytes(&self.bloom),
+            // A magic exact signature is modelled with the same wire cost as
+            // the Bloom one so Figure 11's E bars isolate *aliasing*, not
+            // encoding size.
+            SigMode::Exact => crate::compress::wire_bytes(&self.bloom),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(mode: SigMode, lines: &[u64]) -> TrackedSig {
+        let mut s = TrackedSig::new(&SignatureConfig::default(), mode);
+        for &l in lines {
+            s.insert(LineAddr(l));
+        }
+        s
+    }
+
+    #[test]
+    fn both_encodings_agree_on_members() {
+        let s = mk(SigMode::Bloom, &[1, 2, 3]);
+        for l in [1, 2, 3] {
+            assert!(s.contains(LineAddr(l)));
+            assert!(s.contains_exact(LineAddr(l)));
+            assert!(s.bloom().contains(LineAddr(l)));
+        }
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn exact_mode_never_aliases() {
+        let mut s = TrackedSig::new(&SignatureConfig::default(), SigMode::Exact);
+        for i in 0..10_000 {
+            s.insert(LineAddr(2 * i));
+        }
+        assert!((0..10_000).all(|i| !s.contains(LineAddr(2 * i + 1))));
+    }
+
+    #[test]
+    fn bloom_mode_is_superset_of_exact() {
+        let s = mk(SigMode::Bloom, &(0..500).map(|i| 3 * i).collect::<Vec<_>>());
+        // Anything in exact must be in bloom.
+        for l in s.exact().iter() {
+            assert!(s.bloom().contains(l));
+        }
+    }
+
+    #[test]
+    fn intersects_respects_mode() {
+        // Construct two exact-disjoint dense sets: random lines with bit 9
+        // cleared vs. the same lines with bit 9 set. They are provably
+        // exact-disjoint, share every bank-0 slot, and at this density the
+        // permuted banks are near-saturated, so the Bloom encodings must
+        // collide while the exact sets cannot.
+        let base: Vec<u64> = (0..3000u64)
+            .map(|i| (i.wrapping_mul(6_364_136_223_846_793_005) >> 24) & !512)
+            .collect();
+        let a_lines: Vec<u64> = base.clone();
+        let b_lines: Vec<u64> = base.iter().map(|l| l | 512).collect();
+        let a_bloom = mk(SigMode::Bloom, &a_lines);
+        let b_bloom = mk(SigMode::Bloom, &b_lines);
+        let a_exact = mk(SigMode::Exact, &a_lines);
+        let b_exact = mk(SigMode::Exact, &b_lines);
+        assert!(!a_exact.intersects(&b_exact));
+        assert!(!a_bloom.intersects_exact(&b_bloom));
+        // At this density the Bloom encodings must collide.
+        assert!(a_bloom.intersects(&b_bloom));
+    }
+
+    #[test]
+    fn clear_resets_both() {
+        let mut s = mk(SigMode::Bloom, &[1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.bloom().is_empty());
+        assert!(s.exact().is_empty());
+    }
+
+    #[test]
+    fn union_unions_both() {
+        let mut a = mk(SigMode::Bloom, &[1]);
+        let b = mk(SigMode::Bloom, &[2]);
+        a.union_with(&b);
+        assert!(a.contains(LineAddr(1)) && a.contains(LineAddr(2)));
+        assert_eq!(a.exact().len(), 2);
+    }
+
+    #[test]
+    fn decode_sets_mode_dependent() {
+        let e = mk(SigMode::Exact, &[0, 64]);
+        assert_eq!(e.decode_sets(64), vec![0]);
+        let b = mk(SigMode::Bloom, &[0, 64]);
+        assert!(b.decode_sets(64).contains(&0));
+    }
+}

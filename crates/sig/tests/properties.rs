@@ -1,0 +1,134 @@
+//! Property-based tests of the signature invariants everything in BulkSC
+//! leans on: a Bloom signature is always a *superset* encoding of the exact
+//! set it was built from, and its operations are conservative approximations
+//! of set operations.
+
+use bulksc_sig::{ExactSet, LineAddr, SigMode, Signature, SignatureConfig, TrackedSig};
+use proptest::prelude::*;
+
+fn lines() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000, 0..200)
+}
+
+fn sig_of(cfg: &SignatureConfig, v: &[u64]) -> Signature {
+    Signature::from_lines(cfg, v.iter().map(|&l| LineAddr(l)))
+}
+
+fn exact_of(v: &[u64]) -> ExactSet {
+    v.iter().map(|&l| LineAddr(l)).collect()
+}
+
+proptest! {
+    /// No false negatives: everything inserted is a member.
+    #[test]
+    fn membership_has_no_false_negatives(v in lines()) {
+        let cfg = SignatureConfig::default();
+        let s = sig_of(&cfg, &v);
+        for &l in &v {
+            prop_assert!(s.contains(LineAddr(l)));
+        }
+    }
+
+    /// If the exact sets intersect, the Bloom signatures must intersect
+    /// (conservatism of ∩).
+    #[test]
+    fn intersection_is_conservative(a in lines(), b in lines()) {
+        let cfg = SignatureConfig::default();
+        let (sa, sb) = (sig_of(&cfg, &a), sig_of(&cfg, &b));
+        let (ea, eb) = (exact_of(&a), exact_of(&b));
+        if ea.intersects(&eb) {
+            prop_assert!(sa.intersects(&sb));
+        }
+    }
+
+    /// Union is a homomorphism: sig(A) ∪ sig(B) == sig(A ∪ B).
+    #[test]
+    fn union_is_homomorphic(a in lines(), b in lines()) {
+        let cfg = SignatureConfig::default();
+        let mut u = sig_of(&cfg, &a);
+        u.union_with(&sig_of(&cfg, &b));
+        let mut ab = a.clone();
+        ab.extend(&b);
+        prop_assert_eq!(u, sig_of(&cfg, &ab));
+    }
+
+    /// Emptiness is exact: a signature is empty iff nothing was inserted.
+    #[test]
+    fn emptiness_is_exact(v in lines()) {
+        let cfg = SignatureConfig::default();
+        let s = sig_of(&cfg, &v);
+        prop_assert_eq!(s.is_empty(), v.is_empty());
+    }
+
+    /// δ covers: every inserted line's cache set appears among the decoded
+    /// sets, for any power-of-two set count.
+    #[test]
+    fn decode_covers_all_lines(v in lines(), sets_log in 4u32..12) {
+        let cfg = SignatureConfig::default();
+        let s = sig_of(&cfg, &v);
+        let num_sets = 1u32 << sets_log;
+        let decoded = s.decode_sets(num_sets);
+        for &l in &v {
+            prop_assert!(decoded.contains(&((l % num_sets as u64) as u32)));
+        }
+    }
+
+    /// Exact decode is minimal: decoded sets are exactly the occupied sets.
+    #[test]
+    fn exact_decode_is_minimal(v in lines(), sets_log in 4u32..12) {
+        let e = exact_of(&v);
+        let num_sets = 1u32 << sets_log;
+        let decoded = e.decode_sets(num_sets);
+        let mut expect: Vec<u32> = v.iter().map(|&l| (l % num_sets as u64) as u32).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(decoded, expect);
+    }
+
+    /// The tracked signature keeps its two encodings consistent: bloom is a
+    /// superset of exact, and clearing resets both.
+    #[test]
+    fn tracked_invariants(v in lines()) {
+        let cfg = SignatureConfig::default();
+        let mut t = TrackedSig::new(&cfg, SigMode::Bloom);
+        for &l in &v {
+            t.insert(LineAddr(l));
+        }
+        for l in t.exact().iter() {
+            prop_assert!(t.bloom().contains(l));
+        }
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(t.len(), sorted.len());
+        t.clear();
+        prop_assert!(t.is_empty() && t.bloom().is_empty() && t.exact().is_empty());
+    }
+
+    /// Exact-mode disambiguation agrees with set intersection precisely.
+    #[test]
+    fn exact_mode_matches_set_semantics(a in lines(), b in lines()) {
+        let cfg = SignatureConfig::default();
+        let mut ta = TrackedSig::new(&cfg, SigMode::Exact);
+        let mut tb = TrackedSig::new(&cfg, SigMode::Exact);
+        for &l in &a { ta.insert(LineAddr(l)); }
+        for &l in &b { tb.insert(LineAddr(l)); }
+        prop_assert_eq!(ta.intersects(&tb), exact_of(&a).intersects(&exact_of(&b)));
+    }
+
+    /// Wire size never exceeds the raw signature and is monotone under
+    /// insertion.
+    #[test]
+    fn wire_size_bounds(v in lines()) {
+        let cfg = SignatureConfig::default();
+        let mut s = Signature::new(&cfg);
+        let mut prev = bulksc_sig::wire_bytes(&s);
+        for &l in &v {
+            s.insert(LineAddr(l));
+            let now = bulksc_sig::wire_bytes(&s);
+            prop_assert!(now >= prev);
+            prop_assert!(now <= cfg.total_bits() / 8);
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Rate helpers matching the units the paper reports in.
+//!
+//! Table 3 reports "per 100k commits" and "per 1k commits" columns; several
+//! tables report percentages. These helpers keep the unit conversions in one
+//! place and handle zero denominators uniformly (a run with zero commits
+//! reports zero, not NaN).
+
+/// `events` per one thousand `denom` (e.g. private-buffer hits per 1k
+/// commits, Table 3).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bulksc_stats::per_1k(5, 1000), 5.0);
+/// assert_eq!(bulksc_stats::per_1k(5, 0), 0.0);
+/// ```
+pub fn per_1k(events: u64, denom: u64) -> f64 {
+    scaled(events, denom, 1_000.0)
+}
+
+/// `events` per one hundred thousand `denom` (e.g. speculative line
+/// displacements per 100k commits, Table 3).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bulksc_stats::per_100k(3, 100_000), 3.0);
+/// ```
+pub fn per_100k(events: u64, denom: u64) -> f64 {
+    scaled(events, denom, 100_000.0)
+}
+
+/// `part` as a percentage of `whole`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(bulksc_stats::percent(1, 4), 25.0);
+/// assert_eq!(bulksc_stats::percent(1, 0), 0.0);
+/// ```
+pub fn percent(part: u64, whole: u64) -> f64 {
+    scaled(part, whole, 100.0)
+}
+
+fn scaled(events: u64, denom: u64, scale: f64) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        events as f64 / denom as f64 * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_are_correct() {
+        assert_eq!(per_1k(2, 4000), 0.5);
+        assert_eq!(per_100k(2, 400_000), 0.5);
+        assert_eq!(percent(3, 12), 25.0);
+    }
+
+    #[test]
+    fn zero_denominator_is_zero() {
+        assert_eq!(per_1k(7, 0), 0.0);
+        assert_eq!(per_100k(7, 0), 0.0);
+        assert_eq!(percent(7, 0), 0.0);
+    }
+}

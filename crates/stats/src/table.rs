@@ -1,0 +1,136 @@
+//! Minimal aligned text tables.
+//!
+//! The bench harness prints each reproduced paper table/figure as plain
+//! text; this keeps rendering logic out of the harness binaries.
+
+use std::fmt;
+
+/// A column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_stats::Table;
+/// let mut t = Table::new(vec!["App".into(), "Speedup".into()]);
+/// t.row(vec!["fft".into(), "0.98".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("fft"));
+/// assert!(s.contains("Speedup"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: append a row whose first cell is a label and whose
+    /// remaining cells are numbers formatted with `prec` decimals.
+    pub fn num_row(&mut self, label: &str, values: &[f64], prec: usize) -> &mut Self {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_string());
+        cells.extend(values.iter().map(|v| format!("{v:.prec$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{cell:<width$}", width = widths[i])?;
+                } else {
+                    write!(f, "{cell:>width$}", width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["App".into(), "X".into()]);
+        t.row(vec!["barnes".into(), "1.0".into()]);
+        t.row(vec!["lu".into(), "10.25".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numeric column: both rows end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[0].starts_with("App"));
+    }
+
+    #[test]
+    fn num_row_formats() {
+        let mut t = Table::new(vec!["App".into(), "A".into(), "B".into()]);
+        t.num_row("fft", &[0.5, 1.23456], 2);
+        assert!(t.to_string().contains("1.23"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["A".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,880 @@
+//! Synthetic stand-ins for the paper's applications.
+//!
+//! The paper evaluates 11 SPLASH-2 programs plus SPECjbb2000 and
+//! SPECweb2005 on the SESC simulator. We cannot run those binaries, but the
+//! BulkSC-relevant behaviour of an application is fully captured by its
+//! *sharing-pattern statistics*: how many distinct shared lines a 1000-
+//! instruction chunk reads and writes, how many private lines it rewrites,
+//! how strided/local the accesses are, and how often it synchronizes.
+//! Conveniently, the paper itself reports those statistics per application
+//! (Tables 3 and 4) — so each entry of [`catalog`] is a generator whose
+//! parameters are taken from the paper's own characterization:
+//!
+//! * `read/write/priv_write lines per kilo-instruction` come straight from
+//!   Table 3's "Average Set Sizes" columns;
+//! * write burstiness is set so the fraction of chunks with an empty
+//!   shared-write set tracks Table 4's "Empty W Sig" column;
+//! * `stride` is set for the two programs whose access patterns are
+//!   classically strided (`fft`'s transpose, `radix`'s scattered digit
+//!   histograms) — this is what recreates their signature-aliasing
+//!   behaviour;
+//! * contended "hot" lines and lock/barrier rates recreate the true-sharing
+//!   conflict rates visible in Table 3's `BSCexact` squash column.
+
+use bulksc_sig::Addr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::isa::{Instr, RmwOp};
+use crate::layout::AddressMap;
+use crate::program::ThreadProgram;
+
+/// Tuning parameters of one synthetic application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppParams {
+    /// Application name as the paper spells it.
+    pub name: &'static str,
+    /// Distinct shared lines read per 1000 instructions (Table 3 "Read").
+    pub read_lines_per_kilo: f64,
+    /// Distinct shared lines written per burst window (see
+    /// `write_burst_prob`); average per kilo ≈ `prob × lines`.
+    pub write_burst_lines: u32,
+    /// Probability a 1000-instruction window contains shared writes.
+    pub write_burst_prob: f64,
+    /// Distinct private lines written per 1000 instructions
+    /// (Table 3 "Priv. Write").
+    pub priv_write_lines_per_kilo: f64,
+    /// Shared working-set size in lines.
+    pub shared_lines: u64,
+    /// Private working-set size in lines (per thread).
+    pub private_lines: u64,
+    /// Probability a shared access reuses a recently-touched line.
+    pub locality: f64,
+    /// Lines of reuse history (how far back "recently" reaches). Larger
+    /// windows keep more of the iteration's working set warm in L1/L2.
+    pub reuse_window: usize,
+    /// Strided access pattern (lines); `None` = random within the set.
+    pub stride: Option<u64>,
+    /// Intra-bucket fill window for strided apps: how many consecutive
+    /// lines each strided bucket spans. Small windows concentrate the
+    /// signature bits (radix's dense digit histograms — heavy aliasing);
+    /// large windows spread them (fft's transpose rows).
+    pub stride_spread: u64,
+    /// Number of contended hot lines (work queues, frontier counters).
+    pub hot_lines: u64,
+    /// Hot-line writes per 1000 instructions (true-sharing conflicts).
+    pub hot_writes_per_kilo: f64,
+    /// Hot-line reads per 1000 instructions.
+    pub hot_reads_per_kilo: f64,
+    /// Lock-protected critical sections per 1000 instructions.
+    pub locks_per_kilo: f64,
+    /// Number of distinct locks.
+    pub num_locks: u64,
+    /// Barrier every this many instructions (`None` = no barriers).
+    pub barrier_every: Option<u64>,
+    /// Fraction of instructions that access memory.
+    pub mem_op_density: f64,
+}
+
+/// The paper's application list with parameters derived from its Tables 3
+/// and 4 (see module docs).
+pub fn catalog() -> Vec<AppParams> {
+    let base = AppParams {
+        name: "",
+        read_lines_per_kilo: 25.0,
+        write_burst_lines: 2,
+        write_burst_prob: 0.05,
+        priv_write_lines_per_kilo: 12.0,
+        shared_lines: 48 * 1024,
+        private_lines: 1024,
+        locality: 0.75,
+        reuse_window: 512,
+        stride: None,
+        stride_spread: 32,
+        hot_lines: 512,
+        hot_writes_per_kilo: 0.0,
+        hot_reads_per_kilo: 0.0,
+        locks_per_kilo: 0.0,
+        num_locks: 64,
+        barrier_every: None,
+        mem_op_density: 0.30,
+    };
+    vec![
+        AppParams {
+            name: "barnes",
+            shared_lines: 512 * 1024,
+            read_lines_per_kilo: 22.6,
+            write_burst_lines: 2,
+            write_burst_prob: 0.047,
+            priv_write_lines_per_kilo: 11.9,
+            locks_per_kilo: 0.12,
+            num_locks: 256,
+            hot_lines: 4096,
+            hot_writes_per_kilo: 0.01,
+            hot_reads_per_kilo: 0.2,
+            ..base
+        },
+        AppParams {
+            name: "cholesky",
+            shared_lines: 768 * 1024,
+            read_lines_per_kilo: 42.0,
+            write_burst_lines: 16,
+            write_burst_prob: 0.056,
+            priv_write_lines_per_kilo: 11.6,
+            locks_per_kilo: 0.08,
+            num_locks: 256,
+            hot_lines: 4096,
+            hot_writes_per_kilo: 0.03,
+            hot_reads_per_kilo: 0.2,
+            ..base
+        },
+        AppParams {
+            name: "fft",
+            shared_lines: 256 * 1024,
+            read_lines_per_kilo: 33.4,
+            write_burst_lines: 16,
+            write_burst_prob: 0.21,
+            priv_write_lines_per_kilo: 22.7,
+            stride: Some(512),
+            stride_spread: 128,
+            barrier_every: Some(40_000),
+            ..base
+        },
+        AppParams {
+            name: "fmm",
+            shared_lines: 512 * 1024,
+            read_lines_per_kilo: 33.8,
+            write_burst_lines: 11,
+            write_burst_prob: 0.018,
+            priv_write_lines_per_kilo: 6.2,
+            locks_per_kilo: 0.1,
+            hot_lines: 4096,
+            hot_writes_per_kilo: 0.02,
+            hot_reads_per_kilo: 0.2,
+            ..base
+        },
+        AppParams {
+            name: "lu",
+            shared_lines: 320 * 1024,
+            read_lines_per_kilo: 15.9,
+            write_burst_lines: 3,
+            write_burst_prob: 0.032,
+            priv_write_lines_per_kilo: 10.8,
+            barrier_every: Some(50_000),
+            ..base
+        },
+        AppParams {
+            name: "ocean",
+            shared_lines: 1536 * 1024,
+            read_lines_per_kilo: 45.3,
+            write_burst_lines: 15,
+            write_burst_prob: 0.44,
+            priv_write_lines_per_kilo: 8.4,
+            barrier_every: Some(25_000),
+            hot_lines: 4096,
+            hot_writes_per_kilo: 0.3,
+            hot_reads_per_kilo: 1.0,
+            ..base
+        },
+        AppParams {
+            name: "radiosity",
+            shared_lines: 256 * 1024,
+            read_lines_per_kilo: 28.7,
+            write_burst_lines: 10,
+            write_burst_prob: 0.048,
+            priv_write_lines_per_kilo: 15.2,
+            locks_per_kilo: 0.2,
+            num_locks: 128,
+            hot_lines: 2048,
+            hot_writes_per_kilo: 0.06,
+            hot_reads_per_kilo: 0.4,
+            ..base
+        },
+        AppParams {
+            name: "radix",
+            read_lines_per_kilo: 14.9,
+            write_burst_lines: 8,
+            write_burst_prob: 0.67,
+            priv_write_lines_per_kilo: 14.4,
+            stride: Some(2048),
+            stride_spread: 32,
+            shared_lines: 1024 * 1024,
+            barrier_every: Some(60_000),
+            // Global bucket counters: updated by their owning thread,
+            // polled by the others when choosing work.
+            hot_lines: 512,
+            hot_writes_per_kilo: 0.4,
+            hot_reads_per_kilo: 1.5,
+            ..base
+        },
+        AppParams {
+            name: "raytrace",
+            shared_lines: 512 * 1024,
+            read_lines_per_kilo: 40.2,
+            write_burst_lines: 5,
+            write_burst_prob: 0.15,
+            priv_write_lines_per_kilo: 12.7,
+            locks_per_kilo: 0.3,
+            num_locks: 128,
+            hot_lines: 1024,
+            hot_writes_per_kilo: 0.12,
+            hot_reads_per_kilo: 0.6,
+            ..base
+        },
+        AppParams {
+            name: "water-ns",
+            shared_lines: 128 * 1024,
+            locality: 0.88,
+            reuse_window: 1024,
+            read_lines_per_kilo: 20.2,
+            write_burst_lines: 12,
+            write_burst_prob: 0.008,
+            priv_write_lines_per_kilo: 16.3,
+            locks_per_kilo: 0.05,
+            ..base
+        },
+        AppParams {
+            name: "water-sp",
+            shared_lines: 128 * 1024,
+            locality: 0.88,
+            reuse_window: 1024,
+            read_lines_per_kilo: 22.2,
+            write_burst_lines: 16,
+            write_burst_prob: 0.006,
+            priv_write_lines_per_kilo: 17.0,
+            ..base
+        },
+        AppParams {
+            name: "sjbb2k",
+            read_lines_per_kilo: 43.6,
+            write_burst_lines: 7,
+            write_burst_prob: 0.53,
+            priv_write_lines_per_kilo: 19.2,
+            shared_lines: 1024 * 1024,
+            private_lines: 4096,
+            locality: 0.45,
+            reuse_window: 256,
+            locks_per_kilo: 0.3,
+            num_locks: 128,
+            hot_lines: 4096,
+            hot_writes_per_kilo: 0.08,
+            hot_reads_per_kilo: 0.5,
+            ..base
+        },
+        AppParams {
+            name: "sweb2005",
+            read_lines_per_kilo: 61.1,
+            write_burst_lines: 7,
+            write_burst_prob: 0.50,
+            priv_write_lines_per_kilo: 21.5,
+            shared_lines: 1536 * 1024,
+            private_lines: 4096,
+            locality: 0.40,
+            reuse_window: 256,
+            locks_per_kilo: 0.25,
+            num_locks: 128,
+            hot_lines: 4096,
+            hot_writes_per_kilo: 0.05,
+            hot_reads_per_kilo: 0.4,
+            ..base
+        },
+    ]
+}
+
+/// The SPLASH-2 subset of the catalog (everything except the commercial
+/// codes), matching the paper's `SP2-G.M.` aggregation.
+pub fn splash2() -> Vec<AppParams> {
+    catalog()
+        .into_iter()
+        .filter(|a| a.name != "sjbb2k" && a.name != "sweb2005")
+        .collect()
+}
+
+/// Look up an application by name.
+pub fn by_name(name: &str) -> Option<AppParams> {
+    catalog().into_iter().find(|a| a.name == name)
+}
+
+/// What the generator is currently doing.
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Draining the planned instruction queue for the current window.
+    Window,
+    /// Spinning on a lock: polled, awaiting the value.
+    LockPoll(Addr),
+    /// Test-and-set issued, awaiting the old value.
+    LockTas(Addr),
+    /// Inside the critical section, `usize` ops remaining, lock to release.
+    Critical(Addr, usize),
+    /// Barrier: loaded the generation, awaiting it.
+    BarrierGen,
+    /// Barrier: fetch-add issued, awaiting the old count.
+    BarrierCount(u64),
+    /// Barrier: polling for release.
+    BarrierWait(u64),
+}
+
+/// A synthetic application thread.
+///
+/// Deterministic per `(params, seed, tid)`; cloning it is the checkpoint
+/// operation (the clone replays from the same internal state).
+#[derive(Clone, Debug)]
+pub struct SyntheticApp {
+    params: AppParams,
+    map: AddressMap,
+    tid: u32,
+    threads: u32,
+    rng: SmallRng,
+    /// Planned instructions for the current 1000-instruction window.
+    plan: Vec<Instr>,
+    /// Next index into `plan`.
+    cursor: usize,
+    /// Recently-read shared lines, for locality reuse.
+    recent: Vec<u64>,
+    /// Recently-written shared lines: producer threads re-update their own
+    /// outputs across chunks, which is what makes shared data behave
+    /// dynamically-private (§5.2) until a consumer fetches it.
+    recent_writes: Vec<u64>,
+    /// Stride cursor for strided apps.
+    stride_pos: u64,
+    /// Intra-bucket fill counter: strided apps write sequentially within
+    /// each strided bucket (a radix sort filling digit buckets), which
+    /// spreads set indices while keeping the bucket bits correlated — the
+    /// pattern behind the paper's radix signature aliasing.
+    stride_fill: u64,
+    /// Dynamic instructions emitted so far.
+    emitted: u64,
+    /// Instructions at which the next barrier fires.
+    next_barrier: u64,
+    mode: Mode,
+}
+
+/// Instructions per planning window (the paper's default chunk size).
+const WINDOW: u64 = 1000;
+
+impl SyntheticApp {
+    /// Thread `tid` of `threads` running `params`, seeded deterministically
+    /// from `seed`.
+    pub fn new(params: AppParams, tid: u32, threads: u32, seed: u64) -> Self {
+        let mut app = SyntheticApp {
+            params,
+            map: AddressMap::new(threads),
+            tid,
+            threads,
+            rng: SmallRng::seed_from_u64(
+                seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            plan: Vec::new(),
+            cursor: 0,
+            recent: Vec::new(),
+            recent_writes: Vec::new(),
+            stride_pos: 0,
+            stride_fill: 0,
+            emitted: 0,
+            next_barrier: params.barrier_every.unwrap_or(u64::MAX),
+            mode: Mode::Window,
+        };
+        // Phase-shift each thread's stride walk into a distinct residue
+        // class (its own buckets): strided apps partition their output, so
+        // cross-thread stride collisions do not happen — the conflicts the
+        // paper sees for radix are signature aliasing, not true sharing.
+        app.stride_pos = (tid as u64) * (params.shared_lines / threads.max(1) as u64 + 64);
+        app.plan_window();
+        app
+    }
+
+    /// The parameters this thread runs.
+    pub fn params(&self) -> &AppParams {
+        &self.params
+    }
+
+    fn pick_shared_line(&mut self, for_write: bool) -> u64 {
+        let p = &self.params;
+        // Writes reuse recently-read lines far less than reads do: the
+        // stores that define an iteration's output go to fresh or strided
+        // locations (a grid's next sweep, a sort's output buckets), which
+        // is what makes write misses expensive on a real machine.
+        let reuse_prob = if for_write { p.locality * 0.2 } else { p.locality };
+        if !self.recent.is_empty() && self.rng.gen_bool(reuse_prob) {
+            let i = self.rng.gen_range(0..self.recent.len());
+            return self.recent[i];
+        }
+        let line = match p.stride {
+            Some(stride) => {
+                if !for_write && self.rng.gen_bool(0.4) {
+                    // Cross-bucket read: the phase that consumes other
+                    // threads' strided output (radix's permutation, fft's
+                    // transpose). This is what makes committing strided W
+                    // signatures reach other caches — where their
+                    // correlated bit patterns alias with reader R
+                    // signatures (the paper's radix story).
+                    let bucket = self.rng.gen_range(0..p.shared_lines / stride.max(1));
+                    (bucket * stride + self.rng.gen_range(0..p.stride_spread.max(1)))
+                        % p.shared_lines
+                } else {
+                    self.stride_pos = (self.stride_pos + stride) % p.shared_lines;
+                    self.stride_fill = self.stride_fill.wrapping_add(1);
+                    // Writes hammer the bucket heads (histogram counters
+                    // are revisited every pass); reads range deeper into
+                    // the bucket bodies.
+                    let window = if for_write {
+                        p.stride_spread.clamp(1, 8)
+                    } else {
+                        p.stride_spread.max(1)
+                    };
+                    (self.stride_pos + self.stride_fill % window) % p.shared_lines
+                }
+            }
+            None => self.rng.gen_range(0..p.shared_lines),
+        };
+        if !for_write {
+            self.recent.push(line);
+            if self.recent.len() > p.reuse_window {
+                self.recent.remove(0);
+            }
+        }
+        line
+    }
+
+    fn shared_addr(&mut self, line: u64) -> Addr {
+        let w = self.rng.gen_range(0..bulksc_sig::LINE_WORDS);
+        Addr(self.map.shared_word(line).0 + w)
+    }
+
+    /// Plan the next 1000-instruction window: decide the distinct lines
+    /// accessed, build the op list, interleave with compute batches.
+    fn plan_window(&mut self) {
+        let p = self.params;
+        let mut mem_ops: Vec<Instr> = Vec::new();
+
+        // The Table 3 targets are *distinct* lines per chunk: keep drawing
+        // until the window's read set reaches the target (a line reused
+        // from an earlier window still counts as distinct in this one).
+        let reads = sample_count(&mut self.rng, p.read_lines_per_kilo);
+        let mut window_reads = std::collections::BTreeSet::new();
+        let mut attempts = 0;
+        while (window_reads.len() as u64) < reads && attempts < reads * 8 {
+            attempts += 1;
+            let line = self.pick_shared_line(false);
+            if window_reads.insert(line) {
+                let addr = self.shared_addr(line);
+                mem_ops.push(Instr::Load { addr, consume: false });
+            }
+        }
+
+        if self.rng.gen_bool(p.write_burst_prob.min(1.0)) {
+            for _ in 0..p.write_burst_lines {
+                let line = if !self.recent_writes.is_empty() && self.rng.gen_bool(0.35) {
+                    let i = self.rng.gen_range(0..self.recent_writes.len());
+                    self.recent_writes[i]
+                } else {
+                    let l = self.pick_shared_line(true);
+                    self.recent_writes.push(l);
+                    if self.recent_writes.len() > 64 {
+                        self.recent_writes.remove(0);
+                    }
+                    l
+                };
+                let addr = self.shared_addr(line);
+                mem_ops.push(Instr::Store { addr, value: self.emitted });
+            }
+        }
+
+        // Private writes concentrate on a small hot set (stack frames,
+        // loop-local buffers) that successive chunks rewrite — exactly the
+        // dirty-non-speculative pattern the dynamically-private
+        // optimization (§5.2) exploits, and the reason the paper's ≈24-line
+        // Private Buffer suffices for 6–23-line private write sets.
+        let priv_writes = sample_count(&mut self.rng, p.priv_write_lines_per_kilo);
+        let hot_priv = ((p.priv_write_lines_per_kilo * 1.3) as u64 + 2).min(p.private_lines);
+        let mut window_priv = std::collections::BTreeSet::new();
+        let mut priv_attempts = 0;
+        while (window_priv.len() as u64) < priv_writes && priv_attempts < priv_writes * 8 {
+            priv_attempts += 1;
+            let line = if self.rng.gen_bool(0.97) {
+                self.rng.gen_range(0..hot_priv)
+            } else {
+                self.rng.gen_range(0..p.private_lines)
+            };
+            if window_priv.insert(line) {
+                let addr = self.map.private_word(self.tid, line);
+                mem_ops.push(Instr::Store { addr, value: self.emitted });
+            }
+        }
+
+        for _ in 0..sample_count(&mut self.rng, p.hot_reads_per_kilo) {
+            let line = self.rng.gen_range(0..p.hot_lines.max(1));
+            let addr = self.shared_addr(line); // hot lines are the set's head
+            mem_ops.push(Instr::Load { addr, consume: false });
+        }
+        for _ in 0..sample_count(&mut self.rng, p.hot_writes_per_kilo) {
+            // Each thread owns an eighth of the hot set (its queue slots /
+            // frontier entries): repeated updates to owned hot lines are
+            // the migratory, dynamically-private pattern of §5.2, while
+            // other threads' reads of them create the true conflicts.
+            let span = (p.hot_lines.max(8) / self.threads.max(1) as u64).max(1);
+            let line = self.tid as u64 * span + self.rng.gen_range(0..span);
+            let addr = self.shared_addr(line);
+            mem_ops.push(Instr::Store { addr, value: self.emitted });
+        }
+
+        // Fill the memory-op budget with private-region reads. Stack
+        // traffic has strong locality: most reads hit the same hot frames
+        // the writes touch, so the R signature stays small (the paper's
+        // Table 3 Read column counts these too).
+        let budget = (WINDOW as f64 * p.mem_op_density) as usize;
+        let stack_top = hot_priv.min(6);
+        while mem_ops.len() < budget {
+            let roll: f64 = self.rng.gen();
+            let line = if roll < 0.90 {
+                self.rng.gen_range(0..stack_top) // the live stack frames
+            } else if roll < 0.98 {
+                self.rng.gen_range(0..hot_priv)
+            } else {
+                self.rng.gen_range(0..p.private_lines)
+            };
+            let addr = self.map.private_word(self.tid, line);
+            mem_ops.push(Instr::Load { addr, consume: false });
+        }
+
+        // Deterministic shuffle, then interleave with compute batches so
+        // the window totals ~WINDOW dynamic instructions.
+        for i in (1..mem_ops.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            mem_ops.swap(i, j);
+        }
+        let gaps = mem_ops.len() as u64 + 1;
+        let compute_total = WINDOW.saturating_sub(mem_ops.len() as u64);
+        let per_gap = (compute_total / gaps).max(1) as u32;
+
+        self.plan.clear();
+        self.cursor = 0;
+        for op in mem_ops {
+            self.plan.push(Instr::Compute(per_gap));
+            self.plan.push(op);
+        }
+        self.plan.push(Instr::Compute(per_gap));
+    }
+
+    fn emit(&mut self, i: Instr) -> Option<Instr> {
+        self.emitted += i.dynamic_count();
+        Some(i)
+    }
+
+    /// Begin a critical section (called between windows).
+    fn start_lock(&mut self) -> Option<Instr> {
+        let lock_idx = self.rng.gen_range(0..self.params.num_locks);
+        let lock = self.map.lock(lock_idx);
+        self.mode = Mode::LockPoll(lock);
+        self.emit(Instr::Load { addr: lock, consume: true })
+    }
+}
+
+/// Sample an integer with expectation `rate` (deterministic given the
+/// RNG): floor plus a Bernoulli for the fraction.
+fn sample_count(rng: &mut SmallRng, rate: f64) -> u64 {
+    let base = rate.floor() as u64;
+    let frac = rate - rate.floor();
+    base + u64::from(frac > 0.0 && rng.gen_bool(frac))
+}
+
+impl ThreadProgram for SyntheticApp {
+    fn next(&mut self, last_value: Option<u64>) -> Option<Instr> {
+        loop {
+            match self.mode.clone() {
+                Mode::Window => {
+                    // Synchronization pauses happen at window boundaries.
+                    if self.cursor >= self.plan.len() {
+                        if self.emitted >= self.next_barrier {
+                            self.next_barrier =
+                                self.emitted + self.params.barrier_every.unwrap_or(u64::MAX);
+                            self.mode = Mode::BarrierGen;
+                            return self.emit(Instr::Load {
+                                addr: self.map.barrier_gen(),
+                                consume: true,
+                            });
+                        }
+                        if self.params.locks_per_kilo > 0.0 {
+                            let rate = self.params.locks_per_kilo;
+                            if self.rng.gen_bool((rate / (WINDOW as f64) * 1000.0).min(1.0)) {
+                                return self.start_lock();
+                            }
+                        }
+                        self.plan_window();
+                    }
+                    let i = self.plan[self.cursor];
+                    self.cursor += 1;
+                    return self.emit(i);
+                }
+
+                Mode::LockPoll(lock) => {
+                    let v = last_value.expect("lock poll returns a value");
+                    if v == 0 {
+                        self.mode = Mode::LockTas(lock);
+                        return self.emit(Instr::Rmw { addr: lock, op: RmwOp::TestAndSet });
+                    }
+                    // Busy: keep polling (test-and-test-and-set).
+                    return self.emit(Instr::Load { addr: lock, consume: true });
+                }
+                Mode::LockTas(lock) => {
+                    let old = last_value.expect("test-and-set returns the old value");
+                    if old == 0 {
+                        // Acquired: short critical section touching hot data.
+                        let ops = self.rng.gen_range(1..4);
+                        self.mode = Mode::Critical(lock, ops);
+                        continue;
+                    }
+                    self.mode = Mode::LockPoll(lock);
+                    return self.emit(Instr::Load { addr: lock, consume: true });
+                }
+                Mode::Critical(lock, remaining) => {
+                    if remaining == 0 {
+                        self.mode = Mode::Window;
+                        return self.emit(Instr::Store { addr: lock, value: 0 });
+                    }
+                    self.mode = Mode::Critical(lock, remaining - 1);
+                    let line = self.rng.gen_range(0..self.params.hot_lines.max(1));
+                    let addr = self.shared_addr(line);
+                    let write = self.rng.gen_bool(0.5);
+                    return self.emit(if write {
+                        Instr::Store { addr, value: self.emitted }
+                    } else {
+                        Instr::Load { addr, consume: false }
+                    });
+                }
+
+                Mode::BarrierGen => {
+                    let g = last_value.expect("generation load returns a value");
+                    self.mode = Mode::BarrierCount(g);
+                    return self.emit(Instr::Rmw {
+                        addr: self.map.barrier_count(),
+                        op: RmwOp::FetchAdd(1),
+                    });
+                }
+                Mode::BarrierCount(g) => {
+                    let arrivals = last_value.expect("fetch-add returns the old value") + 1;
+                    if arrivals == self.threads as u64 {
+                        // Release: reset the counter and bump the sense.
+                        self.mode = Mode::Window;
+                        self.emit(Instr::Store { addr: self.map.barrier_count(), value: 0 });
+                        return self.emit(Instr::Store {
+                            addr: self.map.barrier_gen(),
+                            value: g + 1,
+                        });
+                    }
+                    self.mode = Mode::BarrierWait(g);
+                    return self.emit(Instr::Load {
+                        addr: self.map.barrier_gen(),
+                        consume: true,
+                    });
+                }
+                Mode::BarrierWait(g) => {
+                    let now = last_value.expect("generation poll returns a value");
+                    if now != g {
+                        self.mode = Mode::Window;
+                        continue;
+                    }
+                    self.mode = Mode::BarrierWait(g);
+                    return self.emit(Instr::Load {
+                        addr: self.map.barrier_gen(),
+                        consume: true,
+                    });
+                }
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn app(name: &str) -> SyntheticApp {
+        SyntheticApp::new(by_name(name).unwrap(), 0, 8, 42)
+    }
+
+    /// Drive an app standalone (all loads return 0 except nothing spins
+    /// forever at tid 0... locks start free) and collect per-window stats.
+    fn distinct_lines(name: &str, kilos: u64) -> (f64, f64, f64) {
+        let map = AddressMap::new(8);
+        // Run single-threaded so barriers self-release under this driver.
+        let mut a = SyntheticApp::new(by_name(name).unwrap(), 0, 1, 42);
+        let mut last: Option<u64> = None;
+        // Shared heap starts here; lower addresses are sync variables,
+        // which the paper's set-size statistics do not dominate.
+        let heap_base = map.shared_word(0).0;
+        let mut emitted = 0u64;
+        let (mut reads, mut writes, mut privw) = (0usize, 0usize, 0usize);
+        let mut windows = 0u64;
+        let (mut r, mut w, mut p) = (BTreeSet::new(), BTreeSet::new(), BTreeSet::new());
+        while emitted < kilos * 1000 {
+            let Some(i) = a.next(last.take()) else { break };
+            emitted += i.dynamic_count();
+            match i {
+                Instr::Load { addr, consume } => {
+                    if consume {
+                        // Lock poll: pretend the lock is free.
+                        last = Some(0);
+                    }
+                    if !map.is_static_private(addr) && addr.0 >= heap_base {
+                        r.insert(addr.line());
+                    }
+                }
+                Instr::Store { addr, .. } => {
+                    if map.is_static_private(addr) {
+                        p.insert(addr.line());
+                    } else if addr.0 >= heap_base {
+                        w.insert(addr.line());
+                    }
+                }
+                Instr::Rmw { .. } => {
+                    last = Some(0); // lock acquired first try
+                }
+                _ => {}
+            }
+            if emitted >= (windows + 1) * 1000 {
+                windows += 1;
+                reads += r.len();
+                writes += w.len();
+                privw += p.len();
+                r.clear();
+                w.clear();
+                p.clear();
+            }
+        }
+        (
+            reads as f64 / windows as f64,
+            writes as f64 / windows as f64,
+            privw as f64 / windows as f64,
+        )
+    }
+
+    #[test]
+    fn catalog_has_13_apps() {
+        let c = catalog();
+        assert_eq!(c.len(), 13);
+        assert_eq!(splash2().len(), 11);
+        let names: BTreeSet<&str> = c.iter().map(|a| a.name).collect();
+        assert!(names.contains("radix") && names.contains("sweb2005"));
+        assert!(by_name("ocean").is_some());
+        assert!(by_name("volrend").is_none(), "volrend is excluded, as in the paper");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = app("barnes");
+        let mut b = app("barnes");
+        let (mut va, mut vb): (Option<u64>, Option<u64>) = (None, None);
+        for _ in 0..5000 {
+            let x = a.next(va.take());
+            let y = b.next(vb.take());
+            assert_eq!(x, y);
+            if x.map(|i| i.consumes_value()).unwrap_or(false) {
+                va = Some(0);
+                vb = Some(0);
+            }
+        }
+    }
+
+    #[test]
+    fn clone_is_a_checkpoint() {
+        let mut a = app("lu");
+        for _ in 0..100 {
+            let i = a.next(None).unwrap();
+            assert!(!i.consumes_value(), "lu has no sync in the first 100 slots");
+        }
+        let cp = a.clone_box();
+        let mut replay = cp.clone_box();
+        for _ in 0..200 {
+            let x = a.next(None);
+            let y = replay.next(None);
+            assert_eq!(x, y, "checkpoint replay must match");
+        }
+    }
+
+    #[test]
+    fn read_set_sizes_track_table3() {
+        for (name, expect) in [("barnes", 22.6), ("lu", 15.9), ("ocean", 45.3)] {
+            let (r, _, _) = distinct_lines(name, 50);
+            assert!(
+                (r - expect).abs() / expect < 0.35,
+                "{name}: read set {r:.1} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn priv_write_sets_track_table3() {
+        for (name, expect) in [("fft", 22.7), ("water-sp", 17.0)] {
+            let (_, _, p) = distinct_lines(name, 50);
+            assert!(
+                (p - expect).abs() / expect < 0.35,
+                "{name}: priv write set {p:.1} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_sets_are_bursty() {
+        // water-sp almost never writes shared data; radix writes a lot.
+        let (_, w_water, _) = distinct_lines("water-sp", 80);
+        let (_, w_radix, _) = distinct_lines("radix", 80);
+        assert!(w_water < 0.6, "water-sp writes {w_water:.2}");
+        assert!(w_radix > 2.0, "radix writes {w_radix:.2}");
+        assert!(w_radix > 5.0 * w_water.max(0.01));
+    }
+
+    #[test]
+    fn strided_apps_advance_their_cursor() {
+        let mut a = app("radix");
+        let mut lines = BTreeSet::new();
+        let mut emitted = 0;
+        let mut last = None;
+        while emitted < 20_000 {
+            let Some(i) = a.next(last.take()) else { break };
+            emitted += i.dynamic_count();
+            if i.consumes_value() {
+                last = Some(0);
+            }
+            if let Instr::Store { addr, .. } = i {
+                if !AddressMap::new(8).is_static_private(addr) {
+                    lines.insert(addr.line().0);
+                }
+            }
+        }
+        // Strided writes spread across the working set rather than
+        // clustering near the start.
+        let span = lines.iter().max().unwrap_or(&0) - lines.iter().min().unwrap_or(&0);
+        assert!(span > 10_000, "stride should cover a wide range, span={span}");
+    }
+
+    #[test]
+    fn different_tids_use_disjoint_private_regions() {
+        let m = AddressMap::new(8);
+        for tid in [0u32, 7] {
+            let mut a = SyntheticApp::new(by_name("fft").unwrap(), tid, 8, 1);
+            let mut emitted = 0;
+            let mut last = None;
+            while emitted < 5000 {
+                let Some(i) = a.next(last.take()) else { break };
+                emitted += i.dynamic_count();
+                if i.consumes_value() {
+                    last = Some(0);
+                }
+                if let Some(addr) = i.addr() {
+                    if m.is_static_private(addr) {
+                        // Must be inside this thread's own region.
+                        let base = m.private_word(tid, 0).0;
+                        let top = m.private_word(tid, 0).0 + 0x0100_0000;
+                        assert!((base..top).contains(&addr.0));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The abstract instruction set executed by simulated threads.
+//!
+//! The simulator does not interpret real machine code; programs are state
+//! machines emitting [`Instr`] values. The vocabulary is exactly what the
+//! memory-consistency experiments need: computation (which only consumes
+//! pipeline slots), loads and stores (which interact with the memory
+//! system), atomic read-modify-writes (the substrate for locks and
+//! barriers), fences (meaningful to the baselines; BulkSC executes them as
+//! no-ops, §3.3), and uncached I/O operations (which BulkSC must serialize
+//! against chunk commits, §4.1.3).
+
+use bulksc_sig::Addr;
+
+/// The atomic update performed by an [`Instr::Rmw`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwOp {
+    /// Store 1; the old value is returned (lock acquisition).
+    TestAndSet,
+    /// Add the operand; the old value is returned (barrier arrival).
+    FetchAdd(u64),
+    /// Store the operand; the old value is returned.
+    Swap(u64),
+}
+
+impl RmwOp {
+    /// The value stored when this operation is applied to `old`.
+    pub fn apply(self, old: u64) -> u64 {
+        match self {
+            RmwOp::TestAndSet => 1,
+            RmwOp::FetchAdd(n) => old.wrapping_add(n),
+            RmwOp::Swap(n) => n,
+        }
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `n` ALU operations: occupy issue slots, touch no memory.
+    Compute(u32),
+    /// A load. If `consume` is true the program needs the loaded value to
+    /// decide what to do next (a dependent branch): the core delivers the
+    /// value to [`ThreadProgram::next`](crate::ThreadProgram::next) and
+    /// fetch stalls until it is available.
+    Load {
+        /// Word address to read.
+        addr: Addr,
+        /// True if the program consumes the value.
+        consume: bool,
+    },
+    /// A store of `value` to `addr`.
+    Store {
+        /// Word address to write.
+        addr: Addr,
+        /// Value written.
+        value: u64,
+    },
+    /// An atomic read-modify-write; always consuming (the old value is
+    /// delivered to the program).
+    Rmw {
+        /// Word address updated.
+        addr: Addr,
+        /// The atomic update.
+        op: RmwOp,
+    },
+    /// A full memory fence. Baseline models order accesses around it;
+    /// BulkSC executes it without any ordering constraint (§3.3).
+    Fence,
+    /// An uncached I/O operation (§4.1.3): cannot be speculated; BulkSC
+    /// stalls until the current chunk commits, performs it, then opens a
+    /// new chunk.
+    Io,
+}
+
+impl Instr {
+    /// The memory address this instruction touches, if any.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Instr::Load { addr, .. } | Instr::Store { addr, .. } | Instr::Rmw { addr, .. } => {
+                Some(*addr)
+            }
+            Instr::Compute(_) | Instr::Fence | Instr::Io => None,
+        }
+    }
+
+    /// True if the program requires the result value before proceeding.
+    pub fn consumes_value(&self) -> bool {
+        matches!(self, Instr::Load { consume: true, .. } | Instr::Rmw { .. })
+    }
+
+    /// True for loads and RMWs (anything that reads memory).
+    pub fn is_read(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Rmw { .. })
+    }
+
+    /// True for stores and RMWs (anything that writes memory).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Instr::Store { .. } | Instr::Rmw { .. })
+    }
+
+    /// Number of dynamic instructions this entry represents (a
+    /// `Compute(n)` batch counts as `n`).
+    pub fn dynamic_count(&self) -> u64 {
+        match self {
+            Instr::Compute(n) => *n as u64,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_semantics() {
+        assert_eq!(RmwOp::TestAndSet.apply(0), 1);
+        assert_eq!(RmwOp::TestAndSet.apply(7), 1);
+        assert_eq!(RmwOp::FetchAdd(3).apply(4), 7);
+        assert_eq!(RmwOp::Swap(9).apply(1), 9);
+        assert_eq!(RmwOp::FetchAdd(1).apply(u64::MAX), 0, "wrapping");
+    }
+
+    #[test]
+    fn classification() {
+        let ld = Instr::Load { addr: Addr(4), consume: false };
+        let ldc = Instr::Load { addr: Addr(4), consume: true };
+        let st = Instr::Store { addr: Addr(8), value: 1 };
+        let rmw = Instr::Rmw { addr: Addr(12), op: RmwOp::TestAndSet };
+        assert!(ld.is_read() && !ld.is_write() && !ld.consumes_value());
+        assert!(ldc.consumes_value());
+        assert!(st.is_write() && !st.is_read());
+        assert!(rmw.is_read() && rmw.is_write() && rmw.consumes_value());
+        assert!(!Instr::Fence.is_read() && !Instr::Fence.is_write());
+        assert_eq!(st.addr(), Some(Addr(8)));
+        assert_eq!(Instr::Compute(5).addr(), None);
+    }
+
+    #[test]
+    fn dynamic_count_batches_compute() {
+        assert_eq!(Instr::Compute(17).dynamic_count(), 17);
+        assert_eq!(Instr::Io.dynamic_count(), 1);
+    }
+}

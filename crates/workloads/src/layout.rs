@@ -1,0 +1,161 @@
+//! Address-space layout for the synthetic workloads.
+//!
+//! Every workload carves the simulated address space the same way, so the
+//! rest of the system can reason about it:
+//!
+//! * a lock region and a barrier region (synchronization variables),
+//! * one shared heap (the data the consistency machinery fights over),
+//! * one private region per thread (stack and thread-local heap).
+//!
+//! The private region is what the statically-private scheme of paper §5.1
+//! declares private via a page attribute; [`AddressMap::is_static_private`]
+//! is that attribute check.
+
+use bulksc_sig::{Addr, LineAddr, LINE_WORDS};
+
+/// Word address where the lock region starts.
+const LOCKS_BASE: u64 = 0x0010_0000;
+/// Word address of the barrier counter.
+const BARRIER_BASE: u64 = 0x0020_0000;
+/// Word address where the shared heap starts.
+const SHARED_BASE: u64 = 0x0100_0000;
+/// Word address where per-thread private regions start.
+const PRIVATE_BASE: u64 = 0x8000_0000;
+/// Words per thread-private region.
+const PRIVATE_STRIDE: u64 = 0x0100_0000;
+
+/// The common address-space layout.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_workloads::AddressMap;
+/// let map = AddressMap::new(8);
+/// assert!(map.is_static_private(map.private_word(3, 0)));
+/// assert!(!map.is_static_private(map.shared_word(0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddressMap {
+    threads: u32,
+}
+
+impl AddressMap {
+    /// A layout for `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or more than 64 (the directory bit-vector
+    /// width).
+    pub fn new(threads: u32) -> Self {
+        assert!((1..=64).contains(&threads), "1..=64 threads supported");
+        AddressMap { threads }
+    }
+
+    /// Number of threads this layout was built for.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// The `i`-th lock variable (one per cache line to avoid false
+    /// sharing between locks).
+    pub fn lock(&self, i: u64) -> Addr {
+        Addr(LOCKS_BASE + i * LINE_WORDS)
+    }
+
+    /// The barrier arrival counter.
+    pub fn barrier_count(&self) -> Addr {
+        Addr(BARRIER_BASE)
+    }
+
+    /// The barrier generation (sense) word — on its own line.
+    pub fn barrier_gen(&self) -> Addr {
+        Addr(BARRIER_BASE + LINE_WORDS)
+    }
+
+    /// The first word of shared-heap line `i`.
+    pub fn shared_word(&self, line: u64) -> Addr {
+        Addr(SHARED_BASE + line * LINE_WORDS)
+    }
+
+    /// Shared-heap line `i` as a line address.
+    pub fn shared_line(&self, line: u64) -> LineAddr {
+        self.shared_word(line).line()
+    }
+
+    /// The first word of line `i` of thread `tid`'s private region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range for this layout.
+    pub fn private_word(&self, tid: u32, line: u64) -> Addr {
+        assert!(tid < self.threads, "thread {tid} out of range");
+        // The odd per-thread line skew keeps the (power-of-two-aligned)
+        // region bases from colliding in the set-indexed structures
+        // (L1 sets, directory-cache sets) the way real, diversely-mapped
+        // virtual address spaces do not.
+        let skew = tid as u64 * 1021 * LINE_WORDS;
+        Addr(PRIVATE_BASE + tid as u64 * PRIVATE_STRIDE + skew + line * LINE_WORDS)
+    }
+
+    /// The page-attribute check of §5.1: true for addresses in any
+    /// thread-private region.
+    pub fn is_static_private(&self, addr: Addr) -> bool {
+        addr.0 >= PRIVATE_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let m = AddressMap::new(8);
+        let lock_line = m.lock(100).line();
+        let shared = m.shared_line(0);
+        let private = m.private_word(7, 0).line();
+        assert_ne!(lock_line, shared);
+        assert_ne!(shared, private);
+        assert!(m.lock(0).0 < SHARED_BASE);
+    }
+
+    #[test]
+    fn locks_get_their_own_lines() {
+        let m = AddressMap::new(2);
+        assert_ne!(m.lock(0).line(), m.lock(1).line());
+    }
+
+    #[test]
+    fn barrier_words_are_separate_lines() {
+        let m = AddressMap::new(4);
+        assert_ne!(m.barrier_count().line(), m.barrier_gen().line());
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap() {
+        let m = AddressMap::new(8);
+        let top_of_0 = m.private_word(0, PRIVATE_STRIDE / LINE_WORDS - 1);
+        let base_of_1 = m.private_word(1, 0);
+        assert!(top_of_0.0 < base_of_1.0);
+    }
+
+    #[test]
+    fn static_private_predicate() {
+        let m = AddressMap::new(8);
+        assert!(m.is_static_private(m.private_word(0, 5)));
+        assert!(!m.is_static_private(m.shared_word(1_000_000)));
+        assert!(!m.is_static_private(m.lock(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn private_word_checks_tid() {
+        AddressMap::new(2).private_word(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads supported")]
+    fn rejects_zero_threads() {
+        AddressMap::new(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Workloads for the BulkSC reproduction: the abstract ISA, thread
+//! programs, synthetic applications, and litmus tests.
+//!
+//! The paper evaluates BulkSC on SPLASH-2 and two commercial workloads run
+//! under the SESC simulator. This crate provides the executable stand-ins
+//! (see `DESIGN.md` §1 for the substitution argument):
+//!
+//! * [`isa`] — the dynamic instruction vocabulary ([`Instr`]);
+//! * [`program`] — the [`ThreadProgram`] trait (resumable, value-reactive,
+//!   checkpointable instruction streams) and [`ScriptProgram`], a small
+//!   structured-program interpreter for directed tests;
+//! * [`layout`] — the common address-space layout, including the §5.1
+//!   static-private page attribute;
+//! * [`apps`] — parameterized synthetic generators for the paper's 13
+//!   applications, tuned to the sharing statistics the paper itself
+//!   reports;
+//! * [`litmus`] — classic SC litmus tests (SB, MP, LB, IRIW, CoRR) with
+//!   their forbidden outcomes;
+//! * [`refexec`] — a sequentially-consistent reference executor used as an
+//!   oracle and for fast unit tests.
+
+pub mod apps;
+pub mod isa;
+pub mod layout;
+pub mod litmus;
+pub mod program;
+pub mod refexec;
+
+pub use apps::{by_name, catalog, splash2, AppParams, SyntheticApp};
+pub use isa::{Instr, RmwOp};
+pub use layout::AddressMap;
+pub use litmus::Litmus;
+pub use program::{ScriptOp, ScriptProgram, ThreadProgram};
+pub use refexec::{run_interleaved, RefResult};

@@ -1,0 +1,274 @@
+//! Litmus tests: the programs that separate SC from weaker models.
+//!
+//! BulkSC's whole claim (§3.1) is that every execution it produces is
+//! sequentially consistent at the individual-access level even though the
+//! machine reorders aggressively inside chunks. These classic litmus tests
+//! make that checkable: each names an outcome *forbidden under SC*; the
+//! test harness runs them under many timing skews and asserts the
+//! forbidden outcome never appears under any BulkSC (or SC baseline)
+//! configuration — while the RC baseline, given enough tries, exhibits it
+//! for the store-buffering shape.
+
+use bulksc_sig::Addr;
+
+use crate::isa::Instr;
+use crate::program::{ScriptOp, ScriptProgram, ThreadProgram};
+
+/// Spacing between litmus variables, in words (8 words = 2 cache lines:
+/// no false sharing between variables).
+const VAR_SPACING: u64 = 8;
+
+/// Word address of litmus variable `i`.
+pub fn var(i: u64) -> Addr {
+    Addr(0x1_0000 + i * VAR_SPACING)
+}
+
+/// A litmus test: per-thread scripts plus the SC-forbidden outcome.
+#[derive(Clone)]
+pub struct Litmus {
+    /// Conventional name (SB, MP, IRIW, CoRR).
+    pub name: &'static str,
+    /// Per-thread instruction scripts.
+    pub scripts: Vec<Vec<ScriptOp>>,
+    /// Returns true if the per-thread observation logs form an outcome
+    /// that sequential consistency forbids.
+    pub forbidden: fn(&[Vec<u64>]) -> bool,
+}
+
+impl std::fmt::Debug for Litmus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Litmus")
+            .field("name", &self.name)
+            .field("threads", &self.scripts.len())
+            .finish()
+    }
+}
+
+impl Litmus {
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Instantiate the thread programs, prepending `skews[i]` compute
+    /// instructions to thread `i` to perturb relative timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skews.len() != self.threads()`.
+    pub fn programs(&self, skews: &[u32]) -> Vec<Box<dyn ThreadProgram>> {
+        assert_eq!(skews.len(), self.threads(), "one skew per thread");
+        self.scripts
+            .iter()
+            .zip(skews)
+            .map(|(script, &skew)| {
+                let mut ops = Vec::with_capacity(script.len() + 1);
+                if skew > 0 {
+                    ops.push(ScriptOp::Op(Instr::Compute(skew)));
+                }
+                ops.extend(script.iter().cloned());
+                Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+            })
+            .collect()
+    }
+}
+
+fn st(a: Addr, v: u64) -> ScriptOp {
+    ScriptOp::Op(Instr::Store { addr: a, value: v })
+}
+
+/// Prepend a cache-warming phase: each thread reads, with fetch
+/// serialization, every variable it will touch. Weak behaviours (e.g.
+/// store buffering under RC) require warm caches — a cold machine's
+/// exclusive prefetches serialize everything through the directory and
+/// mask the reordering the test is looking for.
+fn warmed(vars: &[Addr], rest: Vec<ScriptOp>) -> Vec<ScriptOp> {
+    let mut ops: Vec<ScriptOp> = vars.iter().map(|&v| ScriptOp::WarmRead(v)).collect();
+    ops.push(ScriptOp::Op(Instr::Compute(40)));
+    ops.extend(rest);
+    ops
+}
+
+/// Store buffering (Dekker): both threads store then read the other
+/// variable. SC forbids both reading 0.
+pub fn store_buffering() -> Litmus {
+    let (x, y) = (var(0), var(1));
+    Litmus {
+        name: "SB",
+        scripts: vec![
+            warmed(&[x, y], vec![st(x, 1), ScriptOp::Record(y)]),
+            warmed(&[y, x], vec![st(y, 1), ScriptOp::Record(x)]),
+        ],
+        forbidden: |obs| obs[0] == [0] && obs[1] == [0],
+    }
+}
+
+/// Message passing: data then flag; the observer must not see the flag
+/// without the data.
+pub fn message_passing() -> Litmus {
+    let (data, flag) = (var(2), var(3));
+    Litmus {
+        name: "MP",
+        scripts: vec![
+            warmed(&[data, flag], vec![st(data, 1), st(flag, 1)]),
+            warmed(&[flag, data], vec![ScriptOp::Record(flag), ScriptOp::Record(data)]),
+        ],
+        forbidden: |obs| obs[1] == [1, 0],
+    }
+}
+
+/// Load buffering: each thread loads one variable then stores the other.
+/// SC forbids both loads returning 1.
+pub fn load_buffering() -> Litmus {
+    let (x, y) = (var(4), var(5));
+    Litmus {
+        name: "LB",
+        scripts: vec![
+            warmed(&[x, y], vec![ScriptOp::Record(x), st(y, 1)]),
+            warmed(&[y, x], vec![ScriptOp::Record(y), st(x, 1)]),
+        ],
+        forbidden: |obs| obs[0] == [1] && obs[1] == [1],
+    }
+}
+
+/// Independent reads of independent writes: the two observers must agree
+/// on the order of the two writes.
+pub fn iriw() -> Litmus {
+    let (x, y) = (var(6), var(7));
+    Litmus {
+        name: "IRIW",
+        scripts: vec![
+            warmed(&[x], vec![st(x, 1)]),
+            warmed(&[y], vec![st(y, 1)]),
+            warmed(&[x, y], vec![ScriptOp::Record(x), ScriptOp::Record(y)]),
+            warmed(&[y, x], vec![ScriptOp::Record(y), ScriptOp::Record(x)]),
+        ],
+        forbidden: |obs| obs[2] == [1, 0] && obs[3] == [1, 0],
+    }
+}
+
+/// Coherence of reads to one location: two reads of the same variable must
+/// not observe its values in reverse write order.
+pub fn corr() -> Litmus {
+    let x = var(8);
+    Litmus {
+        name: "CoRR",
+        scripts: vec![
+            warmed(&[x], vec![st(x, 1), st(x, 2)]),
+            warmed(&[x], vec![ScriptOp::Record(x), ScriptOp::Record(x)]),
+        ],
+        forbidden: |obs| {
+            let (a, b) = (obs[1][0], obs[1][1]);
+            a > b // saw a newer value, then an older one
+        },
+    }
+}
+
+/// Read-own-write coherence (CoWR): after T1 writes x, its read of x must
+/// return its own value or a newer one — never the initial value, which
+/// is older than T1's own write in the per-location order.
+pub fn cowr() -> Litmus {
+    let x = var(9);
+    Litmus {
+        name: "CoWR",
+        scripts: vec![
+            warmed(&[x], vec![st(x, 1)]),
+            warmed(&[x], vec![st(x, 2), ScriptOp::Record(x)]),
+        ],
+        forbidden: |obs| obs[1] == [0],
+    }
+}
+
+/// Dekker with atomics: two test-and-set attempts on one word — exactly
+/// one thread may win (observe 0). Both winning is forbidden under any
+/// coherent model; it catches broken RMW atomicity.
+pub fn rmw_dekker() -> Litmus {
+    let x = var(10);
+    Litmus {
+        name: "RMW-Dekker",
+        scripts: vec![
+            warmed(&[x], vec![ScriptOp::RecordRmw { addr: x, op: crate::isa::RmwOp::TestAndSet }]),
+            warmed(&[x], vec![ScriptOp::RecordRmw { addr: x, op: crate::isa::RmwOp::TestAndSet }]),
+        ],
+        forbidden: |obs| obs[0] == [0] && obs[1] == [0],
+    }
+}
+
+/// All litmus tests.
+pub fn catalog() -> Vec<Litmus> {
+    vec![
+        store_buffering(),
+        message_passing(),
+        load_buffering(),
+        iriw(),
+        corr(),
+        cowr(),
+        rmw_dekker(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::run_interleaved;
+
+    /// Every outcome the SC reference executor can produce must be allowed.
+    #[test]
+    fn reference_executor_never_produces_forbidden_outcomes() {
+        for litmus in catalog() {
+            for seed in 0..300 {
+                let programs = litmus.programs(&vec![0; litmus.threads()]);
+                let r = run_interleaved(programs, seed, 100_000);
+                assert!(r.finished, "{}: seed {seed} did not finish", litmus.name);
+                assert!(
+                    !(litmus.forbidden)(&r.observations),
+                    "{}: SC executor produced forbidden outcome {:?}",
+                    litmus.name,
+                    r.observations
+                );
+            }
+        }
+    }
+
+    /// The interesting SC-allowed outcomes are actually reachable — the
+    /// forbidden-checkers are not vacuously false.
+    #[test]
+    fn allowed_outcomes_are_reachable() {
+        let litmus = store_buffering();
+        let mut seen_both_one = false;
+        let mut seen_zero_one = false;
+        for seed in 0..300 {
+            let r = run_interleaved(litmus.programs(&[0, 0]), seed, 10_000);
+            let (a, b) = (r.observations[0][0], r.observations[1][0]);
+            seen_both_one |= a == 1 && b == 1;
+            seen_zero_one |= (a == 0) != (b == 0);
+        }
+        assert!(seen_both_one, "SB (1,1) should be reachable");
+        assert!(seen_zero_one, "SB (0,1)/(1,0) should be reachable");
+    }
+
+    #[test]
+    fn skews_prepend_compute() {
+        let litmus = message_passing();
+        let mut programs = litmus.programs(&[5, 0]);
+        assert!(matches!(programs[0].next(None), Some(Instr::Compute(5))));
+        assert!(matches!(programs[1].next(None), Some(Instr::Load { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "one skew per thread")]
+    fn skew_arity_checked() {
+        store_buffering().programs(&[0]);
+    }
+
+    #[test]
+    fn variables_do_not_share_lines() {
+        let lines: Vec<_> = (0..9).map(|i| var(i).line()).collect();
+        let mut dedup = lines.clone();
+        dedup.dedup();
+        assert_eq!(lines, dedup);
+        for w in lines.windows(2) {
+            assert!(w[1].0 >= w[0].0 + 2, "two-line spacing");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Thread programs: interactive instruction streams with checkpointing.
+//!
+//! Each simulated core runs one [`ThreadProgram`]: a resumable state
+//! machine that emits instructions one at a time and *reacts to loaded
+//! values* (that is what makes spin locks, barriers, and litmus tests
+//! expressible). Checkpointing — the rollback substrate BulkSC borrows from
+//! checkpointed processors — is simply cloning the program state:
+//! [`ThreadProgram::clone_box`] is taken at every chunk boundary, and a
+//! squash replaces the live program with a clone of the checkpoint.
+//!
+//! [`ScriptProgram`] is a small structured-program interpreter sufficient
+//! for litmus tests, synchronization microbenchmarks, and directed tests;
+//! the synthetic applications in [`apps`](crate::apps) implement the trait
+//! directly.
+
+use bulksc_sig::Addr;
+
+use crate::isa::{Instr, RmwOp};
+
+/// A resumable, checkpointable instruction stream.
+///
+/// ## Contract
+///
+/// * The core calls [`next`](ThreadProgram::next) to fetch the next
+///   instruction. If the previously fetched instruction
+///   [`consumes_value`](Instr::consumes_value), the call carries
+///   `Some(value)` with its result; otherwise `None`.
+/// * Returning `None` means the thread has finished.
+/// * [`clone_box`](ThreadProgram::clone_box) snapshots the *architectural*
+///   program state; re-running a clone may observe different memory values
+///   (that is the point of a squash-and-reexecute).
+pub trait ThreadProgram {
+    /// Produce the next instruction, given the value of the last consuming
+    /// load/RMW (if the last instruction was one).
+    fn next(&mut self, last_value: Option<u64>) -> Option<Instr>;
+
+    /// Snapshot the program state (a checkpoint).
+    fn clone_box(&self) -> Box<dyn ThreadProgram>;
+
+    /// Values this program has recorded so far (see [`ScriptOp::Record`]).
+    /// Used by litmus harnesses to check outcomes; defaults to none.
+    fn observations(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+impl Clone for Box<dyn ThreadProgram> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// One statement of a [`ScriptProgram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Emit a single instruction.
+    Op(Instr),
+    /// Load `addr` repeatedly (consuming) until it equals `value`,
+    /// emitting `pad` compute instructions between polls.
+    SpinUntilEq {
+        /// Address polled.
+        addr: Addr,
+        /// Value waited for.
+        value: u64,
+        /// Compute padding between polls.
+        pad: u32,
+    },
+    /// Acquire a test-and-test-and-set lock at `addr`.
+    AcquireLock(Addr),
+    /// Release the lock at `addr` (store 0).
+    ReleaseLock(Addr),
+    /// Arrive at a sense-reversing centralized barrier.
+    Barrier {
+        /// Arrival counter address.
+        count: Addr,
+        /// Generation (sense) address.
+        gen: Addr,
+        /// Number of participating threads.
+        n: u64,
+    },
+    /// Load `addr` (consuming) and append the value to the observation log.
+    Record(Addr),
+    /// Load `addr` (consuming) and discard the value: used to warm caches
+    /// while serializing fetch (the program waits for the value).
+    WarmRead(Addr),
+    /// Perform an atomic read-modify-write and append the returned old
+    /// value to the observation log.
+    RecordRmw {
+        /// Word updated atomically.
+        addr: Addr,
+        /// The atomic update.
+        op: RmwOp,
+    },
+}
+
+/// Interpreter state within one [`ScriptOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum OpState {
+    /// Ready to start the op at `pc`.
+    Start,
+    /// SpinUntilEq / lock spin: a poll load was issued, awaiting value.
+    AwaitPoll,
+    /// Spin padding emitted, poll again next.
+    PollAgain,
+    /// Lock: test-and-set issued, awaiting old value.
+    AwaitTas,
+    /// Barrier: loaded the generation, awaiting it.
+    AwaitGen,
+    /// Barrier: fetch-add issued, awaiting old count.
+    AwaitCount {
+        /// Generation observed at arrival.
+        gen_seen: u64,
+    },
+    /// Barrier (non-last): about to poll the generation.
+    AwaitGenPoll {
+        /// Generation observed at arrival.
+        gen_seen: u64,
+    },
+    /// Barrier (non-last): generation poll issued, awaiting value.
+    AwaitGenValue {
+        /// Generation observed at arrival.
+        gen_seen: u64,
+    },
+    /// Barrier (last thread): reset count, then bump generation.
+    EmitGenBump {
+        /// Generation observed at arrival.
+        gen_seen: u64,
+    },
+    /// Record: load issued, awaiting value.
+    AwaitRecord,
+}
+
+/// A structured test program: a list of [`ScriptOp`]s executed in order.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_sig::Addr;
+/// use bulksc_workloads::{Instr, ScriptOp, ScriptProgram, ThreadProgram};
+///
+/// let mut p = ScriptProgram::new(vec![
+///     ScriptOp::Op(Instr::Store { addr: Addr(0), value: 1 }),
+///     ScriptOp::Record(Addr(4)),
+/// ]);
+/// assert!(matches!(p.next(None), Some(Instr::Store { .. })));
+/// assert!(matches!(p.next(None), Some(Instr::Load { consume: true, .. })));
+/// assert_eq!(p.next(Some(42)), None);
+/// assert_eq!(p.observations(), vec![42]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptProgram {
+    ops: Vec<ScriptOp>,
+    pc: usize,
+    state: OpState,
+    observed: Vec<u64>,
+    /// Compute padding used inside lock/barrier spins.
+    spin_pad: u32,
+}
+
+impl ScriptProgram {
+    /// A program executing `ops` in order.
+    pub fn new(ops: Vec<ScriptOp>) -> Self {
+        ScriptProgram { ops, pc: 0, state: OpState::Start, observed: Vec::new(), spin_pad: 8 }
+    }
+
+    fn advance(&mut self) {
+        self.pc += 1;
+        self.state = OpState::Start;
+    }
+
+    fn poll(addr: Addr) -> Instr {
+        Instr::Load { addr, consume: true }
+    }
+}
+
+impl ThreadProgram for ScriptProgram {
+    fn next(&mut self, last_value: Option<u64>) -> Option<Instr> {
+        loop {
+            let op = self.ops.get(self.pc)?.clone();
+            match (&op, self.state.clone()) {
+                (ScriptOp::Op(i), OpState::Start) => {
+                    self.advance();
+                    return Some(*i);
+                }
+
+                (ScriptOp::SpinUntilEq { addr, .. }, OpState::Start)
+                | (ScriptOp::SpinUntilEq { addr, .. }, OpState::PollAgain) => {
+                    self.state = OpState::AwaitPoll;
+                    return Some(Self::poll(*addr));
+                }
+                (ScriptOp::SpinUntilEq { value, pad, .. }, OpState::AwaitPoll) => {
+                    let v = last_value.expect("spin poll delivers a value");
+                    if v == *value {
+                        self.advance();
+                        continue;
+                    }
+                    self.state = OpState::PollAgain;
+                    if *pad > 0 {
+                        return Some(Instr::Compute(*pad));
+                    }
+                }
+
+                (ScriptOp::AcquireLock(addr), OpState::Start)
+                | (ScriptOp::AcquireLock(addr), OpState::PollAgain) => {
+                    self.state = OpState::AwaitPoll;
+                    return Some(Self::poll(*addr));
+                }
+                (ScriptOp::AcquireLock(addr), OpState::AwaitPoll) => {
+                    let v = last_value.expect("lock poll delivers a value");
+                    if v == 0 {
+                        self.state = OpState::AwaitTas;
+                        return Some(Instr::Rmw { addr: *addr, op: RmwOp::TestAndSet });
+                    }
+                    self.state = OpState::PollAgain;
+                    return Some(Instr::Compute(self.spin_pad));
+                }
+                (ScriptOp::AcquireLock(_), OpState::AwaitTas) => {
+                    let old = last_value.expect("test-and-set delivers the old value");
+                    if old == 0 {
+                        self.advance(); // lock acquired
+                        continue;
+                    }
+                    // Lost the race: spin again.
+                    self.state = OpState::PollAgain;
+                    return Some(Instr::Compute(self.spin_pad));
+                }
+
+                (ScriptOp::ReleaseLock(addr), OpState::Start) => {
+                    self.advance();
+                    return Some(Instr::Store { addr: *addr, value: 0 });
+                }
+
+                (ScriptOp::Barrier { gen, .. }, OpState::Start) => {
+                    self.state = OpState::AwaitGen;
+                    return Some(Self::poll(*gen));
+                }
+                (ScriptOp::Barrier { count, .. }, OpState::AwaitGen) => {
+                    let g = last_value.expect("generation load delivers a value");
+                    self.state = OpState::AwaitCount { gen_seen: g };
+                    return Some(Instr::Rmw { addr: *count, op: RmwOp::FetchAdd(1) });
+                }
+                (ScriptOp::Barrier { count, n, .. }, OpState::AwaitCount { gen_seen }) => {
+                    let arrivals = last_value.expect("fetch-add delivers the old value") + 1;
+                    if arrivals == *n {
+                        // Last thread: reset the counter, then bump the
+                        // generation to release everyone.
+                        self.state = OpState::EmitGenBump { gen_seen };
+                        return Some(Instr::Store { addr: *count, value: 0 });
+                    }
+                    self.state = OpState::AwaitGenPoll { gen_seen };
+                    continue;
+                }
+                (ScriptOp::Barrier { gen, .. }, OpState::EmitGenBump { gen_seen }) => {
+                    self.advance();
+                    return Some(Instr::Store { addr: *gen, value: gen_seen + 1 });
+                }
+                (ScriptOp::Barrier { gen, .. }, OpState::AwaitGenPoll { gen_seen }) => {
+                    self.state = OpState::AwaitGenValue { gen_seen };
+                    return Some(Self::poll(*gen));
+                }
+                (ScriptOp::Barrier { .. }, OpState::AwaitGenValue { gen_seen }) => {
+                    let g = last_value.expect("generation poll delivers a value");
+                    if g != gen_seen {
+                        self.advance(); // released
+                        continue;
+                    }
+                    self.state = OpState::AwaitGenPoll { gen_seen };
+                    return Some(Instr::Compute(self.spin_pad));
+                }
+
+                (ScriptOp::Record(addr), OpState::Start) => {
+                    self.state = OpState::AwaitRecord;
+                    return Some(Self::poll(*addr));
+                }
+                (ScriptOp::Record(_), OpState::AwaitRecord) => {
+                    let v = last_value.expect("record load delivers a value");
+                    self.observed.push(v);
+                    self.advance();
+                    continue;
+                }
+
+                (ScriptOp::WarmRead(addr), OpState::Start) => {
+                    self.state = OpState::AwaitRecord;
+                    return Some(Self::poll(*addr));
+                }
+                (ScriptOp::WarmRead(_), OpState::AwaitRecord) => {
+                    last_value.expect("warm read delivers a value");
+                    self.advance();
+                    continue;
+                }
+
+                (ScriptOp::RecordRmw { addr, op }, OpState::Start) => {
+                    self.state = OpState::AwaitRecord;
+                    return Some(Instr::Rmw { addr: *addr, op: *op });
+                }
+                (ScriptOp::RecordRmw { .. }, OpState::AwaitRecord) => {
+                    let v = last_value.expect("rmw delivers the old value");
+                    self.observed.push(v);
+                    self.advance();
+                    continue;
+                }
+
+                (op, st) => unreachable!("script state machine: {op:?} in {st:?}"),
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn observations(&self) -> Vec<u64> {
+        self.observed.clone()
+    }
+}

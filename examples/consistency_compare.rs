@@ -1,0 +1,70 @@
+//! Compare consistency models on one workload — the experiment at the
+//! heart of the BulkSC paper, in miniature.
+//!
+//! Runs a chosen application (default `ocean`) under SC, RC, SC++, and the
+//! four BulkSC configurations on the paper's 8-core CMP, and prints
+//! speedups normalized to RC (the paper's Figure 9 convention).
+//!
+//! Usage: `cargo run --release --example consistency_compare [app] [budget]`
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_cpu::BaselineModel;
+use bulksc_stats::Table;
+use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+
+fn run(model: Model, app: &str, budget: u64) -> SimReport {
+    let params = by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let mut cfg = SystemConfig::cmp8(model);
+    cfg.budget = budget;
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| Box::new(SyntheticApp::new(params, t, cfg.cores, 42)) as Box<dyn ThreadProgram>)
+        .collect();
+    let mut sys = System::new(cfg, programs);
+    assert!(sys.run(u64::MAX / 4), "simulation finished");
+    SimReport::collect(&sys)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app = args.next().unwrap_or_else(|| "ocean".to_string());
+    let budget: u64 = args
+        .next()
+        .map(|s| s.parse().expect("budget is a number"))
+        .unwrap_or(30_000);
+
+    let models = vec![
+        Model::Baseline(BaselineModel::Sc),
+        Model::Baseline(BaselineModel::Rc),
+        Model::Baseline(BaselineModel::Scpp),
+        Model::Bulk(BulkConfig::bsc_base()),
+        Model::Bulk(BulkConfig::bsc_dypvt()),
+        Model::Bulk(BulkConfig::bsc_exact()),
+        Model::Bulk(BulkConfig::bsc_stpvt()),
+    ];
+
+    println!("app={app}, {budget} instructions/core, 8 cores\n");
+    let rc_cycles = run(Model::Baseline(BaselineModel::Rc), &app, budget).cycles;
+
+    let mut table = Table::new(vec![
+        "Config".into(),
+        "Cycles".into(),
+        "Speedup/RC".into(),
+        "Squash%".into(),
+        "Chunks".into(),
+        "Traffic/RC".into(),
+    ]);
+    let rc_traffic = run(Model::Baseline(BaselineModel::Rc), &app, budget).traffic.total();
+    for m in models {
+        let name = m.name();
+        let r = run(m, &app, budget);
+        table.row(vec![
+            name,
+            r.cycles.to_string(),
+            format!("{:.3}", rc_cycles as f64 / r.cycles as f64),
+            format!("{:.2}", r.squashed_pct),
+            r.chunks_committed.to_string(),
+            format!("{:.3}", r.traffic.total() as f64 / rc_traffic as f64),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,54 @@
+//! Litmus demo: watch BulkSC provide SC while RC does not.
+//!
+//! Runs the classic store-buffering (Dekker) litmus test many times under
+//! RC, SC, and BulkSC, and tallies the observed outcomes. The `(0,0)`
+//! outcome is forbidden by sequential consistency: RC exhibits it, the SC
+//! baseline and every BulkSC configuration never do — that is the paper's
+//! whole point (§3.1).
+//!
+//! `cargo run --release --example litmus_demo`
+
+use std::collections::BTreeMap;
+
+use bulksc::{BulkConfig, Model, System, SystemConfig};
+use bulksc_cpu::BaselineModel;
+use bulksc_workloads::litmus;
+
+fn tally(model: Model, rounds: u32) -> BTreeMap<(u64, u64), u32> {
+    let test = litmus::store_buffering();
+    let mut outcomes = BTreeMap::new();
+    for round in 0..rounds {
+        let skews = [round % 7, (round * 3) % 11];
+        let mut cfg = SystemConfig::cmp8(model.clone());
+        cfg.cores = 2;
+        cfg.budget = u64::MAX;
+        let mut sys = System::new(cfg, test.programs(&skews));
+        assert!(sys.run(10_000_000), "litmus run finished");
+        let obs = sys.observations();
+        *outcomes.entry((obs[0][0], obs[1][0])).or_insert(0) += 1;
+    }
+    outcomes
+}
+
+fn main() {
+    let rounds = 40;
+    println!("Store buffering (SB): T0: x=1; read y   T1: y=1; read x");
+    println!("SC forbids the outcome (y,x) = (0,0).\n");
+    for model in [
+        Model::Baseline(BaselineModel::Rc),
+        Model::Baseline(BaselineModel::Sc),
+        Model::Bulk(BulkConfig::bsc_base()),
+        Model::Bulk(BulkConfig::bsc_dypvt()),
+    ] {
+        let name = model.name();
+        let outcomes = tally(model, rounds);
+        let forbidden = outcomes.get(&(0, 0)).copied().unwrap_or(0);
+        println!(
+            "{name:>9}: outcomes {outcomes:?}  -> forbidden (0,0) seen {forbidden}/{rounds} times{}",
+            if forbidden > 0 { "  [NOT sequentially consistent]" } else { "" }
+        );
+    }
+    println!("\nBulkSC reorders as aggressively as RC inside chunks, yet the");
+    println!("forbidden outcome never appears: chunk atomicity + commit");
+    println!("arbitration give SC at the individual-access level.");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build the paper's 8-core BulkSC machine, run a workload,
+//! and read off the headline numbers.
+//!
+//! `cargo run --release --example quickstart`
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+
+fn main() {
+    // 1. Pick the paper's preferred configuration: BulkSC with the
+    //    dynamically-private data optimization (BSCdypvt, §5.2).
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+    cfg.budget = 20_000; // dynamic instructions per core
+
+    // 2. Pick a workload. The catalog carries synthetic stand-ins for the
+    //    paper's 13 applications, parameterized from its own Tables 3–4.
+    let app = by_name("ocean").expect("ocean is in the catalog");
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| Box::new(SyntheticApp::new(app, t, cfg.cores, 42)) as Box<dyn ThreadProgram>)
+        .collect();
+
+    // 3. Build and run the machine. Execution is deterministic: same seed,
+    //    same cycle count, every time.
+    let mut sys = System::new(cfg, programs);
+    assert!(sys.run(u64::MAX / 4), "the machine drains and finishes");
+
+    // 4. Collect the run report — the same quantities the paper's tables
+    //    and figures are built from.
+    let r = SimReport::collect(&sys);
+    println!("model               : {}", r.model);
+    println!("cycles              : {}", r.cycles);
+    println!("instructions        : {}", r.retired);
+    println!("chunks committed    : {}", r.chunks_committed);
+    println!("squashed instr      : {:.2}%", r.squashed_pct);
+    println!("avg read set        : {:.1} lines/chunk", r.read_set);
+    println!("avg write set       : {:.1} lines/chunk", r.write_set);
+    println!("avg priv write set  : {:.1} lines/chunk", r.priv_write_set);
+    println!("empty-W commits     : {:.1}%", r.empty_w_pct);
+    println!("network traffic     : {} bytes", r.traffic.total());
+}

@@ -1,0 +1,21 @@
+//! BulkSC reproduction — workspace façade.
+//!
+//! This crate exists to host the repository-level examples (`examples/`)
+//! and the cross-crate integration tests (`tests/`). The functionality
+//! lives in the workspace crates:
+//!
+//! * [`bulksc`] — the paper's contribution: chunks, arbiter, system.
+//! * [`bulksc_sig`] — Bulk signatures.
+//! * [`bulksc_mem`] — caches, directory, DirBDM.
+//! * [`bulksc_net`] — interconnect and traffic accounting.
+//! * [`bulksc_cpu`] — core engine and the SC/RC/SC++ baselines.
+//! * [`bulksc_workloads`] — synthetic applications and litmus tests.
+//! * [`bulksc_stats`] — statistics plumbing.
+
+pub use bulksc;
+pub use bulksc_cpu;
+pub use bulksc_mem;
+pub use bulksc_net;
+pub use bulksc_sig;
+pub use bulksc_stats;
+pub use bulksc_workloads;
