@@ -1,28 +1,20 @@
-//! Criterion wrapper around the Figure 10 experiment: chunk-size scaling
-//! cost of the simulator. The full figure comes from the `fig10` binary.
+//! Chunk-size scaling cost of the simulator. The full figure comes from
+//! the `fig10` binary. Hand-rolled harness — runs offline.
 
 use bulksc::{BulkConfig, Model};
 use bulksc_bench::run_app;
+use bulksc_bench::timing::bench;
 use bulksc_workloads::by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     let app = by_name("fft").expect("catalog app");
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
     for size in [1000u64, 4000] {
-        g.bench_function(format!("fft_chunk{size}_3k"), |b| {
-            b.iter(|| {
-                run_app(
-                    Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(size)),
-                    &app,
-                    3_000,
-                )
-            })
+        bench(&format!("fig10/fft_chunk{size}_3k"), 10, || {
+            run_app(
+                Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(size)),
+                &app,
+                3_000,
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

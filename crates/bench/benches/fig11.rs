@@ -1,24 +1,22 @@
-//! Criterion wrapper around the Figure 11 experiment: traffic-accounting
-//! overhead with and without the RSig optimization. The full figure comes
-//! from the `fig11` binary.
+//! Traffic-accounting overhead with and without the RSig optimization.
+//! The full figure comes from the `fig11` binary. Hand-rolled harness —
+//! runs offline.
 
 use bulksc::{BulkConfig, Model};
 use bulksc_bench::run_app;
+use bulksc_bench::timing::bench;
 use bulksc_workloads::by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_fig11(c: &mut Criterion) {
+fn main() {
     let app = by_name("ocean").expect("catalog app");
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.bench_function("ocean_dypvt_rsig_3k", |b| {
-        b.iter(|| run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 3_000))
+    bench("fig11/ocean_dypvt_rsig_3k", 10, || {
+        run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 3_000)
     });
-    g.bench_function("ocean_dypvt_norsig_3k", |b| {
-        b.iter(|| run_app(Model::Bulk(BulkConfig::bsc_dypvt().without_rsig()), &app, 3_000))
+    bench("fig11/ocean_dypvt_norsig_3k", 10, || {
+        run_app(
+            Model::Bulk(BulkConfig::bsc_dypvt().without_rsig()),
+            &app,
+            3_000,
+        )
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig11);
-criterion_main!(benches);

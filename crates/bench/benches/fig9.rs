@@ -1,26 +1,19 @@
-//! Criterion wrapper around the Figure 9 experiment: wall-clock of
-//! simulating one representative app under RC and BSCdypvt. Tracks
-//! simulator performance regressions; the full figure comes from the
-//! `fig9` binary.
+//! Wall-clock of simulating one representative app under RC and
+//! BSCdypvt. Tracks simulator performance regressions; the full figure
+//! comes from the `fig9` binary. Hand-rolled harness — runs offline.
 
 use bulksc::{BulkConfig, Model};
 use bulksc_bench::run_app;
+use bulksc_bench::timing::bench;
 use bulksc_cpu::BaselineModel;
 use bulksc_workloads::by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     let app = by_name("lu").expect("catalog app");
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("lu_rc_3k", |b| {
-        b.iter(|| run_app(Model::Baseline(BaselineModel::Rc), &app, 3_000))
+    bench("fig9/lu_rc_3k", 10, || {
+        run_app(Model::Baseline(BaselineModel::Rc), &app, 3_000)
     });
-    g.bench_function("lu_bscdypvt_3k", |b| {
-        b.iter(|| run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 3_000))
+    bench("fig9/lu_bscdypvt_3k", 10, || {
+        run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 3_000)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -1,39 +1,37 @@
-//! Criterion microbenchmarks of the Bulk signature primitives (Figure 2
-//! operations): the hardware-hot path of the whole design.
+//! Microbenchmarks of the Bulk signature primitives (Figure 2
+//! operations): the hardware-hot path of the whole design. Hand-rolled
+//! harness (`bulksc_bench::timing`) — runs offline with no external
+//! dependencies.
 
+use bulksc_bench::timing::bench;
 use bulksc_sig::{ExactSet, LineAddr, Signature, SignatureConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_signatures(c: &mut Criterion) {
+fn main() {
     let cfg = SignatureConfig::default();
     let lines: Vec<LineAddr> = (0..64u64).map(|i| LineAddr(i * 977)).collect();
     let a = Signature::from_lines(&cfg, lines.iter().copied());
     let b = Signature::from_lines(&cfg, (0..64u64).map(|i| LineAddr(1_000_000 + i * 1009)));
 
-    c.bench_function("sig_insert_64", |bch| {
-        bch.iter(|| {
-            let mut s = Signature::new(&cfg);
-            for &l in &lines {
-                s.insert(black_box(l));
-            }
-            s
-        })
+    bench("sig_insert_64", 10_000, || {
+        let mut s = Signature::new(&cfg);
+        for &l in &lines {
+            s.insert(black_box(l));
+        }
+        s
     });
-    c.bench_function("sig_intersects", |bch| {
-        bch.iter(|| black_box(&a).intersects(black_box(&b)))
+    bench("sig_intersects", 100_000, || {
+        black_box(&a).intersects(black_box(&b))
     });
-    c.bench_function("sig_membership", |bch| {
-        bch.iter(|| black_box(&a).contains(black_box(LineAddr(12345))))
+    bench("sig_membership", 100_000, || {
+        black_box(&a).contains(black_box(LineAddr(12345)))
     });
-    c.bench_function("sig_decode_sets_256", |bch| {
-        bch.iter(|| black_box(&a).decode_sets(256))
+    bench("sig_decode_sets_256", 1_000, || {
+        black_box(&a).decode_sets(256)
     });
-    c.bench_function("exact_intersects_64", |bch| {
-        let ea: ExactSet = lines.iter().copied().collect();
-        let eb: ExactSet = (0..64u64).map(|i| LineAddr(i * 31)).collect();
-        bch.iter(|| black_box(&ea).intersects(black_box(&eb)))
+    let ea: ExactSet = lines.iter().copied().collect();
+    let eb: ExactSet = (0..64u64).map(|i| LineAddr(i * 31)).collect();
+    bench("exact_intersects_64", 100_000, || {
+        black_box(&ea).intersects(black_box(&eb))
     });
 }
-
-criterion_group!(benches, bench_signatures);
-criterion_main!(benches);

@@ -1,27 +1,19 @@
-//! Criterion wrapper around the Table 3/4 instrumentation: verifies the
-//! characterization counters cost little. The full tables come from the
-//! `table3` and `table4` binaries.
+//! Cost of the Table 3/4 characterization counters: verifies the
+//! instrumentation is cheap. The full tables come from the `table3` and
+//! `table4` binaries. Hand-rolled harness — runs offline.
 
 use bulksc::{BulkConfig, Model};
 use bulksc_bench::run_app;
+use bulksc_bench::timing::bench;
 use bulksc_workloads::by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
+fn main() {
     for name in ["barnes", "radix"] {
         let app = by_name(name).expect("catalog app");
-        g.bench_function(format!("{name}_characterization_3k"), |b| {
-            b.iter(|| {
-                let r = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 3_000);
-                assert!(r.chunks_committed > 0);
-                r
-            })
+        bench(&format!("tables/{name}_characterization_3k"), 10, || {
+            let r = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 3_000);
+            assert!(r.chunks_committed > 0);
+            r
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

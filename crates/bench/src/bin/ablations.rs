@@ -6,6 +6,7 @@
 //! `cargo run --release -p bulksc-bench --bin ablations [-- fast]`
 
 use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_bench::artifact::RunLog;
 use bulksc_bench::{budget_from_env, run_app, SEED};
 use bulksc_sig::SignatureConfig;
 use bulksc_stats::Table;
@@ -26,6 +27,7 @@ fn run_custom(mut cfg: SystemConfig, app: &str, budget: u64) -> SimReport {
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 5_000 } else { budget_from_env() };
+    let mut log = RunLog::new("ablations", budget);
     let apps = ["ocean", "radix", "raytrace"];
 
     // ------------------------------------------------------------------
@@ -45,9 +47,15 @@ fn main() {
             b.sig = SignatureConfig::with_total_bits(bits);
             let r = run_app(Model::Bulk(b), &by_name(app).unwrap(), budget);
             cells.push(format!("{:.2}", r.squashed_pct));
+            log.record(app, &format!("sig-{bits}b"), &r);
         }
-        let r = run_app(Model::Bulk(BulkConfig::bsc_exact()), &by_name(app).unwrap(), budget);
+        let r = run_app(
+            Model::Bulk(BulkConfig::bsc_exact()),
+            &by_name(app).unwrap(),
+            budget,
+        );
         cells.push(format!("{:.2}", r.squashed_pct));
+        log.record(app, "sig-exact", &r);
         t.row(cells);
         eprintln!("  sig-size {app} done");
     }
@@ -69,6 +77,7 @@ fn main() {
             b.private_buffer = cap;
             let r = run_app(Model::Bulk(b), &by_name(app).unwrap(), budget);
             cells.push(format!("{:.2}", r.write_set));
+            log.record(app, &format!("privbuf-{cap}"), &r);
         }
         t.row(cells);
         eprintln!("  priv-buffer {app} done");
@@ -78,7 +87,12 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("Ablation 3 — chunk slots per core (BSCdypvt; 1 disables chunk overlap)\n");
-    let mut t = Table::new(vec!["App".into(), "1 slot".into(), "2 slots".into(), "4 slots".into()]);
+    let mut t = Table::new(vec![
+        "App".into(),
+        "1 slot".into(),
+        "2 slots".into(),
+        "4 slots".into(),
+    ]);
     for app in apps {
         let mut cells = vec![app.to_string()];
         let mut base_cycles = 0u64;
@@ -90,6 +104,7 @@ fn main() {
                 base_cycles = r.cycles;
             }
             cells.push(format!("{:.3}", base_cycles as f64 / r.cycles as f64));
+            log.record(app, &format!("slots-{slots}"), &r);
         }
         t.row(cells);
         eprintln!("  chunk-slots {app} done");
@@ -114,6 +129,8 @@ fn main() {
         let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt().with_arbiters(4)));
         cfg.dirs = 4;
         let multi = run_custom(cfg, app, budget);
+        log.record(app, "arb-1", &single);
+        log.record(app, "arb-4", &multi);
         t.row(vec![
             app.to_string(),
             single.cycles.to_string(),
@@ -125,4 +142,5 @@ fn main() {
     println!("{t}");
     println!("(On an 8-core CMP the single arbiter is not a bottleneck — the paper's claim;");
     println!(" the distributed design exists for larger machines.)");
+    log.write_if_requested();
 }

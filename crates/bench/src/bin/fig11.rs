@@ -6,6 +6,7 @@
 //! `cargo run --release -p bulksc-bench --bin fig11 [-- fast]`
 
 use bulksc::{BulkConfig, Model, SimReport};
+use bulksc_bench::artifact::RunLog;
 use bulksc_bench::{budget_from_env, run_app};
 use bulksc_cpu::BaselineModel;
 use bulksc_net::TrafficClass;
@@ -24,6 +25,7 @@ fn breakdown(r: &SimReport, rc_total: u64) -> Vec<String> {
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let mut log = RunLog::new("fig11", budget);
     let configs: Vec<(&str, Model)> = vec![
         ("R", Model::Baseline(BaselineModel::Rc)),
         ("E", Model::Bulk(BulkConfig::bsc_exact())),
@@ -43,12 +45,17 @@ fn main() {
         let rc = run_app(Model::Baseline(BaselineModel::Rc), &app, budget);
         let rc_total = rc.traffic.total().max(1);
         for (bar, m) in &configs {
-            let r = if *bar == "R" { rc.clone() } else { run_app(m.clone(), &app, budget) };
+            let r = if *bar == "R" {
+                rc.clone()
+            } else {
+                run_app(m.clone(), &app, budget)
+            };
             let mut cells = vec![format!("{} {bar}", app.name)];
             cells.extend(breakdown(&r, rc_total));
             if *bar == "B" {
                 dypvt_overheads.push(r.traffic.total() as f64 / rc_total as f64 - 1.0);
             }
+            log.record(app.name, bar, &r);
             table.row(cells);
         }
         eprintln!("  {} done", app.name);
@@ -60,4 +67,6 @@ fn main() {
         avg * 100.0
     );
     println!("Paper shape: RdSig nearly vanishes from B vs N (the RSig optimization).");
+    log.extra("dypvt_avg_traffic_overhead_over_rc", avg.into());
+    log.write_if_requested();
 }

@@ -5,14 +5,17 @@
 //! (`BULKSC_BUDGET=N` scales run length.)
 
 use bulksc::{BulkConfig, Model};
+use bulksc_bench::artifact::RunLog;
 use bulksc_bench::{budget_from_env, geomean, run_app};
 use bulksc_cpu::BaselineModel;
 use bulksc_stats::Table;
+use bulksc_trace::Json;
 use bulksc_workloads::catalog;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let mut log = RunLog::new("fig9", budget);
     let configs: Vec<Model> = vec![
         Model::Baseline(BaselineModel::Sc),
         Model::Baseline(BaselineModel::Rc),
@@ -45,16 +48,21 @@ fn main() {
                 splash_speedups[i].push(speedup);
             }
             cells.push(format!("{speedup:.3}"));
+            log.record(app.name, &m.name(), &r);
         }
         table.row(cells);
         eprintln!("  {} done", app.name);
     }
 
     let mut gm = vec!["SP2-G.M.".to_string()];
-    for s in &splash_speedups {
+    let mut gm_json = Json::obj([]);
+    for (i, s) in splash_speedups.iter().enumerate() {
         gm.push(format!("{:.3}", geomean(s)));
+        gm_json.push(configs[i].name(), geomean(s).into());
     }
     table.row(gm);
     println!("{table}");
     println!("Paper shape: BSCdypvt ≈ RC ≈ SC++; SC below; radix the BSCdypvt outlier (aliasing).");
+    log.extra("splash2_geomean_speedup_over_rc", gm_json);
+    log.write_if_requested();
 }

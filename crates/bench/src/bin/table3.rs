@@ -6,6 +6,7 @@
 //! `cargo run --release -p bulksc-bench --bin table3 [-- fast]`
 
 use bulksc::{BulkConfig, Model};
+use bulksc_bench::artifact::RunLog;
 use bulksc_bench::{budget_from_env, run_app};
 use bulksc_stats::Table;
 use bulksc_workloads::catalog;
@@ -13,6 +14,7 @@ use bulksc_workloads::catalog;
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let mut log = RunLog::new("table3", budget);
 
     println!("Table 3 — Characterization of BulkSC ({budget} instructions/core)");
     println!("(unless marked, data is for BSCdypvt, as in the paper)\n");
@@ -33,6 +35,9 @@ fn main() {
         let exact = run_app(Model::Bulk(BulkConfig::bsc_exact()), &app, budget);
         let dypvt = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, budget);
         let base = run_app(Model::Bulk(BulkConfig::bsc_base()), &app, budget);
+        log.record(app.name, "BSCexact", &exact);
+        log.record(app.name, "BSCdypvt", &dypvt);
+        log.record(app.name, "BSCbase", &base);
         table.row(vec![
             app.name.to_string(),
             format!("{:.2}", exact.squashed_pct),
@@ -50,4 +55,5 @@ fn main() {
     println!("{table}");
     println!("Paper shape: Sq%base >> Sq%dypvt ≈ Sq%exact (aliasing dominates BSCbase);");
     println!("PrivW >> Write; read-set displacements are harmless (no squashes).");
+    log.write_if_requested();
 }

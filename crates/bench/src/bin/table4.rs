@@ -7,6 +7,7 @@
 //! `cargo run --release -p bulksc-bench --bin table4 [-- fast]`
 
 use bulksc::{BulkConfig, Model};
+use bulksc_bench::artifact::RunLog;
 use bulksc_bench::{budget_from_env, run_app};
 use bulksc_stats::Table;
 use bulksc_workloads::catalog;
@@ -14,6 +15,7 @@ use bulksc_workloads::catalog;
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let mut log = RunLog::new("table4", budget);
 
     println!("Table 4 — Commit process and coherence operations in BSCdypvt");
     println!("({budget} instructions/core)\n");
@@ -31,6 +33,7 @@ fn main() {
 
     for app in catalog() {
         let r = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, budget);
+        log.record(app.name, "BSCdypvt", &r);
         table.row(vec![
             app.name.to_string(),
             format!("{:.1}", r.lookups_per_commit),
@@ -47,4 +50,5 @@ fn main() {
     println!("{table}");
     println!("Paper shape: few lookups per commit; unnecessary updates ≈ 0; the arbiter");
     println!("is mostly idle; most SPLASH commits have an empty W; RSig rarely needed.");
+    log.write_if_requested();
 }

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
 use bulksc_stats::TimeWeighted;
+use bulksc_trace::{Event, TraceHandle};
 
 /// Arbiter event counters (Table 4's arbiter columns).
 #[derive(Clone, Debug, Default)]
@@ -82,6 +83,7 @@ pub struct Arbiter {
     /// Cores queued for pre-arbitration.
     prearb_queue: Vec<u32>,
     stats: ArbStats,
+    trace: TraceHandle,
 }
 
 impl Arbiter {
@@ -92,7 +94,10 @@ impl Arbiter {
     ///
     /// Panics if `id` is not [`NodeId::Arbiter`].
     pub fn new(id: NodeId, arb_latency: Cycle, my_dirs: Vec<u32>, num_dirs: u32) -> Self {
-        assert!(matches!(id, NodeId::Arbiter(_)), "arbiter id must be NodeId::Arbiter");
+        assert!(
+            matches!(id, NodeId::Arbiter(_)),
+            "arbiter id must be NodeId::Arbiter"
+        );
         Arbiter {
             id,
             arb_latency,
@@ -104,7 +109,13 @@ impl Arbiter {
             prearb: None,
             prearb_queue: Vec::new(),
             stats: ArbStats::default(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Route this arbiter's grant/deny events to `trace`'s sinks.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// This module's network id.
@@ -150,7 +161,9 @@ impl Arbiter {
             Message::DirDone { chunk } => self.dir_done(now, chunk, fab),
             Message::PreArbReq => self.prearb_req(now, env.src, fab),
             Message::ArbCheck { chunk, w, r } => self.arb_check(now, env.src, chunk, w, r, fab),
-            Message::ArbRelease { chunk, commit } => self.arb_release(now, env.src, chunk, commit, fab),
+            Message::ArbRelease { chunk, commit } => {
+                self.arb_release(now, env.src, chunk, commit, fab)
+            }
             other => panic!("arbiter received unexpected message {other:?}"),
         }
     }
@@ -183,6 +196,10 @@ impl Arbiter {
             }
         } else if self.prearb.is_some() {
             self.stats.denials += 1;
+            self.trace.emit(now, || Event::CommitDeny {
+                core: chunk.core,
+                seq: chunk.seq,
+            });
             fab.send_delayed(
                 now,
                 self.arb_latency,
@@ -204,7 +221,13 @@ impl Arbiter {
             // signature was omitted; fetch it.
             self.stats.rsig_required += 1;
             self.waiting_rsig.insert(chunk, WaitingRsig { w });
-            fab.send_delayed(now, self.arb_latency, self.id, src, Message::RSigReq { chunk });
+            fab.send_delayed(
+                now,
+                self.arb_latency,
+                self.id,
+                src,
+                Message::RSigReq { chunk },
+            );
             return;
         };
         self.decide(now, core, chunk, *w, &r, fab);
@@ -240,6 +263,10 @@ impl Arbiter {
     ) {
         if self.collides(&w, Some(r)) {
             self.stats.denials += 1;
+            self.trace.emit(now, || Event::CommitDeny {
+                core: chunk.core,
+                seq: chunk.seq,
+            });
             fab.send_delayed(
                 now,
                 self.arb_latency,
@@ -256,6 +283,10 @@ impl Arbiter {
     /// and track completion.
     fn grant(&mut self, now: Cycle, core: u32, chunk: ChunkTag, w: TrackedSig, fab: &mut Fabric) {
         self.stats.grants += 1;
+        self.trace.emit(now, || Event::CommitGrant {
+            core: chunk.core,
+            seq: chunk.seq,
+        });
         fab.send_delayed(
             now,
             self.arb_latency,
@@ -284,7 +315,10 @@ impl Arbiter {
         self.note_occupancy(now);
         self.commits.insert(
             chunk,
-            CommitTrack { dirs_left: dirs.len() as u32, report_to: NodeId::Core(core) },
+            CommitTrack {
+                dirs_left: dirs.len() as u32,
+                report_to: NodeId::Core(core),
+            },
         );
         for d in dirs {
             fab.send_delayed(
@@ -292,7 +326,10 @@ impl Arbiter {
                 self.arb_latency,
                 self.id,
                 NodeId::Dir(d),
-                Message::WSigToDir { chunk, w: Box::new(w.clone()) },
+                Message::WSigToDir {
+                    chunk,
+                    w: Box::new(w.clone()),
+                },
             );
         }
     }
@@ -342,7 +379,13 @@ impl Arbiter {
     fn grant_prearb(&mut self, now: Cycle, core: u32, fab: &mut Fabric) {
         self.prearb = Some(core);
         self.stats.prearbs += 1;
-        fab.send_delayed(now, self.arb_latency, self.id, NodeId::Core(core), Message::PreArbGrant);
+        fab.send_delayed(
+            now,
+            self.arb_latency,
+            self.id,
+            NodeId::Core(core),
+            Message::PreArbGrant,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -365,7 +408,13 @@ impl Arbiter {
             self.w_list.push((chunk, *w));
             self.note_occupancy(now);
         }
-        fab.send_delayed(now, self.arb_latency, self.id, src, Message::ArbCheckResp { chunk, ok });
+        fab.send_delayed(
+            now,
+            self.arb_latency,
+            self.id,
+            src,
+            Message::ArbCheckResp { chunk, ok },
+        );
     }
 
     fn arb_release(
@@ -396,14 +445,20 @@ impl Arbiter {
         }
         self.commits.insert(
             chunk,
-            CommitTrack { dirs_left: dirs.len() as u32, report_to: src },
+            CommitTrack {
+                dirs_left: dirs.len() as u32,
+                report_to: src,
+            },
         );
         for d in dirs {
             fab.send(
                 now,
                 self.id,
                 NodeId::Dir(d),
-                Message::WSigToDir { chunk, w: Box::new(w.clone()) },
+                Message::WSigToDir {
+                    chunk,
+                    w: Box::new(w.clone()),
+                },
             );
         }
     }
@@ -431,7 +486,11 @@ mod tests {
     }
 
     fn env(src: NodeId, msg: Message) -> Envelope {
-        Envelope { src, dst: NodeId::Arbiter(0), msg }
+        Envelope {
+            src,
+            dst: NodeId::Arbiter(0),
+            msg,
+        }
     }
 
     fn drain(fab: &mut Fabric) -> Vec<Envelope> {
@@ -447,13 +506,22 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::CommitResp { ok: true, .. }));
         // W forwarded to the directory.
-        assert!(out.iter().any(|e| matches!(e.msg, Message::WSigToDir { .. })));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e.msg, Message::WSigToDir { .. })));
         assert_eq!(a.pending(), 1);
         assert_eq!(a.stats().rsig_required, 0);
     }
@@ -463,12 +531,21 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::Core(2), Message::CommitReq { chunk: tag(2, 1), w: sig(&[]), r: None }),
+            env(
+                NodeId::Core(2),
+                Message::CommitReq {
+                    chunk: tag(2, 1),
+                    w: sig(&[]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::CommitResp { ok: true, .. }));
-        assert!(out.iter().any(|e| matches!(e.msg, Message::CommitComplete { .. })));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e.msg, Message::CommitComplete { .. })));
         assert_eq!(a.pending(), 0);
         assert_eq!(a.stats().empty_w_grants, 1);
     }
@@ -479,14 +556,28 @@ mod tests {
         // First chunk holds the list.
         a.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
         // Second chunk: W disjoint, R must be demanded.
         a.handle(
             10,
-            env(NodeId::Core(1), Message::CommitReq { chunk: tag(1, 1), w: sig(&[50]), r: None }),
+            env(
+                NodeId::Core(1),
+                Message::CommitReq {
+                    chunk: tag(1, 1),
+                    w: sig(&[50]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -496,7 +587,13 @@ mod tests {
         // write sets are allowed, §3.2.2).
         a.handle(
             20,
-            env(NodeId::Core(1), Message::RSigResp { chunk: tag(1, 1), r: sig(&[60]) }),
+            env(
+                NodeId::Core(1),
+                Message::RSigResp {
+                    chunk: tag(1, 1),
+                    r: sig(&[60]),
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -509,7 +606,14 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
@@ -519,7 +623,11 @@ mod tests {
             10,
             env(
                 NodeId::Core(1),
-                Message::CommitReq { chunk: tag(1, 1), w: sig(&[]), r: Some(sig(&[1])) },
+                Message::CommitReq {
+                    chunk: tag(1, 1),
+                    w: sig(&[]),
+                    r: Some(sig(&[1])),
+                },
             ),
             &mut fab,
         );
@@ -533,7 +641,14 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
@@ -541,7 +656,11 @@ mod tests {
             10,
             env(
                 NodeId::Core(1),
-                Message::CommitReq { chunk: tag(1, 1), w: sig(&[1]), r: Some(sig(&[])) },
+                Message::CommitReq {
+                    chunk: tag(1, 1),
+                    w: sig(&[1]),
+                    r: Some(sig(&[])),
+                },
             ),
             &mut fab,
         );
@@ -554,12 +673,23 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
         assert_eq!(a.pending(), 1);
-        a.handle(20, env(NodeId::Dir(0), Message::DirDone { chunk: tag(0, 1) }), &mut fab);
+        a.handle(
+            20,
+            env(NodeId::Dir(0), Message::DirDone { chunk: tag(0, 1) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::CommitComplete { .. }));
         assert_eq!(out[0].dst, NodeId::Core(0));
@@ -576,7 +706,14 @@ mod tests {
         // Another core's commit is denied while core 3 holds permission.
         a.handle(
             10,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 9), w: sig(&[]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 9),
+                    w: sig(&[]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -584,7 +721,14 @@ mod tests {
         // Core 3's own commit ends the episode and is processed normally.
         a.handle(
             20,
-            env(NodeId::Core(3), Message::CommitReq { chunk: tag(3, 1), w: sig(&[]), r: None }),
+            env(
+                NodeId::Core(3),
+                Message::CommitReq {
+                    chunk: tag(3, 1),
+                    w: sig(&[]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -592,7 +736,14 @@ mod tests {
         // And other cores can commit again.
         a.handle(
             30,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 10), w: sig(&[]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 10),
+                    w: sig(&[]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -608,11 +759,20 @@ mod tests {
         assert!(drain(&mut fab).is_empty(), "queued, not granted");
         a.handle(
             10,
-            env(NodeId::Core(1), Message::CommitReq { chunk: tag(1, 1), w: sig(&[]), r: None }),
+            env(
+                NodeId::Core(1),
+                Message::CommitReq {
+                    chunk: tag(1, 1),
+                    w: sig(&[]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
-        assert!(out.iter().any(|e| matches!(e.msg, Message::PreArbGrant) && e.dst == NodeId::Core(2)));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e.msg, Message::PreArbGrant) && e.dst == NodeId::Core(2)));
     }
 
     #[test]
@@ -622,7 +782,11 @@ mod tests {
             0,
             env(
                 NodeId::GArbiter,
-                Message::ArbCheck { chunk: tag(0, 1), w: sig(&[1]), r: Some(sig(&[2])) },
+                Message::ArbCheck {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: Some(sig(&[2])),
+                },
             ),
             &mut fab,
         );
@@ -634,7 +798,11 @@ mod tests {
             5,
             env(
                 NodeId::Core(2),
-                Message::CommitReq { chunk: tag(2, 1), w: sig(&[1]), r: Some(sig(&[])) },
+                Message::CommitReq {
+                    chunk: tag(2, 1),
+                    w: sig(&[1]),
+                    r: Some(sig(&[])),
+                },
             ),
             &mut fab,
         );
@@ -643,7 +811,13 @@ mod tests {
         // Abandon the reservation.
         a.handle(
             10,
-            env(NodeId::GArbiter, Message::ArbRelease { chunk: tag(0, 1), commit: false }),
+            env(
+                NodeId::GArbiter,
+                Message::ArbRelease {
+                    chunk: tag(0, 1),
+                    commit: false,
+                },
+            ),
             &mut fab,
         );
         assert_eq!(a.pending(), 0);
@@ -654,18 +828,37 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::GArbiter, Message::ArbCheck { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::GArbiter,
+                Message::ArbCheck {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
         a.handle(
             10,
-            env(NodeId::GArbiter, Message::ArbRelease { chunk: tag(0, 1), commit: true }),
+            env(
+                NodeId::GArbiter,
+                Message::ArbRelease {
+                    chunk: tag(0, 1),
+                    commit: true,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
-        assert!(out.iter().any(|e| matches!(e.msg, Message::WSigToDir { .. })));
-        a.handle(20, env(NodeId::Dir(0), Message::DirDone { chunk: tag(0, 1) }), &mut fab);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e.msg, Message::WSigToDir { .. })));
+        a.handle(
+            20,
+            env(NodeId::Dir(0), Message::DirDone { chunk: tag(0, 1) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::ArbDone { .. }));
         assert_eq!(out[0].dst, NodeId::GArbiter);
@@ -677,11 +870,22 @@ mod tests {
         let (mut a, mut fab) = setup();
         a.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(0, 1), w: sig(&[1]), r: None }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 1),
+                    w: sig(&[1]),
+                    r: None,
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
-        a.handle(100, env(NodeId::Dir(0), Message::DirDone { chunk: tag(0, 1) }), &mut fab);
+        a.handle(
+            100,
+            env(NodeId::Dir(0), Message::DirDone { chunk: tag(0, 1) }),
+            &mut fab,
+        );
         a.finish_stats(200);
         assert!(a.stats().pending_w.nonzero_fraction() > 0.4);
         assert!(a.stats().pending_w.nonzero_fraction() < 0.6);

@@ -152,7 +152,10 @@ pub struct PrivateBuffer {
 impl PrivateBuffer {
     /// An empty buffer holding up to `capacity` lines (paper: ≈24).
     pub fn new(capacity: u32) -> Self {
-        PrivateBuffer { lines: Vec::new(), capacity: capacity as usize }
+        PrivateBuffer {
+            lines: Vec::new(),
+            capacity: capacity as usize,
+        }
     }
 
     /// True if `line`'s pre-image is retained here.
@@ -207,7 +210,10 @@ mod tests {
 
     fn chunk(tag_seq: u64) -> Chunk {
         Chunk::new(
-            ChunkTag { core: 0, seq: tag_seq },
+            ChunkTag {
+                core: 0,
+                seq: tag_seq,
+            },
             &SignatureConfig::default(),
             SigMode::Bloom,
             Box::new(ScriptProgram::new(vec![])),

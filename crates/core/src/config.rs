@@ -83,17 +83,26 @@ impl BulkConfig {
     /// `BSCbase` + the dynamically-private data optimization (§5.2) —
     /// the paper's preferred configuration.
     pub fn bsc_dypvt() -> Self {
-        BulkConfig { private: PrivateMode::Dynamic, ..Self::bsc_base() }
+        BulkConfig {
+            private: PrivateMode::Dynamic,
+            ..Self::bsc_base()
+        }
     }
 
     /// `BSCbase` + the statically-private data optimization (§5.1).
     pub fn bsc_stpvt() -> Self {
-        BulkConfig { private: PrivateMode::Static, ..Self::bsc_base() }
+        BulkConfig {
+            private: PrivateMode::Static,
+            ..Self::bsc_base()
+        }
     }
 
     /// `BSCdypvt` with a "magic" alias-free signature.
     pub fn bsc_exact() -> Self {
-        BulkConfig { sig_mode: SigMode::Exact, ..Self::bsc_dypvt() }
+        BulkConfig {
+            sig_mode: SigMode::Exact,
+            ..Self::bsc_dypvt()
+        }
     }
 
     /// Same configuration with a different chunk size (Figure 10 sweeps
@@ -228,7 +237,10 @@ mod tests {
 
     #[test]
     fn builders_adjust_fields() {
-        let b = BulkConfig::bsc_dypvt().with_chunk_size(4000).without_rsig().with_arbiters(4);
+        let b = BulkConfig::bsc_dypvt()
+            .with_chunk_size(4000)
+            .without_rsig()
+            .with_arbiters(4);
         assert_eq!(b.chunk_size, 4000);
         assert!(!b.rsig_opt);
         assert_eq!(b.num_arbiters, 4);

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
+use bulksc_trace::{Event, TraceHandle};
 
 /// G-arbiter event counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -48,6 +49,7 @@ pub struct GArbiter {
     fast_w: Vec<(ChunkTag, TrackedSig)>,
     pending: HashMap<ChunkTag, GTrack>,
     stats: GArbStats,
+    trace: TraceHandle,
 }
 
 impl GArbiter {
@@ -59,7 +61,13 @@ impl GArbiter {
             fast_w: Vec::new(),
             pending: HashMap::new(),
             stats: GArbStats::default(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Route this G-arbiter's grant/deny events to `trace`'s sinks.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Event counters.
@@ -73,7 +81,10 @@ impl GArbiter {
             "garbiter pending={:?} fast_w={}",
             self.pending
                 .iter()
-                .map(|(c, tr)| format!("{c}:v{}d{}nok{}", tr.verdicts_left, tr.done_left, tr.any_nok))
+                .map(|(c, tr)| format!(
+                    "{c}:v{}d{}nok{}",
+                    tr.verdicts_left, tr.done_left, tr.any_nok
+                ))
                 .collect::<Vec<_>>(),
             self.fast_w.len()
         )
@@ -124,6 +135,10 @@ impl GArbiter {
             .any(|(_, committing)| committing.intersects(&w) || committing.intersects(&r))
         {
             self.stats.fast_denials += 1;
+            self.trace.emit(now, || Event::CommitDeny {
+                core: chunk.core,
+                seq: chunk.seq,
+            });
             fab.send_delayed(
                 now,
                 self.arb_latency,
@@ -135,7 +150,10 @@ impl GArbiter {
         }
 
         let arbs = Self::arbiters_of(&w, &r, self.num_arbiters);
-        debug_assert!(!arbs.is_empty(), "a chunk with any access touches some range");
+        debug_assert!(
+            !arbs.is_empty(),
+            "a chunk with any access touches some range"
+        );
         self.pending.insert(
             chunk,
             GTrack {
@@ -154,7 +172,11 @@ impl GArbiter {
                 now,
                 NodeId::GArbiter,
                 NodeId::Arbiter(a),
-                Message::ArbCheck { chunk, w: w.clone(), r: Some(r.clone()) },
+                Message::ArbCheck {
+                    chunk,
+                    w: w.clone(),
+                    r: Some(r.clone()),
+                },
             );
         }
     }
@@ -172,6 +194,10 @@ impl GArbiter {
         let track = self.pending.get_mut(&chunk).expect("exists");
         if decided_ok {
             self.stats.grants += 1;
+            self.trace.emit(now, || Event::CommitGrant {
+                core: chunk.core,
+                seq: chunk.seq,
+            });
             track.done_left = track.arbs.len() as u32;
             let core = track.core;
             let arbs = track.arbs.clone();
@@ -187,11 +213,18 @@ impl GArbiter {
                     now,
                     NodeId::GArbiter,
                     NodeId::Arbiter(a),
-                    Message::ArbRelease { chunk, commit: true },
+                    Message::ArbRelease {
+                        chunk,
+                        commit: true,
+                    },
                 );
             }
         } else {
             self.stats.denials += 1;
+            self.trace.emit(now, || Event::CommitDeny {
+                core: chunk.core,
+                seq: chunk.seq,
+            });
             let core = track.core;
             let arbs = track.arbs.clone();
             self.pending.remove(&chunk);
@@ -210,7 +243,10 @@ impl GArbiter {
                     now,
                     NodeId::GArbiter,
                     NodeId::Arbiter(a),
-                    Message::ArbRelease { chunk, commit: false },
+                    Message::ArbRelease {
+                        chunk,
+                        commit: false,
+                    },
                 );
             }
         }
@@ -250,7 +286,11 @@ mod tests {
     }
 
     fn env(src: NodeId, msg: Message) -> Envelope {
-        Envelope { src, dst: NodeId::GArbiter, msg }
+        Envelope {
+            src,
+            dst: NodeId::GArbiter,
+            msg,
+        }
     }
 
     fn drain(fab: &mut Fabric) -> Vec<Envelope> {
@@ -268,7 +308,14 @@ mod tests {
         // Lines 0 and 1 live in ranges 0 and 1 (exact signatures).
         g.handle(
             0,
-            env(NodeId::Core(2), Message::CommitReq { chunk: tag(1), w: sig(&[0, 1]), r: Some(sig(&[2])) }),
+            env(
+                NodeId::Core(2),
+                Message::CommitReq {
+                    chunk: tag(1),
+                    w: sig(&[0, 1]),
+                    r: Some(sig(&[2])),
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -285,14 +332,21 @@ mod tests {
         for a in [0, 1, 2] {
             g.handle(
                 10,
-                env(NodeId::Arbiter(a), Message::ArbCheckResp { chunk: tag(1), ok: true }),
+                env(
+                    NodeId::Arbiter(a),
+                    Message::ArbCheckResp {
+                        chunk: tag(1),
+                        ok: true,
+                    },
+                ),
                 &mut fab,
             );
         }
         let out = drain(&mut fab);
         assert!(out
             .iter()
-            .any(|e| matches!(e.msg, Message::CommitResp { ok: true, .. }) && e.dst == NodeId::Core(2)));
+            .any(|e| matches!(e.msg, Message::CommitResp { ok: true, .. })
+                && e.dst == NodeId::Core(2)));
         let releases: Vec<&Envelope> = out
             .iter()
             .filter(|e| matches!(e.msg, Message::ArbRelease { commit: true, .. }))
@@ -317,12 +371,39 @@ mod tests {
         let mut fab = Fabric::new(FabricConfig { hop_latency: 1 });
         g.handle(
             0,
-            env(NodeId::Core(1), Message::CommitReq { chunk: tag(2), w: sig(&[0, 1]), r: Some(sig(&[])) }),
+            env(
+                NodeId::Core(1),
+                Message::CommitReq {
+                    chunk: tag(2),
+                    w: sig(&[0, 1]),
+                    r: Some(sig(&[])),
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
-        g.handle(5, env(NodeId::Arbiter(0), Message::ArbCheckResp { chunk: tag(2), ok: true }), &mut fab);
-        g.handle(6, env(NodeId::Arbiter(1), Message::ArbCheckResp { chunk: tag(2), ok: false }), &mut fab);
+        g.handle(
+            5,
+            env(
+                NodeId::Arbiter(0),
+                Message::ArbCheckResp {
+                    chunk: tag(2),
+                    ok: true,
+                },
+            ),
+            &mut fab,
+        );
+        g.handle(
+            6,
+            env(
+                NodeId::Arbiter(1),
+                Message::ArbCheckResp {
+                    chunk: tag(2),
+                    ok: false,
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(out
             .iter()
@@ -341,7 +422,14 @@ mod tests {
         let mut fab = Fabric::new(FabricConfig { hop_latency: 1 });
         g.handle(
             0,
-            env(NodeId::Core(0), Message::CommitReq { chunk: tag(3), w: sig(&[0, 1]), r: Some(sig(&[])) }),
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(3),
+                    w: sig(&[0, 1]),
+                    r: Some(sig(&[])),
+                },
+            ),
             &mut fab,
         );
         drain(&mut fab);
@@ -349,12 +437,21 @@ mod tests {
         // in-flight fast copy: denied with no fan-out.
         g.handle(
             5,
-            env(NodeId::Core(1), Message::CommitReq { chunk: ChunkTag { core: 1, seq: 1 }, w: sig(&[1, 2]), r: Some(sig(&[])) }),
+            env(
+                NodeId::Core(1),
+                Message::CommitReq {
+                    chunk: ChunkTag { core: 1, seq: 1 },
+                    w: sig(&[1, 2]),
+                    r: Some(sig(&[])),
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::CommitResp { ok: false, .. }));
-        assert!(!out.iter().any(|e| matches!(e.msg, Message::ArbCheck { .. })));
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e.msg, Message::ArbCheck { .. })));
         assert_eq!(g.stats().fast_denials, 1);
     }
 

@@ -35,6 +35,7 @@ use bulksc_mem::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{Addr, LineAddr, TrackedSig};
 use bulksc_stats::RunningMean;
+use bulksc_trace::{Event, SquashCause, TraceHandle};
 use bulksc_workloads::{AddressMap, Instr, ThreadProgram};
 
 use crate::chunk::{Chunk, ChunkState, PrivateBuffer};
@@ -154,12 +155,14 @@ pub struct BulkNode {
 
     priv_buffer: PrivateBuffer,
     stats: BulkStats,
+    trace: TraceHandle,
 }
 
 impl BulkNode {
     /// A BulkSC core for `core`, running `program` for `budget` useful
     /// dynamic instructions, on a machine with `num_dirs` directories and
     /// the layout `map` (used by the statically-private page attribute).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         core: u32,
         cfg: CoreConfig,
@@ -203,9 +206,15 @@ impl BulkNode {
             prearb_granted: false,
             priv_buffer: PrivateBuffer::new(priv_cap),
             stats: BulkStats::default(),
+            trace: TraceHandle::off(),
         };
-        node.open_chunk();
+        node.open_chunk(0);
         node
+    }
+
+    /// Route this core's chunk-lifecycle events to `trace`'s sinks.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// This node's network id.
@@ -237,8 +246,15 @@ impl BulkNode {
         NodeId::Dir((line.0 % self.num_dirs as u64) as u32)
     }
 
-    fn open_chunk(&mut self) {
-        let tag = ChunkTag { core: self.core, seq: self.next_seq };
+    fn open_chunk(&mut self, now: Cycle) {
+        let tag = ChunkTag {
+            core: self.core,
+            seq: self.next_seq,
+        };
+        self.trace.emit(now, || Event::ChunkStart {
+            core: tag.core,
+            seq: tag.seq,
+        });
         self.next_seq += 1;
         self.fetched_into_chunk = 0;
         let mut chunk = Chunk::new(
@@ -256,7 +272,9 @@ impl BulkNode {
     }
 
     fn open_chunk_mut(&mut self) -> Option<&mut Chunk> {
-        self.chunks.back_mut().filter(|c| c.state == ChunkState::Open)
+        self.chunks
+            .back_mut()
+            .filter(|c| c.state == ChunkState::Open)
     }
 
     fn chunk_of_slot(&mut self, id: SlotId) -> Option<&mut Chunk> {
@@ -313,7 +331,9 @@ impl BulkNode {
     }
 
     fn complete_load_slot(&mut self, now: Cycle, slot: SlotId, values: &ValueStore) {
-        let Some(s) = self.window.get_mut(slot) else { return };
+        let Some(s) = self.window.get_mut(slot) else {
+            return;
+        };
         if s.state != SlotState::Issued {
             return;
         }
@@ -367,7 +387,9 @@ impl BulkNode {
     fn retire(&mut self, now: Cycle, values: &mut ValueStore, fab: &mut Fabric) {
         let mut budget = self.cfg.retire_width;
         while budget > 0 {
-            let Some(head) = self.window.oldest() else { break };
+            let Some(head) = self.window.oldest() else {
+                break;
+            };
             let head_id = head.id;
             let head_instr = head.instr;
             let head_state = head.state;
@@ -433,8 +455,7 @@ impl BulkNode {
                     // §4.1.3: stall until every older chunk has fully
                     // committed, perform, then a fresh chunk starts.
                     let own_seq = *self.slot_chunks.get(&head_id).expect("slot tagged");
-                    let front_is_mine =
-                        self.chunks.front().map(|c| c.tag.seq) == Some(own_seq);
+                    let front_is_mine = self.chunks.front().map(|c| c.tag.seq) == Some(own_seq);
                     if !front_is_mine || !self.committing.is_empty() {
                         break;
                     }
@@ -493,10 +514,15 @@ impl BulkNode {
                 true
             } else {
                 // Buffer full: fall back to the writeback-and-W path.
-                fab.send(now, self.id(), self.dir_node(line), Message::Writeback {
-                    line,
-                    keep_shared: true,
-                });
+                fab.send(
+                    now,
+                    self.id(),
+                    self.dir_node(line),
+                    Message::Writeback {
+                        line,
+                        keep_shared: true,
+                    },
+                );
                 self.l1.set_state(line, LineState::Shared);
                 false
             }
@@ -504,19 +530,21 @@ impl BulkNode {
             if dirty_nonspec {
                 // Base design: the committed version must reach memory
                 // before the speculative update lands in the cache.
-                fab.send(now, self.id(), self.dir_node(line), Message::Writeback {
-                    line,
-                    keep_shared: true,
-                });
+                fab.send(
+                    now,
+                    self.id(),
+                    self.dir_node(line),
+                    Message::Writeback {
+                        line,
+                        keep_shared: true,
+                    },
+                );
                 self.l1.set_state(line, LineState::Shared);
             }
             false
         };
 
-        let already_wpriv = self
-            .chunks
-            .iter()
-            .any(|c| c.wpriv.contains_exact(line));
+        let already_wpriv = self.chunks.iter().any(|c| c.wpriv.contains_exact(line));
         let chunk = self
             .chunks
             .iter_mut()
@@ -558,7 +586,8 @@ impl BulkNode {
                         if self.l1.touch(addr.line()) {
                             self.stats.l1_hits += 1;
                         }
-                        self.completions.push(Reverse((now + self.cfg.l1_latency, id)));
+                        self.completions
+                            .push(Reverse((now + self.cfg.l1_latency, id)));
                     } else {
                         self.want_line(now, id, addr.line(), None);
                         if let Some(m) = self.misses.get_mut(&addr.line()) {
@@ -646,7 +675,12 @@ impl BulkNode {
             m.sent = true;
             self.stats.l1_misses += 1;
             // §4.3: always a read request, even for writes.
-            fab.send(now, NodeId::Core(self.core), dst, Message::ReadShared { line });
+            fab.send(
+                now,
+                NodeId::Core(self.core),
+                dst,
+                Message::ReadShared { line },
+            );
             budget -= 1;
         }
     }
@@ -678,7 +712,7 @@ impl BulkNode {
                 if self.chunks.len() >= self.bulk.chunks_per_core as usize {
                     return; // chunk slots exhausted; wait for a commit
                 }
-                self.open_chunk();
+                self.open_chunk(now);
             }
             let instr = match self.stash.take() {
                 Some(i) => i,
@@ -764,7 +798,9 @@ impl BulkNode {
         if now < self.commit_retry_at {
             return;
         }
-        let Some(front) = self.chunks.front() else { return };
+        let Some(front) = self.chunks.front() else {
+            return;
+        };
         if front.state != ChunkState::Closed || !front.pending_lines.is_empty() {
             return;
         }
@@ -790,11 +826,35 @@ impl BulkNode {
             (NodeId::Arbiter(0), Some(r))
         };
         self.chunks.front_mut().expect("checked").state = ChunkState::Arbitrating;
-        fab.send(now, self.id(), dst, Message::CommitReq { chunk: tag, w, r: r_opt });
+        self.trace.emit(now, || Event::CommitRequest {
+            core: tag.core,
+            seq: tag.seq,
+            w_lines: w.len() as u32,
+            carries_rsig: r_opt.is_some(),
+        });
+        fab.send(
+            now,
+            self.id(),
+            dst,
+            Message::CommitReq {
+                chunk: tag,
+                w,
+                r: r_opt,
+            },
+        );
     }
 
-    fn commit_resp(&mut self, now: Cycle, chunk: ChunkTag, ok: bool, values: &mut ValueStore, fab: &mut Fabric) {
-        let Some(front) = self.chunks.front() else { return };
+    fn commit_resp(
+        &mut self,
+        now: Cycle,
+        chunk: ChunkTag,
+        ok: bool,
+        values: &mut ValueStore,
+        fab: &mut Fabric,
+    ) {
+        let Some(front) = self.chunks.front() else {
+            return;
+        };
         if front.tag != chunk || front.state != ChunkState::Arbitrating {
             return; // stale response (e.g. chunk was squashed meanwhile)
         }
@@ -829,21 +889,28 @@ impl BulkNode {
                     now,
                     self.id(),
                     NodeId::Dir(d),
-                    Message::PrivSigToDir { chunk, w: Box::new(front.wpriv.clone()) },
+                    Message::PrivSigToDir {
+                        chunk,
+                        w: Box::new(front.wpriv.clone()),
+                    },
                 );
             }
         }
         // §5.2: the buffer entries of this chunk are no longer needed.
         for line in front.wpriv.exact().iter() {
-            let still_needed = self
-                .chunks
-                .iter()
-                .any(|c| c.wpriv.contains_exact(line));
+            let still_needed = self.chunks.iter().any(|c| c.wpriv.contains_exact(line));
             if !still_needed {
                 self.priv_buffer.remove(line);
             }
         }
         self.stats.chunks_committed += 1;
+        self.trace.emit(now, || Event::ChunkCommit {
+            core: chunk.core,
+            seq: chunk.seq,
+            read_lines: front.r.len() as u32,
+            write_lines: front.w.len() as u32,
+            priv_lines: front.wpriv.len() as u32,
+        });
         self.stats.read_set.add(front.r.len() as f64);
         self.stats.write_set.add(front.w.len() as f64);
         self.stats.priv_write_set.add(front.wpriv.len() as f64);
@@ -868,7 +935,7 @@ impl BulkNode {
     /// Squash chunks from index `idx` onward: restore the checkpoint,
     /// discard speculative state, shrink the next chunk if squashes keep
     /// coming.
-    fn squash_from(&mut self, idx: usize, fab: &mut Fabric, now: Cycle) {
+    fn squash_from(&mut self, idx: usize, cause: SquashCause, fab: &mut Fabric, now: Cycle) {
         debug_assert!(idx < self.chunks.len());
         let first_seq = self.chunks[idx].tag.seq;
         // Restore the program (and its pending feed/stash) as of the
@@ -883,14 +950,18 @@ impl BulkNode {
         // suffix of the window.
         let slot_chunks = &self.slot_chunks;
         let mut wasted = self.window.squash_newest_while(|id| {
-            slot_chunks.get(&id).map(|&s| s >= first_seq).unwrap_or(false)
+            slot_chunks
+                .get(&id)
+                .map(|&s| s >= first_seq)
+                .unwrap_or(false)
         });
         self.slot_chunks.retain(|_, &mut s| s < first_seq);
         debug_assert!(
-            !self
-                .window
-                .iter()
-                .any(|s| self.slot_chunks.get(&s.id).map(|&c| c >= first_seq).unwrap_or(false)),
+            !self.window.iter().any(|s| self
+                .slot_chunks
+                .get(&s.id)
+                .map(|&c| c >= first_seq)
+                .unwrap_or(false)),
             "squashed slots must form a window suffix"
         );
 
@@ -907,10 +978,7 @@ impl BulkNode {
                 self.l1.invalidate(line);
             }
             for line in c.wpriv.exact().iter() {
-                let still_needed = self
-                    .chunks
-                    .iter()
-                    .any(|k| k.wpriv.contains_exact(line));
+                let still_needed = self.chunks.iter().any(|k| k.wpriv.contains_exact(line));
                 if !still_needed {
                     self.priv_buffer.remove(line);
                 }
@@ -918,6 +986,12 @@ impl BulkNode {
         }
         self.stats.squashes += 1;
         self.stats.squashed_instrs += wasted;
+        self.trace.emit(now, || Event::Squash {
+            core: self.core,
+            seq: first_seq,
+            cause,
+            squashed_instrs: wasted,
+        });
 
         // §3.3 forward progress: exponential chunk-size reduction, then
         // pre-arbitration.
@@ -945,7 +1019,11 @@ impl BulkNode {
     /// Panics on baseline-only messages (`Inv`, `UpgradeAck`).
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &mut ValueStore) {
         match env.msg {
-            Message::Data { line, exclusive, data } => self.fill(now, line, exclusive, data, fab),
+            Message::Data {
+                line,
+                exclusive,
+                data,
+            } => self.fill(now, line, exclusive, data, fab),
             Message::Nack { line } => {
                 self.stats.nacks += 1;
                 if let Some(m) = self.misses.get_mut(&line) {
@@ -963,14 +1041,20 @@ impl BulkNode {
                     self.surrender_line(now, line, env.src, for_excl, fab);
                 }
             }
-            Message::WSigInv { chunk, w, needs_ack } => {
+            Message::WSigInv {
+                chunk,
+                w,
+                needs_ack,
+            } => {
                 self.wsig_inv(now, chunk, &w, needs_ack, env.src, fab);
             }
             Message::DisplaceSig { line, sig } => self.displace(now, line, &sig, env.src, fab),
             Message::CommitResp { chunk, ok } => self.commit_resp(now, chunk, ok, values, fab),
             Message::RSigReq { chunk } => {
                 self.stats.rsig_sent += 1;
-                let Some(front) = self.chunks.front() else { return };
+                let Some(front) = self.chunks.front() else {
+                    return;
+                };
                 if front.tag != chunk {
                     return;
                 }
@@ -1003,10 +1087,7 @@ impl BulkNode {
         debug_assert_ne!(chunk.core, self.core, "own W never comes back");
         // 1. Disambiguate: the oldest colliding chunk and all younger ones
         //    squash (CReq1's in-order rule).
-        let victim = self
-            .chunks
-            .iter()
-            .position(|c| c.collides_with(w));
+        let victim = self.chunks.iter().position(|c| c.collides_with(w));
         if std::env::var_os("BULKSC_TRACE_DISAMBIG").is_some() && !w.is_empty() {
             for c in &self.chunks {
                 eprintln!(
@@ -1020,13 +1101,19 @@ impl BulkNode {
             }
         }
         if let Some(idx) = victim {
-            let exact = self.chunks.iter().skip(idx).any(|c| c.collides_exactly_with(w));
-            if exact {
+            let exact = self
+                .chunks
+                .iter()
+                .skip(idx)
+                .any(|c| c.collides_exactly_with(w));
+            let cause = if exact {
                 self.stats.true_squashes += 1;
+                SquashCause::TrueSharing
             } else {
                 self.stats.alias_squashes += 1;
-            }
-            self.squash_from(idx, fab, now);
+                SquashCause::Alias
+            };
+            self.squash_from(idx, cause, fab, now);
         }
         // 2. Bulk invalidation: δ-expand the signature over the L1 and
         //    invalidate members. Lines whose pre-image the Private Buffer
@@ -1066,24 +1153,34 @@ impl BulkNode {
         }
     }
 
-    fn displace(&mut self, now: Cycle, line: LineAddr, sig: &TrackedSig, src: NodeId, fab: &mut Fabric) {
+    fn displace(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        sig: &TrackedSig,
+        src: NodeId,
+        fab: &mut Fabric,
+    ) {
         // §4.3.3: bulk disambiguation with our R and W signatures; may
         // squash. A committing chunk that already cleared its signatures
         // is naturally unaffected.
-        let victim = self
-            .chunks
-            .iter()
-            .position(|c| c.collides_with(sig));
+        let victim = self.chunks.iter().position(|c| c.collides_with(sig));
         if let Some(idx) = victim {
             // Displacement disambiguation is signature-based (§4.3.3), so
             // its false positives are aliasing costs too.
-            let exact = self.chunks.iter().skip(idx).any(|c| c.collides_exactly_with(sig));
-            if exact {
+            let exact = self
+                .chunks
+                .iter()
+                .skip(idx)
+                .any(|c| c.collides_exactly_with(sig));
+            let cause = if exact {
                 self.stats.true_squashes += 1;
+                SquashCause::TrueSharing
             } else {
                 self.stats.alias_squashes += 1;
-            }
-            self.squash_from(idx, fab, now);
+                SquashCause::Alias
+            };
+            self.squash_from(idx, cause, fab, now);
         }
         let state = self.l1.invalidate(line);
         if self.priv_buffer.remove(line) {
@@ -1102,7 +1199,10 @@ impl BulkNode {
             now,
             self.id(),
             src,
-            Message::InvAck { line, dirty: state == Some(LineState::Dirty) },
+            Message::InvAck {
+                line,
+                dirty: state == Some(LineState::Dirty),
+            },
         );
     }
 
@@ -1120,6 +1220,10 @@ impl BulkNode {
         if self.priv_buffer.contains(line) {
             self.priv_buffer.remove(line);
             self.stats.priv_buffer_supplies += 1;
+            self.trace.emit(now, || Event::PrivSupply {
+                core: self.core,
+                line: line.0,
+            });
             for c in self.chunks.iter_mut() {
                 if c.wpriv.contains_exact(line) {
                     c.w.insert(line);
@@ -1130,7 +1234,11 @@ impl BulkNode {
                 now,
                 self.id(),
                 dst,
-                Message::FetchResp { line, dirty: true, had_line: true },
+                Message::FetchResp {
+                    line,
+                    dirty: true,
+                    had_line: true,
+                },
             );
             return;
         }
@@ -1178,7 +1286,12 @@ impl BulkNode {
         data: bulksc_sig::LineData,
         fab: &mut Fabric,
     ) {
-        if self.misses.get(&line).map(|m| m.invalidated).unwrap_or(false) {
+        if self
+            .misses
+            .get(&line)
+            .map(|m| m.invalidated)
+            .unwrap_or(false)
+        {
             // Stale fill: re-request (the chunk that wanted it was either
             // squashed or will read the fresh copy).
             if let Some((src, for_excl)) = self.pending_fetches.remove(&line) {
@@ -1190,26 +1303,37 @@ impl BulkNode {
             m.retry_at = now + 1;
             return;
         }
-        let state = if exclusive { LineState::Exclusive } else { LineState::Shared };
+        let state = if exclusive {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
         let veto_set = self.spec_veto();
         match self.l1.insert(line, state, |l| veto_set.contains(&l)) {
-            InsertOutcome::Evicted { line: victim, state: vstate } => {
+            InsertOutcome::Evicted {
+                line: victim,
+                state: vstate,
+            } => {
                 self.note_lost_clean_line(victim);
+                self.trace.emit(now, || Event::CacheDisplacement {
+                    core: self.core,
+                    line: victim.0,
+                });
                 if vstate == LineState::Dirty {
                     fab.send(
                         now,
                         self.id(),
                         self.dir_node(victim),
-                        Message::Writeback { line: victim, keep_shared: false },
+                        Message::Writeback {
+                            line: victim,
+                            keep_shared: false,
+                        },
                     );
                 }
                 // Speculatively-read displacements are harmless (the R
                 // signature remembers them) — that is the SC++ contrast
                 // the paper highlights.
-                let displaced_spec_read = self
-                    .chunks
-                    .iter()
-                    .any(|c| c.r.contains_exact(victim));
+                let displaced_spec_read = self.chunks.iter().any(|c| c.r.contains_exact(victim));
                 if displaced_spec_read {
                     self.stats.read_set_displacements += 1;
                 }
@@ -1222,7 +1346,7 @@ impl BulkNode {
                 self.stats.overflow_squashes += 1;
                 if !self.chunks.is_empty() {
                     let idx = self.chunks.len() - 1;
-                    self.squash_from(idx, fab, now);
+                    self.squash_from(idx, SquashCause::Overflow, fab, now);
                 }
             }
             InsertOutcome::Placed => {}
@@ -1234,11 +1358,15 @@ impl BulkNode {
         if let Some(m) = self.misses.remove(&line) {
             for slot in m.waiting_loads {
                 // Values: forwarding first, then the response snapshot.
-                let Some(s) = self.window.get_mut(slot) else { continue };
+                let Some(s) = self.window.get_mut(slot) else {
+                    continue;
+                };
                 if s.state != SlotState::Issued {
                     continue;
                 }
-                let Instr::Load { addr, .. } = s.instr else { continue };
+                let Instr::Load { addr, .. } = s.instr else {
+                    continue;
+                };
                 let v = match self.window_forward(slot, addr) {
                     WindowForward::Value(v) => v,
                     WindowForward::Unknown => {
@@ -1312,7 +1440,10 @@ impl BulkNode {
                         || self.chunks.iter().any(|c| c.forward(addr).is_some())
                 }
                 Instr::Io => {
-                    self.chunks.front().map(|c| Some(c.tag.seq) == self.slot_chunks.get(&head.id).copied()).unwrap_or(false)
+                    self.chunks
+                        .front()
+                        .map(|c| Some(c.tag.seq) == self.slot_chunks.get(&head.id).copied())
+                        .unwrap_or(false)
                         && self.committing.is_empty()
                 }
             };
@@ -1336,8 +1467,9 @@ impl BulkNode {
         }
         let can_fetch = (!self.program_done || self.stash.is_some())
             && self.awaiting.is_none()
-            && !(self.prearb_waiting && !self.prearb_granted)
-            && (self.open_chunk_mut_peek() || self.chunks.len() < self.bulk.chunks_per_core as usize);
+            && (!self.prearb_waiting || self.prearb_granted)
+            && (self.open_chunk_mut_peek()
+                || self.chunks.len() < self.bulk.chunks_per_core as usize);
         if can_fetch {
             return now;
         }
@@ -1365,7 +1497,10 @@ impl BulkNode {
     }
 
     fn open_chunk_mut_peek(&self) -> bool {
-        self.chunks.back().map(|c| c.state == ChunkState::Open).unwrap_or(false)
+        self.chunks
+            .back()
+            .map(|c| c.state == ChunkState::Open)
+            .unwrap_or(false)
     }
 
     /// One-line diagnostic snapshot.

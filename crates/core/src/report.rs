@@ -8,6 +8,7 @@
 
 use bulksc_net::{TrafficClass, TrafficStats};
 use bulksc_stats::{per_100k, per_1k, percent};
+use bulksc_trace::Json;
 
 use crate::system::System;
 
@@ -64,6 +65,14 @@ pub struct SimReport {
     pub rsig_required_pct: f64,
     /// % of commits with an empty W signature.
     pub empty_w_pct: f64,
+    /// Permission-to-commit requests received by the (G-)arbiters (each
+    /// denial forces a later retry, so requests exceed commits under
+    /// contention).
+    pub arb_requests: u64,
+    /// Requests denied (collisions plus pre-arbitration lockouts).
+    pub arb_denials: u64,
+    /// Average denied-and-retried arbitrations per committed chunk.
+    pub denials_per_commit: f64,
 
     /// Interconnect bytes by Figure 11 category.
     pub traffic: TrafficStats,
@@ -122,11 +131,13 @@ impl SimReport {
         }
 
         let mut requests = 0u64;
+        let mut denials = 0u64;
         let mut rsig_required = 0u64;
         let mut grants = 0u64;
         let (mut pending_sum, mut nonempty_sum, mut arbs) = (0.0f64, 0.0f64, 0u32);
         for a in sys.arbiter_stats() {
             requests += a.requests;
+            denials += a.denials;
             rsig_required += a.rsig_required;
             grants += a.grants;
             // The run may still be inside the stats window: finish a copy.
@@ -136,7 +147,10 @@ impl SimReport {
             nonempty_sum += tw.nonzero_fraction();
             arbs += 1;
         }
-        let _ = requests;
+        if let Some(g) = sys.garbiter_stats() {
+            requests += g.requests;
+            denials += g.fast_denials + g.denials;
+        }
 
         SimReport {
             model,
@@ -154,14 +168,37 @@ impl SimReport {
             extra_invs_per_1k: per_1k(extra_invs, chunks),
             alias_squashes,
             true_squashes,
-            lookups_per_commit: if chunks == 0 { 0.0 } else { lookups as f64 / chunks as f64 },
+            lookups_per_commit: if chunks == 0 {
+                0.0
+            } else {
+                lookups as f64 / chunks as f64
+            },
             unnecessary_lookups_pct: percent(unnecessary_lookups, lookups),
             unnecessary_updates_pct: percent(unnecessary_updates, updates),
-            nodes_per_wsig: if chunks == 0 { 0.0 } else { inv_targets as f64 / chunks as f64 },
-            pending_w_sigs: if arbs == 0 { 0.0 } else { pending_sum / arbs as f64 },
-            nonempty_w_pct: if arbs == 0 { 0.0 } else { 100.0 * nonempty_sum / arbs as f64 },
+            nodes_per_wsig: if chunks == 0 {
+                0.0
+            } else {
+                inv_targets as f64 / chunks as f64
+            },
+            pending_w_sigs: if arbs == 0 {
+                0.0
+            } else {
+                pending_sum / arbs as f64
+            },
+            nonempty_w_pct: if arbs == 0 {
+                0.0
+            } else {
+                100.0 * nonempty_sum / arbs as f64
+            },
             rsig_required_pct: percent(rsig_required, grants.max(1)),
             empty_w_pct: percent(empty_w, chunks),
+            arb_requests: requests,
+            arb_denials: denials,
+            denials_per_commit: if chunks == 0 {
+                0.0
+            } else {
+                denials as f64 / chunks as f64
+            },
             traffic: *sys.traffic(),
         }
     }
@@ -169,5 +206,117 @@ impl SimReport {
     /// Bytes in one Figure 11 traffic category.
     pub fn traffic_bytes(&self, class: TrafficClass) -> u64 {
         self.traffic.bytes(class)
+    }
+
+    /// The full report as a JSON object (the machine-readable run
+    /// artifact behind `--json`).
+    pub fn to_json(&self) -> Json {
+        let mut traffic = Json::obj([]);
+        for class in TrafficClass::ALL {
+            traffic.push(class.label(), self.traffic.bytes(class).into());
+        }
+        traffic.push("total_bytes", self.traffic.total().into());
+        traffic.push("messages", self.traffic.messages().into());
+        Json::obj([
+            ("model", self.model.as_str().into()),
+            ("cycles", self.cycles.into()),
+            ("finished", self.finished.into()),
+            ("retired", self.retired.into()),
+            ("squashed_instrs", self.squashed_instrs.into()),
+            ("squashed_pct", self.squashed_pct.into()),
+            ("chunks_committed", self.chunks_committed.into()),
+            ("read_set", self.read_set.into()),
+            ("write_set", self.write_set.into()),
+            ("priv_write_set", self.priv_write_set.into()),
+            (
+                "read_displacements_per_100k",
+                self.read_displacements_per_100k.into(),
+            ),
+            ("priv_supplies_per_1k", self.priv_supplies_per_1k.into()),
+            ("extra_invs_per_1k", self.extra_invs_per_1k.into()),
+            ("alias_squashes", self.alias_squashes.into()),
+            ("true_squashes", self.true_squashes.into()),
+            ("lookups_per_commit", self.lookups_per_commit.into()),
+            (
+                "unnecessary_lookups_pct",
+                self.unnecessary_lookups_pct.into(),
+            ),
+            (
+                "unnecessary_updates_pct",
+                self.unnecessary_updates_pct.into(),
+            ),
+            ("nodes_per_wsig", self.nodes_per_wsig.into()),
+            ("pending_w_sigs", self.pending_w_sigs.into()),
+            ("nonempty_w_pct", self.nonempty_w_pct.into()),
+            ("rsig_required_pct", self.rsig_required_pct.into()),
+            ("empty_w_pct", self.empty_w_pct.into()),
+            ("arb_requests", self.arb_requests.into()),
+            ("arb_denials", self.arb_denials.into()),
+            ("denials_per_commit", self.denials_per_commit.into()),
+            ("traffic", traffic),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Model, SystemConfig};
+    use bulksc_sig::Addr;
+    use bulksc_workloads::{Instr, ScriptOp, ScriptProgram, ThreadProgram};
+
+    fn contended_run() -> System {
+        // Two cores hammering the same line force arbiter denials.
+        let prog = |v: u64| -> Box<dyn ThreadProgram> {
+            let ops = (0..200)
+                .map(|i| {
+                    ScriptOp::Op(Instr::Store {
+                        addr: Addr(0x100_0000),
+                        value: v + i,
+                    })
+                })
+                .collect();
+            Box::new(ScriptProgram::new(ops))
+        };
+        let mut cfg = SystemConfig::cmp8(Model::Bulk(crate::config::BulkConfig::bsc_base()));
+        cfg.cores = 2;
+        cfg.budget = u64::MAX;
+        let mut sys = System::new(cfg, vec![prog(1), prog(1000)]);
+        assert!(sys.run(5_000_000), "contended run must finish");
+        sys
+    }
+
+    #[test]
+    fn arbiter_requests_and_denials_are_reported() {
+        let sys = contended_run();
+        let r = SimReport::collect(&sys);
+        assert!(r.chunks_committed >= 2);
+        assert!(
+            r.arb_requests >= r.chunks_committed,
+            "every commit needed at least one request: {} < {}",
+            r.arb_requests,
+            r.chunks_committed
+        );
+        // Requests not granted were denied; the retry metric reflects them.
+        assert_eq!(r.arb_denials, r.arb_requests - r.chunks_committed);
+        let expected = r.arb_denials as f64 / r.chunks_committed as f64;
+        assert!((r.denials_per_commit - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let sys = contended_run();
+        let r = SimReport::collect(&sys);
+        let json = r.to_json().to_string();
+        assert!(bulksc_trace::json::is_valid(&json), "invalid JSON: {json}");
+        for key in [
+            "\"model\":",
+            "\"cycles\":",
+            "\"arb_denials\":",
+            "\"traffic\":",
+            "\"Rd/Wr\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

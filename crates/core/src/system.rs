@@ -5,6 +5,7 @@
 
 use bulksc_cpu::{BaselineNode, CoreStats, ValueStore};
 use bulksc_net::{Cycle, Envelope, Fabric, NodeId};
+use bulksc_trace::{Event, IntervalSeries, TraceHandle};
 use bulksc_workloads::{AddressMap, ThreadProgram};
 
 use bulksc_mem::{DirStats, Directory};
@@ -15,6 +16,10 @@ use crate::garbiter::GArbiter;
 use crate::node::{BulkNode, BulkStats};
 
 /// One core endpoint: a baseline core or a BulkSC core.
+///
+/// (Both variants are hundreds of bytes and there are only `cores` of
+/// them, heap-allocated once per run — boxing would buy nothing.)
+#[allow(clippy::large_enum_variant)]
 pub enum CoreNode {
     /// SC / RC / SC++ (from `bulksc-cpu`).
     Baseline(BaselineNode),
@@ -94,6 +99,8 @@ pub struct System {
     fabric: Fabric,
     values: ValueStore,
     now: Cycle,
+    trace: TraceHandle,
+    sampler: Option<IntervalSeries>,
 }
 
 impl System {
@@ -110,7 +117,10 @@ impl System {
         let num_dirs = cfg.dirs;
         assert!(num_dirs >= 1, "at least one directory");
         if matches!(cfg.model, Model::Baseline(_)) {
-            assert_eq!(num_dirs, 1, "baseline models are wired for a single directory");
+            assert_eq!(
+                num_dirs, 1,
+                "baseline models are wired for a single directory"
+            );
         }
 
         let nodes: Vec<CoreNode> = programs
@@ -160,9 +170,7 @@ impl System {
                         "distributed arbiters pair one-to-one with directories"
                     );
                     (0..n)
-                        .map(|i| {
-                            Arbiter::new(NodeId::Arbiter(i), b.arb_latency, vec![i], num_dirs)
-                        })
+                        .map(|i| Arbiter::new(NodeId::Arbiter(i), b.arb_latency, vec![i], num_dirs))
                         .collect()
                 };
                 let g = (n > 1).then(|| GArbiter::new(b.arb_latency, n));
@@ -179,7 +187,74 @@ impl System {
             cfg,
             values: ValueStore::new(),
             now: 0,
+            trace: TraceHandle::off(),
+            sampler: None,
         }
+    }
+
+    /// Route every component's events to `trace`'s sinks: the fabric's
+    /// sends, the system's delivers, and the chunk-lifecycle events of the
+    /// BulkSC cores, directories, and (G-)arbiters. Clones of the handle
+    /// share the same sinks, so one attached sink sees the whole machine.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.fabric.set_tracer(trace.clone());
+        for n in &mut self.nodes {
+            if let CoreNode::Bulk(b) = n {
+                b.set_tracer(trace.clone());
+            }
+        }
+        for d in &mut self.dirs {
+            d.set_tracer(trace.clone());
+        }
+        for a in &mut self.arbiters {
+            a.set_tracer(trace.clone());
+        }
+        if let Some(g) = &mut self.garbiter {
+            g.set_tracer(trace.clone());
+        }
+        self.trace = trace;
+    }
+
+    /// Record an [`bulksc_trace::IntervalSample`] every `every` cycles
+    /// (clamped to at least 1). Idle fast-forwarded stretches collapse
+    /// into the sample at the next boundary actually stepped.
+    pub fn enable_sampling(&mut self, every: Cycle) {
+        self.sampler = Some(IntervalSeries::new(every));
+    }
+
+    /// The interval samples collected so far (empty slice if sampling was
+    /// never enabled).
+    pub fn samples(&self) -> &[bulksc_trace::IntervalSample] {
+        self.sampler.as_ref().map(|s| s.samples()).unwrap_or(&[])
+    }
+
+    /// The interval series itself, for JSON export.
+    pub fn interval_series(&self) -> Option<&IntervalSeries> {
+        self.sampler.as_ref()
+    }
+
+    fn per_core_retired(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                CoreNode::Baseline(b) => b.stats().retired,
+                CoreNode::Bulk(b) => b.stats().retired,
+            })
+            .collect()
+    }
+
+    fn drive_sampler(&mut self) {
+        let Some(s) = &self.sampler else { return };
+        if !s.due(self.now) {
+            return;
+        }
+        let retired = self.per_core_retired();
+        let pending_w: u64 = self.arbiters.iter().map(|a| a.pending() as u64).sum();
+        let fabric_depth = self.fabric.in_flight() as u64;
+        let bytes = self.fabric.traffic().total();
+        let msgs = self.fabric.traffic().messages();
+        let s = self.sampler.as_mut().expect("checked above");
+        s.record(self.now, &retired, pending_w, fabric_depth, bytes, msgs);
     }
 
     /// Current simulation time.
@@ -224,7 +299,10 @@ impl System {
 
     /// Per-thread observation logs (litmus outcomes).
     pub fn observations(&self) -> Vec<Vec<u64>> {
-        self.nodes.iter().map(|n| n.program().observations()).collect()
+        self.nodes
+            .iter()
+            .map(|n| n.program().observations())
+            .collect()
     }
 
     /// True once every core has finished and the network has drained.
@@ -236,6 +314,11 @@ impl System {
     pub fn step(&mut self) {
         let due = self.fabric.deliver_due(self.now);
         for env in due {
+            self.trace.emit(self.now, || Event::NetDeliver {
+                src: env.src.into(),
+                dst: env.dst.into(),
+                kind: env.msg.kind(),
+            });
             match env.dst {
                 NodeId::Core(c) => {
                     self.nodes[c as usize].handle(self.now, env, &mut self.fabric, &mut self.values)
@@ -256,6 +339,7 @@ impl System {
         for n in &mut self.nodes {
             n.tick(self.now, &mut self.fabric, &mut self.values);
         }
+        self.drive_sampler();
         self.now += 1;
     }
 
@@ -314,6 +398,10 @@ impl System {
             self.fabric.next_delivery(),
             self.now
         ));
+        if let Some(ring) = self.trace.ring_dump() {
+            s.push('\n');
+            s.push_str(&ring);
+        }
         s
     }
 }

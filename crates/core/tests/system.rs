@@ -5,7 +5,9 @@
 use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
 use bulksc_cpu::BaselineModel;
 use bulksc_sig::Addr;
-use bulksc_workloads::{by_name, litmus, Instr, ScriptOp, ScriptProgram, SyntheticApp, ThreadProgram};
+use bulksc_workloads::{
+    by_name, litmus, Instr, ScriptOp, ScriptProgram, SyntheticApp, ThreadProgram,
+};
 
 fn script(ops: Vec<ScriptOp>) -> Box<dyn ThreadProgram> {
     Box::new(ScriptProgram::new(ops))
@@ -43,15 +45,25 @@ fn single_core_chunked_execution_commits() {
         let name = Model::Bulk(b.clone()).name();
         let t0 = script(vec![
             ScriptOp::Op(Instr::Compute(50)),
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0000), value: 7 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0008), value: 8 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0000),
+                value: 7,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0008),
+                value: 8,
+            }),
             ScriptOp::Record(Addr(0x100_0000)),
         ]);
         let mut sys = sys2(b, t0, idle());
         run_or_dump(&mut sys, 1_000_000, &name);
         assert_eq!(sys.values().read(Addr(0x100_0000)), 7, "{name}");
         assert_eq!(sys.values().read(Addr(0x100_0008)), 8, "{name}");
-        assert_eq!(sys.observations()[0], vec![7], "{name}: own store forwarded");
+        assert_eq!(
+            sys.observations()[0],
+            vec![7],
+            "{name}: own store forwarded"
+        );
         let r = SimReport::collect(&sys);
         assert!(r.chunks_committed >= 1, "{name}");
     }
@@ -62,11 +74,21 @@ fn values_flow_between_bulk_cores() {
     for b in all_bulk_configs() {
         let name = Model::Bulk(b.clone()).name();
         let t0 = script(vec![
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0000), value: 55 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0040), value: 1 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0000),
+                value: 55,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0040),
+                value: 1,
+            }),
         ]);
         let t1 = script(vec![
-            ScriptOp::SpinUntilEq { addr: Addr(0x100_0040), value: 1, pad: 8 },
+            ScriptOp::SpinUntilEq {
+                addr: Addr(0x100_0040),
+                value: 1,
+                pad: 8,
+            },
             ScriptOp::Record(Addr(0x100_0000)),
         ]);
         let mut sys = sys2(b, t0, t1);
@@ -79,7 +101,11 @@ fn values_flow_between_bulk_cores() {
 
 #[test]
 fn bulk_is_sequentially_consistent_on_litmus() {
-    for b in [BulkConfig::bsc_base(), BulkConfig::bsc_dypvt(), BulkConfig::bsc_exact()] {
+    for b in [
+        BulkConfig::bsc_base(),
+        BulkConfig::bsc_dypvt(),
+        BulkConfig::bsc_exact(),
+    ] {
         let name = Model::Bulk(b.clone()).name();
         for test in litmus::catalog() {
             for skew in 0..10u32 {
@@ -110,7 +136,10 @@ fn locks_serialize_under_bulk() {
         script(vec![
             ScriptOp::AcquireLock(lock),
             ScriptOp::Record(counter),
-            ScriptOp::Op(Instr::Store { addr: counter, value: tag }),
+            ScriptOp::Op(Instr::Store {
+                addr: counter,
+                value: tag,
+            }),
             ScriptOp::ReleaseLock(lock),
         ])
     };
@@ -138,13 +167,22 @@ fn adversarial_spin_makes_progress() {
     let key = script(vec![
         ScriptOp::Op(Instr::Compute(200)),
         ScriptOp::Record(noise),
-        ScriptOp::Op(Instr::Store { addr: flag, value: 1 }),
+        ScriptOp::Op(Instr::Store {
+            addr: flag,
+            value: 1,
+        }),
     ]);
     let spinner = || {
         let mut ops = Vec::new();
         for i in 0..3000u64 {
-            ops.push(ScriptOp::Op(Instr::Store { addr: noise, value: i }));
-            ops.push(ScriptOp::Op(Instr::Load { addr: flag, consume: false }));
+            ops.push(ScriptOp::Op(Instr::Store {
+                addr: noise,
+                value: i,
+            }));
+            ops.push(ScriptOp::Op(Instr::Load {
+                addr: flag,
+                consume: false,
+            }));
             ops.push(ScriptOp::Op(Instr::Compute(4)));
         }
         script(ops)
@@ -203,13 +241,21 @@ fn distributed_arbiter_commits_multi_range_chunks() {
     // thread's output after a flag.
     let writer = |base: u64| {
         script(vec![
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0000 + base * 4), value: base + 1 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0020 + base * 4), value: base + 2 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(0x100_0040 + base * 4), value: base + 3 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0000 + base * 4),
+                value: base + 1,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0020 + base * 4),
+                value: base + 2,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0x100_0040 + base * 4),
+                value: base + 3,
+            }),
         ])
     };
-    let programs: Vec<Box<dyn ThreadProgram>> =
-        (0..4).map(|i| writer(i as u64 * 64)).collect();
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..4).map(|i| writer(i as u64 * 64)).collect();
     let mut sys = System::new(cfg, programs);
     run_or_dump(&mut sys, 5_000_000, "distributed arbiter");
     for i in 0..4u64 {
@@ -222,9 +268,15 @@ fn distributed_arbiter_commits_multi_range_chunks() {
 #[test]
 fn io_serializes_against_chunks() {
     let t0 = script(vec![
-        ScriptOp::Op(Instr::Store { addr: Addr(0x100_0000), value: 1 }),
+        ScriptOp::Op(Instr::Store {
+            addr: Addr(0x100_0000),
+            value: 1,
+        }),
         ScriptOp::Op(Instr::Io),
-        ScriptOp::Op(Instr::Store { addr: Addr(0x100_0040), value: 2 }),
+        ScriptOp::Op(Instr::Store {
+            addr: Addr(0x100_0040),
+            value: 2,
+        }),
     ]);
     let mut sys = sys2(BulkConfig::bsc_dypvt(), t0, idle());
     run_or_dump(&mut sys, 2_000_000, "io");

@@ -21,7 +21,7 @@ pub mod config;
 pub mod node;
 pub mod window;
 
+pub use bulksc_mem::ValueStore;
 pub use config::CoreConfig;
 pub use node::{BaselineModel, BaselineNode, CoreStats};
-pub use bulksc_mem::ValueStore;
 pub use window::{InstrWindow, Slot, SlotId, SlotState};

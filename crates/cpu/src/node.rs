@@ -31,8 +31,8 @@ use bulksc_sig::{Addr, LineAddr};
 use bulksc_workloads::{Instr, ThreadProgram};
 
 use crate::config::CoreConfig;
-use bulksc_mem::ValueStore;
 use crate::window::{InstrWindow, SlotId, SlotState};
+use bulksc_mem::ValueStore;
 
 /// Which baseline consistency model this node enforces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -275,7 +275,9 @@ impl BaselineNode {
     /// Transition a load slot to Done, capturing its value with
     /// store-to-load forwarding from older in-flight stores.
     fn complete_load_slot(&mut self, now: Cycle, slot: SlotId, values: &ValueStore) {
-        let Some(s) = self.window.get_mut(slot) else { return };
+        let Some(s) = self.window.get_mut(slot) else {
+            return;
+        };
         if s.state != SlotState::Issued {
             return;
         }
@@ -329,7 +331,9 @@ impl BaselineNode {
     fn retire(&mut self, now: Cycle, values: &mut ValueStore) {
         let mut budget = self.cfg.retire_width;
         while budget > 0 {
-            let Some(head) = self.window.oldest() else { break };
+            let Some(head) = self.window.oldest() else {
+                break;
+            };
             let head_id = head.id;
             let head_instr = head.instr;
             let head_state = head.state;
@@ -450,14 +454,12 @@ impl BaselineNode {
             // anything older remains) and all its stores drained. Keeping
             // safety tied to the store buffer, not to full quiescence,
             // matches the SHiQ's bounded speculation window.
-            let oldest_speculative_store =
-                self.store_buffer.front().map(|e| e.epoch).unwrap_or(u64::MAX);
-            let oldest_in_window = self
-                .slot_epochs
-                .values()
-                .min()
-                .copied()
+            let oldest_speculative_store = self
+                .store_buffer
+                .front()
+                .map(|e| e.epoch)
                 .unwrap_or(u64::MAX);
+            let oldest_in_window = self.slot_epochs.values().min().copied().unwrap_or(u64::MAX);
             let mut popped = false;
             while self.epochs.len() > 1 {
                 let front_id = self.epochs.front().expect("non-empty").id;
@@ -492,8 +494,7 @@ impl BaselineNode {
     /// the straightforward SC implementation; the paper's baseline lacks
     /// R10000-style speculative reordering).
     fn may_perform_mem(&self, now: Cycle) -> bool {
-        self.model != BaselineModel::Sc
-            || now >= self.last_mem_retire + self.cfg.l1_latency
+        self.model != BaselineModel::Sc || now >= self.last_mem_retire + self.cfg.l1_latency
     }
 
     fn note_mem_retire(&mut self, now: Cycle) {
@@ -593,7 +594,8 @@ impl BaselineNode {
                     if self.l1.contains(addr.line()) {
                         self.stats.l1_hits += 1;
                         self.l1.touch(addr.line());
-                        self.completions.push(Reverse((now + self.cfg.l1_latency, id)));
+                        self.completions
+                            .push(Reverse((now + self.cfg.l1_latency, id)));
                         if let Some(s) = self.window.get_mut(id) {
                             s.state = SlotState::Issued;
                         }
@@ -783,11 +785,7 @@ impl BaselineNode {
         {
             return now;
         }
-        if self
-            .misses
-            .values()
-            .any(|m| !m.sent && m.retry_at <= now)
-        {
+        if self.misses.values().any(|m| !m.sent && m.retry_at <= now) {
             return now;
         }
         let mut t = Cycle::MAX;
@@ -810,7 +808,10 @@ impl BaselineNode {
 
     /// One-line diagnostic snapshot (for debugging stuck systems).
     pub fn debug_state(&self) -> String {
-        let head = self.window.oldest().map(|s| format!("{:?}/{:?}", s.instr, s.state));
+        let head = self
+            .window
+            .oldest()
+            .map(|s| format!("{:?}/{:?}", s.instr, s.state));
         format!(
             "core{} head={head:?} win={} sb={} misses={:?} pend_fetch={:?} awaiting={:?} done={} finished={:?}",
             self.core,
@@ -838,7 +839,11 @@ impl BaselineNode {
     /// Panics on BulkSC-only messages (this is a baseline node).
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &mut ValueStore) {
         match env.msg {
-            Message::Data { line, exclusive, data } => self.fill(now, line, exclusive, data, fab, values),
+            Message::Data {
+                line,
+                exclusive,
+                data,
+            } => self.fill(now, line, exclusive, data, fab, values),
             Message::UpgradeAck { line } => {
                 self.l1.set_state(line, LineState::Exclusive);
                 if let Some(m) = self.misses.remove(&line) {
@@ -908,7 +913,12 @@ impl BaselineNode {
         // flight is stale by coherence order: do not install it, and
         // replay (SC/SC++) or complete (RC: the load performed at the
         // directory's serve point, which precedes the invalidation).
-        if self.misses.get(&line).map(|m| m.invalidated).unwrap_or(false) {
+        if self
+            .misses
+            .get(&line)
+            .map(|m| m.invalidated)
+            .unwrap_or(false)
+        {
             if let Some((src, for_excl)) = self.pending_fetches.remove(&line) {
                 self.surrender_line(now, line, src, for_excl, fab);
             }
@@ -931,15 +941,25 @@ impl BaselineNode {
             }
             return;
         }
-        let state = if exclusive { LineState::Exclusive } else { LineState::Shared };
+        let state = if exclusive {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
         match self.l1.insert(line, state, |_| false) {
-            InsertOutcome::Evicted { line: victim, state: LineState::Dirty } => {
+            InsertOutcome::Evicted {
+                line: victim,
+                state: LineState::Dirty,
+            } => {
                 self.on_lost_line(victim);
                 fab.send(
                     now,
                     self.id(),
                     self.dir_node(victim),
-                    Message::Writeback { line: victim, keep_shared: false },
+                    Message::Writeback {
+                        line: victim,
+                        keep_shared: false,
+                    },
                 );
             }
             InsertOutcome::Evicted { line: victim, .. } => {
@@ -972,7 +992,9 @@ impl BaselineNode {
         line: LineAddr,
         data: &bulksc_sig::LineData,
     ) {
-        let Some(s) = self.window.get_mut(slot) else { return };
+        let Some(s) = self.window.get_mut(slot) else {
+            return;
+        };
         if s.state != SlotState::Issued {
             return;
         }
@@ -1019,7 +1041,11 @@ impl BaselineNode {
         if fwd.is_some() {
             return fwd;
         }
-        self.store_buffer.iter().rev().find(|e| e.addr == addr).map(|e| e.value)
+        self.store_buffer
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
     }
 
     /// Answer fetches deferred behind our own in-flight fills.
@@ -1130,9 +1156,10 @@ impl BaselineNode {
         for e in self.epochs.iter().skip(pos) {
             wasted += e.retired;
         }
-        self.stats.retired = self.stats.retired.saturating_sub(
-            self.epochs.iter().skip(pos).map(|e| e.retired).sum::<u64>(),
-        );
+        self.stats.retired = self
+            .stats
+            .retired
+            .saturating_sub(self.epochs.iter().skip(pos).map(|e| e.retired).sum::<u64>());
         self.stats.squashes += 1;
         self.stats.squashed_instrs += wasted;
         // Drop speculative stores of the squashed epochs.

@@ -64,7 +64,12 @@ pub struct InstrWindow {
 impl InstrWindow {
     /// An empty window holding up to `capacity` dynamic instructions.
     pub fn new(capacity: u32) -> Self {
-        InstrWindow { slots: VecDeque::new(), next_id: 0, capacity, occupancy: 0 }
+        InstrWindow {
+            slots: VecDeque::new(),
+            next_id: 0,
+            capacity,
+            occupancy: 0,
+        }
     }
 
     /// Dynamic instructions currently in flight.
@@ -76,8 +81,7 @@ impl InstrWindow {
     /// the whole capacity is admitted into an empty window (a compute
     /// batch must not deadlock fetch).
     pub fn has_room(&self, instr: &Instr) -> bool {
-        self.occupancy + instr.dynamic_count() <= self.capacity as u64
-            || self.slots.is_empty()
+        self.occupancy + instr.dynamic_count() <= self.capacity as u64 || self.slots.is_empty()
     }
 
     /// Append an instruction in program order; `None` if there is no room.
@@ -196,7 +200,10 @@ mod tests {
     use bulksc_sig::Addr;
 
     fn load(a: u64) -> Instr {
-        Instr::Load { addr: Addr(a), consume: false }
+        Instr::Load {
+            addr: Addr(a),
+            consume: false,
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! store-buffering outcome is reachable).
 
 use bulksc_cpu::{BaselineModel, BaselineNode, CoreConfig, ValueStore};
-use bulksc_mem::{CacheConfig, DirConfig, Directory, DirOrganization};
+use bulksc_mem::{CacheConfig, DirConfig, DirOrganization, Directory};
 use bulksc_net::{Envelope, Fabric, FabricConfig, NodeId};
 use bulksc_sig::Addr;
 use bulksc_workloads::{litmus, Instr, ScriptOp, ScriptProgram, ThreadProgram};
@@ -86,7 +86,10 @@ impl Mini {
     }
 
     fn observations(&self) -> Vec<Vec<u64>> {
-        self.nodes.iter().map(|n| n.program().observations()).collect()
+        self.nodes
+            .iter()
+            .map(|n| n.program().observations())
+            .collect()
     }
 }
 
@@ -99,8 +102,14 @@ fn single_core_executes_and_stores_values() {
     for model in [BaselineModel::Sc, BaselineModel::Rc, BaselineModel::Scpp] {
         let p = script(vec![
             ScriptOp::Op(Instr::Compute(20)),
-            ScriptOp::Op(Instr::Store { addr: Addr(100), value: 7 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(200), value: 8 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(100),
+                value: 7,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(200),
+                value: 8,
+            }),
             ScriptOp::Record(Addr(100)),
         ]);
         let mut m = Mini::new(model, vec![p]);
@@ -116,11 +125,21 @@ fn values_flow_between_cores() {
     // Core 0 writes, then sets a flag; core 1 spins on the flag and reads.
     for model in [BaselineModel::Sc, BaselineModel::Rc, BaselineModel::Scpp] {
         let t0 = script(vec![
-            ScriptOp::Op(Instr::Store { addr: Addr(100), value: 55 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(200), value: 1 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(100),
+                value: 55,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(200),
+                value: 1,
+            }),
         ]);
         let t1 = script(vec![
-            ScriptOp::SpinUntilEq { addr: Addr(200), value: 1, pad: 4 },
+            ScriptOp::SpinUntilEq {
+                addr: Addr(200),
+                value: 1,
+                pad: 4,
+            },
             ScriptOp::Record(Addr(100)),
         ]);
         let mut m = Mini::new(model, vec![t0, t1]);
@@ -141,7 +160,10 @@ fn locks_serialize_critical_sections() {
         script(vec![
             ScriptOp::AcquireLock(lock),
             ScriptOp::Record(counter),
-            ScriptOp::Op(Instr::Store { addr: counter, value: tag }),
+            ScriptOp::Op(Instr::Store {
+                addr: counter,
+                value: tag,
+            }),
             ScriptOp::ReleaseLock(lock),
         ])
     };
@@ -182,7 +204,10 @@ fn rc_exhibits_store_buffering_reordering() {
     let test = litmus::store_buffering();
     let mut seen_forbidden = false;
     for skew in 0..20u32 {
-        let mut m = Mini::new(BaselineModel::Rc, test.programs(&[skew % 5, (skew * 7) % 5]));
+        let mut m = Mini::new(
+            BaselineModel::Rc,
+            test.programs(&[skew % 5, (skew * 7) % 5]),
+        );
         assert!(m.run(1_000_000), "did not finish");
         if (test.forbidden)(&m.observations()) {
             seen_forbidden = true;
@@ -203,7 +228,10 @@ fn scpp_squashes_on_remote_conflicts_but_stays_live() {
         (0..50)
             .flat_map(|i| {
                 vec![
-                    ScriptOp::Op(Instr::Store { addr: Addr(100), value: i }),
+                    ScriptOp::Op(Instr::Store {
+                        addr: Addr(100),
+                        value: i,
+                    }),
                     ScriptOp::Op(Instr::Compute(30)),
                 ]
             })
@@ -213,8 +241,14 @@ fn scpp_squashes_on_remote_conflicts_but_stays_live() {
         (0..50)
             .flat_map(|_| {
                 vec![
-                    ScriptOp::Op(Instr::Load { addr: Addr(100), consume: false }),
-                    ScriptOp::Op(Instr::Load { addr: Addr(164), consume: false }),
+                    ScriptOp::Op(Instr::Load {
+                        addr: Addr(100),
+                        consume: false,
+                    }),
+                    ScriptOp::Op(Instr::Load {
+                        addr: Addr(164),
+                        consume: false,
+                    }),
                     ScriptOp::Op(Instr::Compute(25)),
                 ]
             })
@@ -223,7 +257,10 @@ fn scpp_squashes_on_remote_conflicts_but_stays_live() {
     let mut m = Mini::new(BaselineModel::Scpp, vec![t0, t1]);
     assert!(m.run(2_000_000), "SC++ livelocked under conflicts");
     let squashes: u64 = m.nodes.iter().map(|n| n.stats().squashes).sum();
-    assert!(squashes > 0, "expected at least one SC++ squash in this pattern");
+    assert!(
+        squashes > 0,
+        "expected at least one SC++ squash in this pattern"
+    );
 }
 
 #[test]
@@ -232,7 +269,10 @@ fn l1_stats_accumulate() {
         // A consuming load stalls fetch until it retires, so the second
         // load issues after the fill and hits in the L1.
         ScriptOp::Record(Addr(100)),
-        ScriptOp::Op(Instr::Load { addr: Addr(100), consume: false }),
+        ScriptOp::Op(Instr::Load {
+            addr: Addr(100),
+            consume: false,
+        }),
     ]);
     let mut m = Mini::new(BaselineModel::Rc, vec![p]);
     assert!(m.run(100_000));
@@ -246,9 +286,15 @@ fn l1_stats_accumulate() {
 #[test]
 fn io_serializes_and_completes() {
     let p = script(vec![
-        ScriptOp::Op(Instr::Store { addr: Addr(100), value: 1 }),
+        ScriptOp::Op(Instr::Store {
+            addr: Addr(100),
+            value: 1,
+        }),
         ScriptOp::Op(Instr::Io),
-        ScriptOp::Op(Instr::Store { addr: Addr(200), value: 2 }),
+        ScriptOp::Op(Instr::Store {
+            addr: Addr(200),
+            value: 2,
+        }),
     ]);
     for model in [BaselineModel::Sc, BaselineModel::Rc] {
         let mut m = Mini::new(model, vec![p.clone_box()]);

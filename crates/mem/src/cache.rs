@@ -50,12 +50,18 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The 32 KB 4-way private D-L1 of Table 2.
     pub fn l1_default() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, assoc: 4 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 4,
+        }
     }
 
     /// The 8 MB 8-way shared L2 of Table 2.
     pub fn l2_default() -> Self {
-        CacheConfig { size_bytes: 8 * 1024 * 1024, assoc: 8 }
+        CacheConfig {
+            size_bytes: 8 * 1024 * 1024,
+            assoc: 8,
+        }
     }
 
     /// Number of sets.
@@ -234,7 +240,10 @@ impl SetAssocCache {
         match victim {
             Some(i) => {
                 let old = std::mem::replace(&mut ways[i], Way { line, state, stamp });
-                InsertOutcome::Evicted { line: old.line, state: old.state }
+                InsertOutcome::Evicted {
+                    line: old.line,
+                    state: old.state,
+                }
             }
             None => InsertOutcome::SetOverflow,
         }
@@ -255,12 +264,18 @@ impl SetAssocCache {
     ///
     /// Panics if `set_index >= num_sets()`.
     pub fn lines_in_set(&self, set_index: u32) -> Vec<LineAddr> {
-        self.sets[set_index as usize].iter().map(|w| w.line).collect()
+        self.sets[set_index as usize]
+            .iter()
+            .map(|w| w.line)
+            .collect()
     }
 
     /// All valid lines (test/diagnostic use).
     pub fn lines(&self) -> Vec<LineAddr> {
-        self.sets.iter().flat_map(|s| s.iter().map(|w| w.line)).collect()
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| w.line))
+            .collect()
     }
 
     /// Number of valid lines.
@@ -280,7 +295,10 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 2 sets x 2 ways.
-        SetAssocCache::new(CacheConfig { size_bytes: 128, assoc: 2 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -293,13 +311,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn bad_geometry_panics() {
-        CacheConfig { size_bytes: 96, assoc: 1 }.num_sets();
+        CacheConfig {
+            size_bytes: 96,
+            assoc: 1,
+        }
+        .num_sets();
     }
 
     #[test]
     fn insert_lookup_invalidate() {
         let mut c = tiny();
-        assert_eq!(c.insert(LineAddr(0), LineState::Shared, |_| false), InsertOutcome::Placed);
+        assert_eq!(
+            c.insert(LineAddr(0), LineState::Shared, |_| false),
+            InsertOutcome::Placed
+        );
         assert_eq!(c.state(LineAddr(0)), Some(LineState::Shared));
         assert!(c.contains(LineAddr(0)));
         assert_eq!(c.invalidate(LineAddr(0)), Some(LineState::Shared));
@@ -311,7 +336,10 @@ mod tests {
     fn reinsert_updates_state_in_place() {
         let mut c = tiny();
         c.insert(LineAddr(0), LineState::Shared, |_| false);
-        assert_eq!(c.insert(LineAddr(0), LineState::Dirty, |_| false), InsertOutcome::Placed);
+        assert_eq!(
+            c.insert(LineAddr(0), LineState::Dirty, |_| false),
+            InsertOutcome::Placed
+        );
         assert_eq!(c.state(LineAddr(0)), Some(LineState::Dirty));
         assert_eq!(c.len(), 1);
     }
@@ -348,7 +376,10 @@ mod tests {
         c.insert(LineAddr(0), LineState::Dirty, |_| false);
         c.insert(LineAddr(2), LineState::Dirty, |_| false);
         assert!(c.would_overflow(LineAddr(4), |_| true));
-        assert_eq!(c.insert(LineAddr(4), LineState::Shared, |_| true), InsertOutcome::SetOverflow);
+        assert_eq!(
+            c.insert(LineAddr(4), LineState::Shared, |_| true),
+            InsertOutcome::SetOverflow
+        );
         // The set is untouched by the failed insert.
         assert!(c.contains(LineAddr(0)) && c.contains(LineAddr(2)));
         assert!(!c.contains(LineAddr(4)));

@@ -226,8 +226,8 @@ mod tests {
             .map(|i| (i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) >> 40)
             .collect();
         let w = wsig(&written);
-        let alias = (0..1_000_000u64)
-            .find(|&l| w.contains(LineAddr(l)) && !w.contains_exact(LineAddr(l)));
+        let alias =
+            (0..1_000_000u64).find(|&l| w.contains(LineAddr(l)) && !w.contains_exact(LineAddr(l)));
         let Some(alias) = alias else {
             panic!("expected an alias at this signature density");
         };

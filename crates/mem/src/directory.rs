@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{LineAddr, SigMode, SignatureConfig, TrackedSig};
 
-use crate::cache::{CacheConfig, SetAssocCache, LineState};
+use crate::cache::{CacheConfig, LineState, SetAssocCache};
 use crate::dirbdm::expand_commit;
 use crate::store::{DirOrganization, DirStore, Displaced};
 use crate::values::ValueStore;
@@ -55,7 +55,10 @@ pub struct DirConfig {
 impl Default for DirConfig {
     fn default() -> Self {
         DirConfig {
-            organization: DirOrganization::Cache { sets: 8192, assoc: 8 },
+            organization: DirOrganization::Cache {
+                sets: 8192,
+                assoc: 8,
+            },
             l2: CacheConfig::l2_default(),
             l2_extra: 3,
             mem_extra: 290,
@@ -132,6 +135,7 @@ pub struct Directory {
     pending: HashMap<LineAddr, PendingTx>,
     commits: HashMap<ChunkTag, CommitTx>,
     stats: DirStats,
+    trace: bulksc_trace::TraceHandle,
 }
 
 impl Directory {
@@ -141,7 +145,10 @@ impl Directory {
     ///
     /// Panics if `id` is not a [`NodeId::Dir`].
     pub fn new(id: NodeId, cfg: DirConfig) -> Self {
-        assert!(matches!(id, NodeId::Dir(_)), "directory id must be NodeId::Dir");
+        assert!(
+            matches!(id, NodeId::Dir(_)),
+            "directory id must be NodeId::Dir"
+        );
         Directory {
             id,
             store: DirStore::new(cfg.organization),
@@ -150,6 +157,20 @@ impl Directory {
             pending: HashMap::new(),
             commits: HashMap::new(),
             stats: DirStats::default(),
+            trace: bulksc_trace::TraceHandle::off(),
+        }
+    }
+
+    /// Route this directory's trace events to `trace`'s sinks.
+    pub fn set_tracer(&mut self, trace: bulksc_trace::TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// This directory's index (the `i` of `NodeId::Dir(i)`).
+    fn dir_index(&self) -> u32 {
+        match self.id {
+            NodeId::Dir(i) => i,
+            _ => unreachable!("checked in new()"),
         }
     }
 
@@ -214,16 +235,18 @@ impl Directory {
     /// routing bug in the surrounding system).
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &ValueStore) {
         match env.msg {
-            Message::ReadShared { line } => self.demand_read(now, env.src, line, false, fab, values),
+            Message::ReadShared { line } => {
+                self.demand_read(now, env.src, line, false, fab, values)
+            }
             Message::ReadExcl { line } => self.demand_read(now, env.src, line, true, fab, values),
             Message::Upgrade { line } => self.upgrade(now, env.src, line, fab),
-            Message::Writeback { line, keep_shared } => {
-                self.writeback(env.src, line, keep_shared)
-            }
+            Message::Writeback { line, keep_shared } => self.writeback(env.src, line, keep_shared),
             Message::InvAck { line, dirty } => self.inv_ack(now, env.src, line, dirty, fab, values),
-            Message::FetchResp { line, dirty, had_line } => {
-                self.fetch_resp(now, line, dirty, had_line, fab, values)
-            }
+            Message::FetchResp {
+                line,
+                dirty,
+                had_line,
+            } => self.fetch_resp(now, line, dirty, had_line, fab, values),
             Message::WSigToDir { chunk, w } => self.wsig(now, env.src, chunk, *w, fab),
             Message::WSigInvAck { chunk } => self.wsig_ack(now, chunk, fab),
             Message::PrivSigToDir { chunk, w } => self.priv_sig(now, chunk, *w, fab),
@@ -293,7 +316,15 @@ impl Directory {
                     acks_left: 0,
                 },
             );
-            fab.send(now, self.id, NodeId::Core(owner), Message::Fetch { line, for_excl: excl });
+            fab.send(
+                now,
+                self.id,
+                NodeId::Core(owner),
+                Message::Fetch {
+                    line,
+                    for_excl: excl,
+                },
+            );
             return;
         }
 
@@ -311,13 +342,26 @@ impl Directory {
             let extra = self.cfg.mem_extra;
             self.stats.l2_misses += 1;
             let data = values.read_line(line);
-            fab.send_delayed(now, extra, self.id, src, Message::Data { line, exclusive, data });
+            fab.send_delayed(
+                now,
+                extra,
+                self.id,
+                src,
+                Message::Data {
+                    line,
+                    exclusive,
+                    data,
+                },
+            );
             return;
         }
 
         if excl {
-            let others: Vec<u32> =
-                snapshot.sharer_list().into_iter().filter(|&s| s != p).collect();
+            let others: Vec<u32> = snapshot
+                .sharer_list()
+                .into_iter()
+                .filter(|&s| s != p)
+                .collect();
             if others.is_empty() {
                 let e = self.store.get_mut(line).expect("entry just allocated");
                 e.sharers = 1 << p;
@@ -329,12 +373,20 @@ impl Directory {
                     extra,
                     self.id,
                     src,
-                    Message::Data { line, exclusive: true, data },
+                    Message::Data {
+                        line,
+                        exclusive: true,
+                        data,
+                    },
                 );
             } else {
                 self.pending.insert(
                     line,
-                    PendingTx { kind: TxKind::Excl, requester: p, acks_left: others.len() as u32 },
+                    PendingTx {
+                        kind: TxKind::Excl,
+                        requester: p,
+                        acks_left: others.len() as u32,
+                    },
                 );
                 for s in others {
                     fab.send(now, self.id, NodeId::Core(s), Message::Inv { line });
@@ -355,7 +407,17 @@ impl Directory {
         }
         let extra = self.data_latency(line);
         let data = values.read_line(line);
-        fab.send_delayed(now, extra, self.id, src, Message::Data { line, exclusive, data });
+        fab.send_delayed(
+            now,
+            extra,
+            self.id,
+            src,
+            Message::Data {
+                line,
+                exclusive,
+                data,
+            },
+        );
     }
 
     fn upgrade(&mut self, now: Cycle, src: NodeId, line: LineAddr, fab: &mut Fabric) {
@@ -375,7 +437,11 @@ impl Directory {
             return;
         }
         self.stats.upgrades += 1;
-        let others: Vec<u32> = entry.sharer_list().into_iter().filter(|&s| s != p).collect();
+        let others: Vec<u32> = entry
+            .sharer_list()
+            .into_iter()
+            .filter(|&s| s != p)
+            .collect();
         if others.is_empty() {
             let e = self.store.get_mut(line).expect("entry exists");
             e.sharers = 1 << p;
@@ -384,7 +450,11 @@ impl Directory {
         } else {
             self.pending.insert(
                 line,
-                PendingTx { kind: TxKind::Upgrade, requester: p, acks_left: others.len() as u32 },
+                PendingTx {
+                    kind: TxKind::Upgrade,
+                    requester: p,
+                    acks_left: others.len() as u32,
+                },
             );
             for s in others {
                 fab.send(now, self.id, NodeId::Core(s), Message::Inv { line });
@@ -459,7 +529,11 @@ impl Directory {
                     extra,
                     self.id,
                     req,
-                    Message::Data { line, exclusive: true, data },
+                    Message::Data {
+                        line,
+                        exclusive: true,
+                        data,
+                    },
                 );
             }
             TxKind::Shared => unreachable!("shared reads never collect inv acks"),
@@ -499,7 +573,11 @@ impl Directory {
                     }
                 }
                 e.add_sharer(tx.requester);
-                let extra = if had_line { self.cfg.l2_extra } else { self.cfg.mem_extra };
+                let extra = if had_line {
+                    self.cfg.l2_extra
+                } else {
+                    self.cfg.mem_extra
+                };
                 if had_line {
                     self.l2.insert(line, LineState::Shared, |_| false);
                 }
@@ -509,20 +587,32 @@ impl Directory {
                     extra,
                     self.id,
                     req,
-                    Message::Data { line, exclusive: false, data },
+                    Message::Data {
+                        line,
+                        exclusive: false,
+                        data,
+                    },
                 );
             }
             TxKind::Excl => {
                 e.sharers = 1 << tx.requester;
                 e.dirty = true;
-                let extra = if had_line { self.cfg.l2_extra } else { self.cfg.mem_extra };
+                let extra = if had_line {
+                    self.cfg.l2_extra
+                } else {
+                    self.cfg.mem_extra
+                };
                 let data = values.read_line(line);
                 fab.send_delayed(
                     now,
                     extra,
                     self.id,
                     req,
-                    Message::Data { line, exclusive: true, data },
+                    Message::Data {
+                        line,
+                        exclusive: true,
+                        data,
+                    },
                 );
             }
             TxKind::Upgrade => unreachable!("upgrades never fetch"),
@@ -534,6 +624,11 @@ impl Directory {
             return;
         }
         self.stats.dir_displacements += 1;
+        self.trace
+            .emit(now, || bulksc_trace::Event::DirDisplacement {
+                dir: self.dir_index(),
+                line: d.line.0,
+            });
         // §4.3.3: build the displaced address into a signature and send it
         // to all sharer caches for bulk disambiguation; copies are
         // invalidated (cores answer InvAck, with data if dirty).
@@ -544,7 +639,10 @@ impl Directory {
                 now,
                 self.id,
                 NodeId::Core(s),
-                Message::DisplaceSig { line: d.line, sig: Box::new(sig.clone()) },
+                Message::DisplaceSig {
+                    line: d.line,
+                    sig: Box::new(sig.clone()),
+                },
             );
         }
     }
@@ -557,6 +655,14 @@ impl Directory {
         self.stats.updates += r.updates;
         self.stats.unnecessary_updates += r.unnecessary_updates;
         self.stats.inv_targets += r.invalidation_list.len() as u64;
+        self.trace.emit(now, || bulksc_trace::Event::SigExpand {
+            dir: self.dir_index(),
+            core: chunk.core,
+            seq: chunk.seq,
+            lookups: r.lookups,
+            updates: r.updates,
+            inv_targets: r.invalidation_list.len() as u64,
+        });
         if r.invalidation_list.is_empty() {
             // Nothing to invalidate: the new values are visible immediately.
             fab.send(now, self.id, src, Message::DirDone { chunk });
@@ -564,14 +670,22 @@ impl Directory {
         }
         self.commits.insert(
             chunk,
-            CommitTx { arbiter: src, acks_left: r.invalidation_list.len() as u32, w: w.clone() },
+            CommitTx {
+                arbiter: src,
+                acks_left: r.invalidation_list.len() as u32,
+                w: w.clone(),
+            },
         );
         for c in r.invalidation_list {
             fab.send(
                 now,
                 self.id,
                 NodeId::Core(c),
-                Message::WSigInv { chunk, w: Box::new(w.clone()), needs_ack: true },
+                Message::WSigInv {
+                    chunk,
+                    w: Box::new(w.clone()),
+                    needs_ack: true,
+                },
             );
         }
     }
@@ -593,12 +707,24 @@ impl Directory {
         // (§5.1). No access disabling and no completion tracking: private
         // data is not subject to consistency arbitration.
         let r = expand_commit(&mut self.store, chunk.core, &w);
+        self.trace.emit(now, || bulksc_trace::Event::SigExpand {
+            dir: self.dir_index(),
+            core: chunk.core,
+            seq: chunk.seq,
+            lookups: r.lookups,
+            updates: r.updates,
+            inv_targets: r.invalidation_list.len() as u64,
+        });
         for c in r.invalidation_list {
             fab.send(
                 now,
                 self.id,
                 NodeId::Core(c),
-                Message::WSigInv { chunk, w: Box::new(w.clone()), needs_ack: false },
+                Message::WSigInv {
+                    chunk,
+                    w: Box::new(w.clone()),
+                    needs_ack: false,
+                },
             );
         }
     }
@@ -616,11 +742,18 @@ mod tests {
             l2_extra: 2,
             ..DirConfig::default()
         };
-        (Directory::new(NodeId::Dir(0), cfg), Fabric::new(FabricConfig { hop_latency: 1 }))
+        (
+            Directory::new(NodeId::Dir(0), cfg),
+            Fabric::new(FabricConfig { hop_latency: 1 }),
+        )
     }
 
     fn env(src: NodeId, msg: Message) -> Envelope {
-        Envelope { src, dst: NodeId::Dir(0), msg }
+        Envelope {
+            src,
+            dst: NodeId::Dir(0),
+            msg,
+        }
     }
 
     fn handle(d: &mut Directory, now: Cycle, e: Envelope, fab: &mut Fabric) {
@@ -636,17 +769,34 @@ mod tests {
     /// core reads (becoming the E-state owner), each later core's read
     /// triggers the owner fetch, which we answer clean.
     fn share(d: &mut Directory, fab: &mut Fabric, cores: &[u32], line: LineAddr) {
-        handle(d, 0, env(NodeId::Core(cores[0]), Message::ReadShared { line }), fab);
+        handle(
+            d,
+            0,
+            env(NodeId::Core(cores[0]), Message::ReadShared { line }),
+            fab,
+        );
         drain(fab);
         for &c in &cores[1..] {
-            handle(d, 0, env(NodeId::Core(c), Message::ReadShared { line }), fab);
+            handle(
+                d,
+                0,
+                env(NodeId::Core(c), Message::ReadShared { line }),
+                fab,
+            );
             let out = drain(fab);
             if let Some(f) = out.iter().find(|e| matches!(e.msg, Message::Fetch { .. })) {
                 let owner = f.dst;
                 handle(
                     d,
                     0,
-                    env(owner, Message::FetchResp { line, dirty: false, had_line: true }),
+                    env(
+                        owner,
+                        Message::FetchResp {
+                            line,
+                            dirty: false,
+                            had_line: true,
+                        },
+                    ),
                     fab,
                 );
                 drain(fab);
@@ -654,16 +804,22 @@ mod tests {
         }
     }
 
-
     #[test]
     fn first_read_is_exclusive_and_pays_memory() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         assert_eq!(fab.next_delivery(), Some(101)); // mem_extra + hop
         let out = drain(&mut fab);
         assert_eq!(out.len(), 1);
         match &out[0].msg {
-            Message::Data { line, exclusive, .. } => {
+            Message::Data {
+                line, exclusive, ..
+            } => {
                 assert_eq!(*line, LineAddr(4));
                 assert!(*exclusive, "first reader gets E state");
             }
@@ -676,18 +832,41 @@ mod tests {
     #[test]
     fn second_read_downgrades_owner_and_shares() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
         // First reader became the E-state owner.
         assert!(d.store().get(LineAddr(4)).unwrap().dirty);
-        handle(&mut d, 200, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            200,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::Fetch { for_excl: false, .. }));
+        assert!(matches!(
+            out[0].msg,
+            Message::Fetch {
+                for_excl: false,
+                ..
+            }
+        ));
         assert_eq!(out[0].dst, NodeId::Core(1));
         handle(
             &mut d,
             210,
-            env(NodeId::Core(1), Message::FetchResp { line: LineAddr(4), dirty: false, had_line: true }),
+            env(
+                NodeId::Core(1),
+                Message::FetchResp {
+                    line: LineAddr(4),
+                    dirty: false,
+                    had_line: true,
+                },
+            ),
             &mut fab,
         );
         let out = drain(&mut fab);
@@ -704,7 +883,12 @@ mod tests {
     fn read_excl_invalidates_sharers_then_grants() {
         let (mut d, mut fab) = setup();
         share(&mut d, &mut fab, &[1, 2], LineAddr(4));
-        handle(&mut d, 10, env(NodeId::Core(3), Message::ReadExcl { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(NodeId::Core(3), Message::ReadExcl { line: LineAddr(4) }),
+            &mut fab,
+        );
         let invs = drain(&mut fab);
         let inv_dsts: Vec<NodeId> = invs
             .iter()
@@ -713,11 +897,39 @@ mod tests {
             .collect();
         assert_eq!(inv_dsts, vec![NodeId::Core(1), NodeId::Core(2)]);
         // Acks arrive; data goes to requester with M rights.
-        handle(&mut d, 20, env(NodeId::Core(1), Message::InvAck { line: LineAddr(4), dirty: false }), &mut fab);
+        handle(
+            &mut d,
+            20,
+            env(
+                NodeId::Core(1),
+                Message::InvAck {
+                    line: LineAddr(4),
+                    dirty: false,
+                },
+            ),
+            &mut fab,
+        );
         assert!(drain(&mut fab).is_empty(), "still one ack outstanding");
-        handle(&mut d, 21, env(NodeId::Core(2), Message::InvAck { line: LineAddr(4), dirty: false }), &mut fab);
+        handle(
+            &mut d,
+            21,
+            env(
+                NodeId::Core(2),
+                Message::InvAck {
+                    line: LineAddr(4),
+                    dirty: false,
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::Data { exclusive: true, .. }));
+        assert!(matches!(
+            out[0].msg,
+            Message::Data {
+                exclusive: true,
+                ..
+            }
+        ));
         let e = d.store().get(LineAddr(4)).unwrap();
         assert!(e.dirty);
         assert_eq!(e.sharer_list(), vec![3]);
@@ -726,16 +938,49 @@ mod tests {
     #[test]
     fn read_to_dirty_line_fetches_from_owner() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
-        handle(&mut d, 10, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::Fetch { for_excl: false, .. }));
+        assert!(matches!(
+            out[0].msg,
+            Message::Fetch {
+                for_excl: false,
+                ..
+            }
+        ));
         assert_eq!(out[0].dst, NodeId::Core(1));
-        handle(&mut d, 20,
-            env(NodeId::Core(1), Message::FetchResp { line: LineAddr(4), dirty: true, had_line: true }), &mut fab);
+        handle(
+            &mut d,
+            20,
+            env(
+                NodeId::Core(1),
+                Message::FetchResp {
+                    line: LineAddr(4),
+                    dirty: true,
+                    had_line: true,
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::Data { exclusive: false, .. }));
+        assert!(matches!(
+            out[0].msg,
+            Message::Data {
+                exclusive: false,
+                ..
+            }
+        ));
         let e = d.store().get(LineAddr(4)).unwrap();
         assert!(!e.dirty, "downgraded after sharing");
         assert!(e.has_sharer(1) && e.has_sharer(2));
@@ -744,15 +989,42 @@ mod tests {
     #[test]
     fn false_owner_fetch_served_from_memory() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
-        handle(&mut d, 10, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
         // Owner silently lost the line (§4.3.1's graceful case).
-        handle(&mut d, 20,
-            env(NodeId::Core(1), Message::FetchResp { line: LineAddr(4), dirty: false, had_line: false }), &mut fab);
+        handle(
+            &mut d,
+            20,
+            env(
+                NodeId::Core(1),
+                Message::FetchResp {
+                    line: LineAddr(4),
+                    dirty: false,
+                    had_line: false,
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::Data { exclusive: false, .. }));
+        assert!(matches!(
+            out[0].msg,
+            Message::Data {
+                exclusive: false,
+                ..
+            }
+        ));
         let e = d.store().get(LineAddr(4)).unwrap();
         assert!(!e.has_sharer(1), "false owner dropped");
         assert!(e.has_sharer(2));
@@ -761,11 +1033,26 @@ mod tests {
     #[test]
     fn busy_line_nacks() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
-        handle(&mut d, 5, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            5,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab); // fetch to owner in flight
-        handle(&mut d, 6, env(NodeId::Core(3), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            6,
+            env(NodeId::Core(3), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::Nack { .. }));
         assert_eq!(d.stats().nacks, 1);
@@ -774,17 +1061,33 @@ mod tests {
     #[test]
     fn upgrade_with_no_other_sharers_is_immediate() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
         // Clear the E-owner bit as a writeback does, leaving a plain
         // shared copy at core 1.
         handle(
             &mut d,
             5,
-            env(NodeId::Core(1), Message::Writeback { line: LineAddr(4), keep_shared: true }),
+            env(
+                NodeId::Core(1),
+                Message::Writeback {
+                    line: LineAddr(4),
+                    keep_shared: true,
+                },
+            ),
             &mut fab,
         );
-        handle(&mut d, 10, env(NodeId::Core(1), Message::Upgrade { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(NodeId::Core(1), Message::Upgrade { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::UpgradeAck { .. }));
         assert!(d.store().get(LineAddr(4)).unwrap().dirty);
@@ -793,7 +1096,12 @@ mod tests {
     #[test]
     fn upgrade_when_not_sharer_nacks() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::Upgrade { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::Upgrade { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::Nack { .. }));
     }
@@ -801,22 +1109,62 @@ mod tests {
     #[test]
     fn writeback_clears_dirty_and_keeps_sharer_when_asked() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
-        handle(&mut d, 10,
-            env(NodeId::Core(1), Message::Writeback { line: LineAddr(4), keep_shared: true }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(
+                NodeId::Core(1),
+                Message::Writeback {
+                    line: LineAddr(4),
+                    keep_shared: true,
+                },
+            ),
+            &mut fab,
+        );
         let e = d.store().get(LineAddr(4)).unwrap();
         assert!(!e.dirty);
         assert!(e.has_sharer(1));
         // Eviction variant drops the sharer and the idle entry.
-        handle(&mut d, 20,
-            env(NodeId::Core(1), Message::Writeback { line: LineAddr(4), keep_shared: false }), &mut fab);
+        handle(
+            &mut d,
+            20,
+            env(
+                NodeId::Core(1),
+                Message::Writeback {
+                    line: LineAddr(4),
+                    keep_shared: false,
+                },
+            ),
+            &mut fab,
+        );
         // Not dirty anymore so the second writeback is stale; force dirty
         // again to exercise the eviction path.
-        handle(&mut d, 30, env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            30,
+            env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
-        handle(&mut d, 40,
-            env(NodeId::Core(1), Message::Writeback { line: LineAddr(4), keep_shared: false }), &mut fab);
+        handle(
+            &mut d,
+            40,
+            env(
+                NodeId::Core(1),
+                Message::Writeback {
+                    line: LineAddr(4),
+                    keep_shared: false,
+                },
+            ),
+            &mut fab,
+        );
         assert!(d.store().get(LineAddr(4)).is_none(), "idle entry dropped");
     }
 
@@ -832,8 +1180,18 @@ mod tests {
     fn commit_with_no_sharers_is_done_immediately() {
         let (mut d, mut fab) = setup();
         let chunk = ChunkTag { core: 0, seq: 1 };
-        handle(&mut d, 0,
-            env(NodeId::Arbiter(0), Message::WSigToDir { chunk, w: wsig_of(&[4]) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(
+                NodeId::Arbiter(0),
+                Message::WSigToDir {
+                    chunk,
+                    w: wsig_of(&[4]),
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::DirDone { .. }));
         assert_eq!(out[0].dst, NodeId::Arbiter(0));
@@ -846,24 +1204,52 @@ mod tests {
         // Cores 0 (committer) and 1 both read line 4.
         share(&mut d, &mut fab, &[0, 1], LineAddr(4));
         let chunk = ChunkTag { core: 0, seq: 1 };
-        handle(&mut d, 10,
-            env(NodeId::Arbiter(0), Message::WSigToDir { chunk, w: wsig_of(&[4]) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(
+                NodeId::Arbiter(0),
+                Message::WSigToDir {
+                    chunk,
+                    w: wsig_of(&[4]),
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         let wsiginv: Vec<&Envelope> = out
             .iter()
-            .filter(|e| matches!(e.msg, Message::WSigInv { needs_ack: true, .. }))
+            .filter(|e| {
+                matches!(
+                    e.msg,
+                    Message::WSigInv {
+                        needs_ack: true,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(wsiginv.len(), 1);
         assert_eq!(wsiginv[0].dst, NodeId::Core(1));
         assert_eq!(d.committing_count(), 1);
 
         // While committing, reads to line 4 bounce (§4.3.2).
-        handle(&mut d, 15, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            15,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::Nack { .. }));
 
         // Ack re-enables and completes.
-        handle(&mut d, 20, env(NodeId::Core(1), Message::WSigInvAck { chunk }), &mut fab);
+        handle(
+            &mut d,
+            20,
+            env(NodeId::Core(1), Message::WSigInvAck { chunk }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         assert!(matches!(out[0].msg, Message::DirDone { .. }));
         assert_eq!(d.committing_count(), 0);
@@ -874,9 +1260,17 @@ mod tests {
         assert_eq!(e.sharer_list(), vec![0]);
 
         // And reads now succeed again.
-        handle(&mut d, 30, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            30,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::Fetch { .. }), "fetched from new owner");
+        assert!(
+            matches!(out[0].msg, Message::Fetch { .. }),
+            "fetched from new owner"
+        );
     }
 
     #[test]
@@ -884,11 +1278,31 @@ mod tests {
         let (mut d, mut fab) = setup();
         share(&mut d, &mut fab, &[0, 1], LineAddr(4));
         let chunk = ChunkTag { core: 0, seq: 1 };
-        handle(&mut d, 10,
-            env(NodeId::Core(0), Message::PrivSigToDir { chunk, w: wsig_of(&[4]) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(
+                NodeId::Core(0),
+                Message::PrivSigToDir {
+                    chunk,
+                    w: wsig_of(&[4]),
+                },
+            ),
+            &mut fab,
+        );
         let out = drain(&mut fab);
-        assert!(matches!(out[0].msg, Message::WSigInv { needs_ack: false, .. }));
-        assert_eq!(d.committing_count(), 0, "no access disabling for private data");
+        assert!(matches!(
+            out[0].msg,
+            Message::WSigInv {
+                needs_ack: false,
+                ..
+            }
+        ));
+        assert_eq!(
+            d.committing_count(),
+            0,
+            "no access disabling for private data"
+        );
         assert_eq!(d.stats().priv_sigs, 1);
     }
 
@@ -900,9 +1314,19 @@ mod tests {
         };
         let mut d = Directory::new(NodeId::Dir(0), cfg);
         let mut fab = Fabric::new(FabricConfig { hop_latency: 1 });
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
         drain(&mut fab);
-        handle(&mut d, 10, env(NodeId::Core(2), Message::ReadShared { line: LineAddr(8) }), &mut fab);
+        handle(
+            &mut d,
+            10,
+            env(NodeId::Core(2), Message::ReadShared { line: LineAddr(8) }),
+            &mut fab,
+        );
         let out = drain(&mut fab);
         let disp: Vec<&Envelope> = out
             .iter()
@@ -923,8 +1347,18 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let (mut d, mut fab) = setup();
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }), &mut fab);
-        handle(&mut d, 0, env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(8) }), &mut fab);
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadShared { line: LineAddr(4) }),
+            &mut fab,
+        );
+        handle(
+            &mut d,
+            0,
+            env(NodeId::Core(1), Message::ReadExcl { line: LineAddr(8) }),
+            &mut fab,
+        );
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().read_excls, 1);
     }

@@ -29,9 +29,9 @@ pub mod directory;
 pub mod store;
 pub mod values;
 
+pub use bulksc_sig::LineData;
 pub use cache::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
 pub use dirbdm::{expand_commit, ExpansionResult};
 pub use directory::{DirConfig, DirStats, Directory};
 pub use store::{DirEntry, DirOrganization, DirStore, Displaced};
 pub use values::ValueStore;
-pub use bulksc_sig::LineData;

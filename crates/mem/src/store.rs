@@ -23,7 +23,10 @@ pub struct DirEntry {
 impl DirEntry {
     /// An entry with no sharers.
     pub fn empty() -> Self {
-        DirEntry { dirty: false, sharers: 0 }
+        DirEntry {
+            dirty: false,
+            sharers: 0,
+        }
     }
 
     /// True if core `c` is recorded as holding the line.
@@ -127,7 +130,10 @@ impl DirStore {
     ///
     /// Panics if the set count is not a power of two.
     pub fn new(org: DirOrganization) -> Self {
-        assert!(org.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            org.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         DirStore {
             org,
             sets: vec![Vec::new(); org.sets() as usize],
@@ -204,9 +210,16 @@ impl DirStore {
                 .min_by_key(|(_, s)| s.stamp)
                 .map(|(i, _)| i)?;
             let old = self.sets[set].swap_remove(victim);
-            displaced = Some(Displaced { line: old.line, entry: old.entry });
+            displaced = Some(Displaced {
+                line: old.line,
+                entry: old.entry,
+            });
         }
-        self.sets[set].push(StoredEntry { line, entry: DirEntry::empty(), stamp });
+        self.sets[set].push(StoredEntry {
+            line,
+            entry: DirEntry::empty(),
+            stamp,
+        });
         let last = self.sets[set].len() - 1;
         Some((&mut self.sets[set][last].entry, displaced))
     }
@@ -225,7 +238,9 @@ impl DirStore {
     /// The `(line, entry)` pairs stored in set `set_index`, for signature
     /// expansion.
     pub fn entries_in_set(&self, set_index: u32) -> impl Iterator<Item = (LineAddr, &DirEntry)> {
-        self.sets[set_index as usize].iter().map(|s| (s.line, &s.entry))
+        self.sets[set_index as usize]
+            .iter()
+            .map(|s| (s.line, &s.entry))
     }
 
     /// Total entries stored.

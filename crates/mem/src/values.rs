@@ -70,7 +70,6 @@ impl ValueStore {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use bulksc_trace::{Event, TraceHandle};
+
 use crate::msg::{Message, NodeId};
 use crate::traffic::TrafficStats;
 use crate::Cycle;
@@ -84,6 +86,7 @@ pub struct Fabric {
     queue: BinaryHeap<Reverse<InFlight>>,
     seq: u64,
     traffic: TrafficStats,
+    trace: TraceHandle,
 }
 
 impl Fabric {
@@ -94,7 +97,13 @@ impl Fabric {
             queue: BinaryHeap::new(),
             seq: 0,
             traffic: TrafficStats::new(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Route subsequent sends' `net_send` events to `trace`'s sinks.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The configured per-hop latency.
@@ -120,6 +129,12 @@ impl Fabric {
         msg: Message,
     ) {
         msg.account(&mut self.traffic);
+        self.trace.emit(now, || Event::NetSend {
+            src: src.into(),
+            dst: dst.into(),
+            kind: msg.kind(),
+            bytes: msg.wire_bytes(),
+        });
         let at = now + self.cfg.hop_latency + extra;
         let seq = self.seq;
         self.seq += 1;
@@ -154,6 +169,12 @@ impl Fabric {
         self.queue.is_empty()
     }
 
+    /// Number of messages currently in flight (the interval sampler's
+    /// queue-depth metric).
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Accumulated traffic statistics.
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
@@ -167,7 +188,9 @@ mod tests {
     use bulksc_sig::LineAddr;
 
     fn read(line: u64) -> Message {
-        Message::ReadShared { line: LineAddr(line) }
+        Message::ReadShared {
+            line: LineAddr(line),
+        }
     }
 
     #[test]
@@ -217,6 +240,23 @@ mod tests {
         f.send(0, NodeId::Core(0), NodeId::Dir(0), read(1));
         assert_eq!(f.traffic().bytes(TrafficClass::ReadWrite), 8);
         assert_eq!(f.traffic().messages(), 1);
+    }
+
+    #[test]
+    fn sends_are_traced() {
+        let ring = bulksc_trace::RingTracer::shared(8);
+        let mut trace = bulksc_trace::TraceHandle::off();
+        trace.attach(ring.clone());
+        let mut f = Fabric::new(FabricConfig::default());
+        f.set_tracer(trace);
+        f.send(7, NodeId::Core(2), NodeId::Dir(0), read(1));
+        assert_eq!(ring.borrow().seen(), 1);
+        let dump = ring.borrow().dump();
+        assert!(
+            dump.contains("net_send") && dump.contains("ReadShared"),
+            "{dump}"
+        );
+        assert_eq!(f.in_flight(), 1);
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub enum Message {
     /// Dir → core: data response; `exclusive` grants M/E rights. `data`
     /// is the value snapshot taken when the directory served the request
     /// (its linearization point for the line).
-    Data { line: LineAddr, exclusive: bool, data: LineData },
+    Data {
+        line: LineAddr,
+        exclusive: bool,
+        data: LineData,
+    },
     /// Dir → core: upgrade acknowledged (no data needed).
     UpgradeAck { line: LineAddr },
     /// Dir → core: invalidate this line (baseline write, or directory-cache
@@ -89,7 +93,11 @@ pub enum Message {
     /// Owner core → dir: line surrendered; `dirty` carries data bytes.
     /// `had_line=false` models the silent-eviction "false owner" reply of
     /// §4.3.1.
-    FetchResp { line: LineAddr, dirty: bool, had_line: bool },
+    FetchResp {
+        line: LineAddr,
+        dirty: bool,
+        had_line: bool,
+    },
     /// Core → dir: voluntary writeback of a dirty line. `keep_shared` is
     /// true for BulkSC's first-speculative-write-to-a-dirty-line writeback
     /// (§5.2), where the line stays cached in Shared state; false for
@@ -163,7 +171,10 @@ pub enum Message {
     /// Dir → core: a directory-cache entry for `line` was displaced; the
     /// address is delivered as a signature for bulk disambiguation with the
     /// local R and W signatures (§4.3.3).
-    DisplaceSig { line: LineAddr, sig: Box<TrackedSig> },
+    DisplaceSig {
+        line: LineAddr,
+        sig: Box<TrackedSig>,
+    },
     /// Core → arbiter: request pre-arbitration — permission to execute with
     /// other commits locked out (§3.3 forward-progress guarantee).
     PreArbReq,
@@ -216,9 +227,7 @@ impl Message {
             WSigToDir { w, .. } | PrivSigToDir { w, .. } => {
                 stats.add(TrafficClass::WrSig, CTRL_BYTES + w.wire_bytes() as u64)
             }
-            WSigInv { w, .. } => {
-                stats.add(TrafficClass::WrSig, CTRL_BYTES + w.wire_bytes() as u64)
-            }
+            WSigInv { w, .. } => stats.add(TrafficClass::WrSig, CTRL_BYTES + w.wire_bytes() as u64),
             WSigInvAck { .. } | DirDone { .. } => stats.add(TrafficClass::Inv, CTRL_BYTES),
             // Models the processor inspecting the arbiter; free on the wire.
             CommitComplete { .. } => {}
@@ -234,6 +243,52 @@ impl Message {
         let mut t = TrafficStats::new();
         self.account(&mut t);
         t.total()
+    }
+
+    /// The message kind as a stable string (trace-event vocabulary).
+    pub fn kind(&self) -> &'static str {
+        use Message::*;
+        match self {
+            ReadShared { .. } => "ReadShared",
+            ReadExcl { .. } => "ReadExcl",
+            Upgrade { .. } => "Upgrade",
+            Data { .. } => "Data",
+            UpgradeAck { .. } => "UpgradeAck",
+            Inv { .. } => "Inv",
+            InvAck { .. } => "InvAck",
+            Fetch { .. } => "Fetch",
+            FetchResp { .. } => "FetchResp",
+            Writeback { .. } => "Writeback",
+            Nack { .. } => "Nack",
+            CommitReq { .. } => "CommitReq",
+            RSigReq { .. } => "RSigReq",
+            RSigResp { .. } => "RSigResp",
+            CommitResp { .. } => "CommitResp",
+            WSigToDir { .. } => "WSigToDir",
+            WSigInv { .. } => "WSigInv",
+            WSigInvAck { .. } => "WSigInvAck",
+            DirDone { .. } => "DirDone",
+            CommitComplete { .. } => "CommitComplete",
+            PrivSigToDir { .. } => "PrivSigToDir",
+            ArbCheck { .. } => "ArbCheck",
+            ArbCheckResp { .. } => "ArbCheckResp",
+            ArbRelease { .. } => "ArbRelease",
+            ArbDone { .. } => "ArbDone",
+            DisplaceSig { .. } => "DisplaceSig",
+            PreArbReq => "PreArbReq",
+            PreArbGrant => "PreArbGrant",
+        }
+    }
+}
+
+impl From<NodeId> for bulksc_trace::Endpoint {
+    fn from(id: NodeId) -> bulksc_trace::Endpoint {
+        match id {
+            NodeId::Core(i) => bulksc_trace::Endpoint::core(i),
+            NodeId::Dir(i) => bulksc_trace::Endpoint::dir(i),
+            NodeId::Arbiter(i) => bulksc_trace::Endpoint::arbiter(i),
+            NodeId::GArbiter => bulksc_trace::Endpoint::garbiter(),
+        }
     }
 }
 
@@ -254,15 +309,28 @@ mod tests {
     fn control_and_data_sizes() {
         assert_eq!(Message::ReadShared { line: LineAddr(1) }.wire_bytes(), 8);
         assert_eq!(
-            Message::Data { line: LineAddr(1), exclusive: false, data: [0; 4] }.wire_bytes(),
+            Message::Data {
+                line: LineAddr(1),
+                exclusive: false,
+                data: [0; 4]
+            }
+            .wire_bytes(),
             40
         );
         assert_eq!(
-            Message::InvAck { line: LineAddr(1), dirty: true }.wire_bytes(),
+            Message::InvAck {
+                line: LineAddr(1),
+                dirty: true
+            }
+            .wire_bytes(),
             40
         );
         assert_eq!(
-            Message::InvAck { line: LineAddr(1), dirty: false }.wire_bytes(),
+            Message::InvAck {
+                line: LineAddr(1),
+                dirty: false
+            }
+            .wire_bytes(),
             8
         );
     }
@@ -299,7 +367,9 @@ mod tests {
 
     #[test]
     fn commit_complete_is_free() {
-        let m = Message::CommitComplete { chunk: ChunkTag { core: 3, seq: 9 } };
+        let m = Message::CommitComplete {
+            chunk: ChunkTag { core: 3, seq: 9 },
+        };
         assert_eq!(m.wire_bytes(), 0);
     }
 

@@ -72,7 +72,7 @@ impl SignatureConfig {
     /// Panics if `total_bits` is not `4 * 2^k` for some `k >= 6`.
     pub fn with_total_bits(total_bits: u32) -> Self {
         assert!(
-            total_bits % 4 == 0 && (total_bits / 4).is_power_of_two() && total_bits >= 256,
+            total_bits.is_multiple_of(4) && (total_bits / 4).is_power_of_two() && total_bits >= 256,
             "total_bits must be 4 * 2^k with k >= 6, got {total_bits}"
         );
         SignatureConfig {
@@ -96,7 +96,6 @@ impl SignatureConfig {
     fn words(&self) -> usize {
         (self.total_bits() as usize).div_ceil(64)
     }
-
 }
 
 /// Build the fixed bit permutation of bank `bank`: a pseudorandom
@@ -309,7 +308,10 @@ impl Signature {
     ///
     /// Panics if `num_sets` is zero or not a power of two.
     pub fn decode_sets(&self, num_sets: u32) -> Vec<u32> {
-        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two"
+        );
         let bank_bits = self.config().bank_bits();
         let mut out = vec![false; num_sets as usize];
         if num_sets >= bank_bits {
@@ -436,7 +438,10 @@ mod tests {
     fn disjoint_small_sets_do_not_intersect_with_banked_rule() {
         // The banked emptiness rule is far more precise: a handful of
         // well-spread addresses should not alias.
-        let banked = SignatureConfig { banked_empty: true, ..cfg() };
+        let banked = SignatureConfig {
+            banked_empty: true,
+            ..cfg()
+        };
         let a = Signature::from_lines(&banked, (0..8).map(|i| LineAddr(i * 1009)));
         let b = Signature::from_lines(&banked, (0..8).map(|i| LineAddr(1_000_000 + i * 977)));
         assert!(!a.intersects(&b));
@@ -446,7 +451,10 @@ mod tests {
     fn unbanked_rule_is_conservative_superset_of_banked() {
         // Whenever the banked rule reports a collision, the unbanked
         // (default hardware) rule must as well.
-        let banked_cfg = SignatureConfig { banked_empty: true, ..cfg() };
+        let banked_cfg = SignatureConfig {
+            banked_empty: true,
+            ..cfg()
+        };
         for k in 0..20u64 {
             let lines_a: Vec<LineAddr> = (0..32).map(|i| LineAddr(i * 97 + k * 7)).collect();
             let lines_b: Vec<LineAddr> = (0..32).map(|i| LineAddr(i * 89 + k * 13 + 1)).collect();
@@ -497,14 +505,14 @@ mod tests {
         // as bank bits yields exactly one set.
         let s = Signature::from_lines(&cfg(), [LineAddr(77)]);
         let sets = s.decode_sets(512);
-        assert_eq!(sets, vec![(77 % 512) as u32]);
+        assert_eq!(sets, vec![77u32], "line 77 mod 512 sets");
     }
 
     #[test]
     fn decode_sets_with_more_sets_than_bank_bits() {
         let s = Signature::from_lines(&cfg(), [LineAddr(3)]);
         let sets = s.decode_sets(1024); // 1024 sets > 512 bank bits
-        // Conservative: both aliases of bank-bit 3 are candidates.
+                                        // Conservative: both aliases of bank-bit 3 are candidates.
         assert!(sets.contains(&3));
         assert!(sets.contains(&(3 + 512)));
     }
@@ -539,7 +547,7 @@ mod tests {
         let mut s = Signature::new(&cfg());
         s.insert(LineAddr(5));
         let one = s.popcount();
-        assert!(one >= 1 && one <= 4);
+        assert!((1..=4).contains(&one));
         for i in 0..100_000u64 {
             // Pseudo-random lines: sequential lines would only exercise the
             // bit positions a stride reaches.

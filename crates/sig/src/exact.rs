@@ -157,13 +157,17 @@ mod tests {
 
     #[test]
     fn decode_sets_is_exact() {
-        let s: ExactSet = [LineAddr(0), LineAddr(64), LineAddr(65)].into_iter().collect();
+        let s: ExactSet = [LineAddr(0), LineAddr(64), LineAddr(65)]
+            .into_iter()
+            .collect();
         assert_eq!(s.decode_sets(64), vec![0, 1]);
     }
 
     #[test]
     fn iteration_is_sorted() {
-        let s: ExactSet = [LineAddr(5), LineAddr(1), LineAddr(3)].into_iter().collect();
+        let s: ExactSet = [LineAddr(5), LineAddr(1), LineAddr(3)]
+            .into_iter()
+            .collect();
         let v: Vec<u64> = s.iter().map(|l| l.0).collect();
         assert_eq!(v, vec![1, 3, 5]);
     }

@@ -1,13 +1,26 @@
-//! Property-based tests of the signature invariants everything in BulkSC
+//! Randomized tests of the signature invariants everything in BulkSC
 //! leans on: a Bloom signature is always a *superset* encoding of the exact
 //! set it was built from, and its operations are conservative approximations
 //! of set operations.
+//!
+//! These were proptest properties; each is now a deterministic seeded loop
+//! over `SplitMix64`-generated line sets (no external dependencies), so
+//! failures reproduce bit-for-bit from the case number.
 
 use bulksc_sig::{ExactSet, LineAddr, SigMode, Signature, SignatureConfig, TrackedSig};
-use proptest::prelude::*;
+use bulksc_stats::SplitMix64;
 
-fn lines() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..1_000_000, 0..200)
+const CASES: u64 = 64;
+
+/// A random line set: up to 200 lines drawn from `0..1_000_000`, like the
+/// old proptest strategy.
+fn lines(rng: &mut SplitMix64) -> Vec<u64> {
+    let len = rng.gen_index(200);
+    (0..len).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+fn rng_for(test: u64, case: u64) -> SplitMix64 {
+    SplitMix64::new(0x516_fa11 ^ (test << 32) ^ case)
 }
 
 fn sig_of(cfg: &SignatureConfig, v: &[u64]) -> Signature {
@@ -18,116 +31,168 @@ fn exact_of(v: &[u64]) -> ExactSet {
     v.iter().map(|&l| LineAddr(l)).collect()
 }
 
-proptest! {
-    /// No false negatives: everything inserted is a member.
-    #[test]
-    fn membership_has_no_false_negatives(v in lines()) {
-        let cfg = SignatureConfig::default();
+/// No false negatives: everything inserted is a member.
+#[test]
+fn membership_has_no_false_negatives() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let v = lines(&mut rng_for(1, case));
         let s = sig_of(&cfg, &v);
         for &l in &v {
-            prop_assert!(s.contains(LineAddr(l)));
+            assert!(s.contains(LineAddr(l)), "case {case}: lost line {l}");
         }
     }
+}
 
-    /// If the exact sets intersect, the Bloom signatures must intersect
-    /// (conservatism of ∩).
-    #[test]
-    fn intersection_is_conservative(a in lines(), b in lines()) {
-        let cfg = SignatureConfig::default();
+/// If the exact sets intersect, the Bloom signatures must intersect
+/// (conservatism of ∩).
+#[test]
+fn intersection_is_conservative() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let (a, b) = (lines(&mut rng), lines(&mut rng));
         let (sa, sb) = (sig_of(&cfg, &a), sig_of(&cfg, &b));
         let (ea, eb) = (exact_of(&a), exact_of(&b));
         if ea.intersects(&eb) {
-            prop_assert!(sa.intersects(&sb));
+            assert!(
+                sa.intersects(&sb),
+                "case {case}: missed a real intersection"
+            );
         }
     }
+}
 
-    /// Union is a homomorphism: sig(A) ∪ sig(B) == sig(A ∪ B).
-    #[test]
-    fn union_is_homomorphic(a in lines(), b in lines()) {
-        let cfg = SignatureConfig::default();
+/// Union is a homomorphism: sig(A) ∪ sig(B) == sig(A ∪ B).
+#[test]
+fn union_is_homomorphic() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let (a, b) = (lines(&mut rng), lines(&mut rng));
         let mut u = sig_of(&cfg, &a);
         u.union_with(&sig_of(&cfg, &b));
         let mut ab = a.clone();
         ab.extend(&b);
-        prop_assert_eq!(u, sig_of(&cfg, &ab));
+        assert_eq!(u, sig_of(&cfg, &ab), "case {case}");
     }
+}
 
-    /// Emptiness is exact: a signature is empty iff nothing was inserted.
-    #[test]
-    fn emptiness_is_exact(v in lines()) {
-        let cfg = SignatureConfig::default();
+/// Emptiness is exact: a signature is empty iff nothing was inserted.
+#[test]
+fn emptiness_is_exact() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let v = lines(&mut rng_for(4, case));
         let s = sig_of(&cfg, &v);
-        prop_assert_eq!(s.is_empty(), v.is_empty());
+        assert_eq!(s.is_empty(), v.is_empty(), "case {case}");
     }
+}
 
-    /// δ covers: every inserted line's cache set appears among the decoded
-    /// sets, for any power-of-two set count.
-    #[test]
-    fn decode_covers_all_lines(v in lines(), sets_log in 4u32..12) {
-        let cfg = SignatureConfig::default();
+/// δ covers: every inserted line's cache set appears among the decoded
+/// sets, for any power-of-two set count.
+#[test]
+fn decode_covers_all_lines() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let v = lines(&mut rng);
+        let sets_log = 4 + rng.gen_range(0..8) as u32;
         let s = sig_of(&cfg, &v);
         let num_sets = 1u32 << sets_log;
         let decoded = s.decode_sets(num_sets);
         for &l in &v {
-            prop_assert!(decoded.contains(&((l % num_sets as u64) as u32)));
+            assert!(
+                decoded.contains(&((l % num_sets as u64) as u32)),
+                "case {case}: line {l} not covered with {num_sets} sets"
+            );
         }
     }
+}
 
-    /// Exact decode is minimal: decoded sets are exactly the occupied sets.
-    #[test]
-    fn exact_decode_is_minimal(v in lines(), sets_log in 4u32..12) {
+/// Exact decode is minimal: decoded sets are exactly the occupied sets.
+#[test]
+fn exact_decode_is_minimal() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let v = lines(&mut rng);
+        let sets_log = 4 + rng.gen_range(0..8) as u32;
         let e = exact_of(&v);
         let num_sets = 1u32 << sets_log;
         let decoded = e.decode_sets(num_sets);
         let mut expect: Vec<u32> = v.iter().map(|&l| (l % num_sets as u64) as u32).collect();
         expect.sort_unstable();
         expect.dedup();
-        prop_assert_eq!(decoded, expect);
+        assert_eq!(decoded, expect, "case {case}");
     }
+}
 
-    /// The tracked signature keeps its two encodings consistent: bloom is a
-    /// superset of exact, and clearing resets both.
-    #[test]
-    fn tracked_invariants(v in lines()) {
-        let cfg = SignatureConfig::default();
+/// The tracked signature keeps its two encodings consistent: bloom is a
+/// superset of exact, and clearing resets both.
+#[test]
+fn tracked_invariants() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let v = lines(&mut rng_for(7, case));
         let mut t = TrackedSig::new(&cfg, SigMode::Bloom);
         for &l in &v {
             t.insert(LineAddr(l));
         }
         for l in t.exact().iter() {
-            prop_assert!(t.bloom().contains(l));
+            assert!(t.bloom().contains(l), "case {case}");
         }
         let mut sorted = v.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(t.len(), sorted.len());
+        assert_eq!(t.len(), sorted.len(), "case {case}");
         t.clear();
-        prop_assert!(t.is_empty() && t.bloom().is_empty() && t.exact().is_empty());
+        assert!(
+            t.is_empty() && t.bloom().is_empty() && t.exact().is_empty(),
+            "case {case}"
+        );
     }
+}
 
-    /// Exact-mode disambiguation agrees with set intersection precisely.
-    #[test]
-    fn exact_mode_matches_set_semantics(a in lines(), b in lines()) {
-        let cfg = SignatureConfig::default();
+/// Exact-mode disambiguation agrees with set intersection precisely.
+#[test]
+fn exact_mode_matches_set_semantics() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let (a, b) = (lines(&mut rng), lines(&mut rng));
         let mut ta = TrackedSig::new(&cfg, SigMode::Exact);
         let mut tb = TrackedSig::new(&cfg, SigMode::Exact);
-        for &l in &a { ta.insert(LineAddr(l)); }
-        for &l in &b { tb.insert(LineAddr(l)); }
-        prop_assert_eq!(ta.intersects(&tb), exact_of(&a).intersects(&exact_of(&b)));
+        for &l in &a {
+            ta.insert(LineAddr(l));
+        }
+        for &l in &b {
+            tb.insert(LineAddr(l));
+        }
+        assert_eq!(
+            ta.intersects(&tb),
+            exact_of(&a).intersects(&exact_of(&b)),
+            "case {case}"
+        );
     }
+}
 
-    /// Wire size never exceeds the raw signature and is monotone under
-    /// insertion.
-    #[test]
-    fn wire_size_bounds(v in lines()) {
-        let cfg = SignatureConfig::default();
+/// Wire size never exceeds the raw signature and is monotone under
+/// insertion.
+#[test]
+fn wire_size_bounds() {
+    let cfg = SignatureConfig::default();
+    for case in 0..CASES {
+        let v = lines(&mut rng_for(9, case));
         let mut s = Signature::new(&cfg);
         let mut prev = bulksc_sig::wire_bytes(&s);
         for &l in &v {
             s.insert(LineAddr(l));
             let now = bulksc_sig::wire_bytes(&s);
-            prop_assert!(now >= prev);
-            prop_assert!(now <= cfg.total_bits() / 8);
+            assert!(now >= prev, "case {case}: wire size shrank");
+            assert!(
+                now <= cfg.total_bits() / 8,
+                "case {case}: wire size over raw"
+            );
             prev = now;
         }
     }

@@ -14,9 +14,11 @@
 //! * aligned text tables mirroring the paper's layout — [`table::Table`].
 
 pub mod rates;
+pub mod rng;
 pub mod table;
 
-pub use rates::{per_1k, per_100k, percent};
+pub use rates::{per_100k, per_1k, percent};
+pub use rng::SplitMix64;
 pub use table::Table;
 
 /// Arithmetic mean accumulated one sample at a time.

@@ -1,0 +1,390 @@
+//! The structured event vocabulary of the simulator.
+//!
+//! Every event is cycle-stamped by the emitter (the cycle rides next to the
+//! event through [`crate::Tracer::record`], not inside it) and identifies
+//! the component it happened at. The taxonomy follows the chunk lifecycle
+//! of the paper — a chunk starts, requests commit permission from the
+//! arbiter, is granted or denied, commits (expanding its W signature in the
+//! directory) or squashes — plus the memory-system side effects (cache and
+//! directory displacements, Private-Buffer supplies) and raw network
+//! send/deliver hops.
+
+use std::fmt;
+
+/// Which component an endpoint is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndpointKind {
+    Core,
+    Dir,
+    Arbiter,
+    GArbiter,
+}
+
+/// A node on the interconnect, in trace vocabulary (kept free of the `net`
+/// crate's types so `net` itself can depend on this crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Endpoint {
+    pub kind: EndpointKind,
+    pub index: u32,
+}
+
+impl Endpoint {
+    pub fn core(index: u32) -> Endpoint {
+        Endpoint {
+            kind: EndpointKind::Core,
+            index,
+        }
+    }
+    pub fn dir(index: u32) -> Endpoint {
+        Endpoint {
+            kind: EndpointKind::Dir,
+            index,
+        }
+    }
+    pub fn arbiter(index: u32) -> Endpoint {
+        Endpoint {
+            kind: EndpointKind::Arbiter,
+            index,
+        }
+    }
+    pub fn garbiter() -> Endpoint {
+        Endpoint {
+            kind: EndpointKind::GArbiter,
+            index: 0,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EndpointKind::Core => write!(f, "core{}", self.index),
+            EndpointKind::Dir => write!(f, "dir{}", self.index),
+            EndpointKind::Arbiter => write!(f, "arb{}", self.index),
+            EndpointKind::GArbiter => write!(f, "garb"),
+        }
+    }
+}
+
+/// Why a chunk was squashed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SquashCause {
+    /// Signature aliasing: the W ∩ R/W test fired on addresses the chunk
+    /// never touched (false positive of the Bloom encoding).
+    Alias,
+    /// True sharing: a real cross-chunk conflict.
+    TrueSharing,
+    /// Cache-set overflow: the chunk's footprint no longer fits.
+    Overflow,
+}
+
+impl SquashCause {
+    pub fn label(self) -> &'static str {
+        match self {
+            SquashCause::Alias => "alias",
+            SquashCause::TrueSharing => "true-sharing",
+            SquashCause::Overflow => "overflow",
+        }
+    }
+}
+
+/// One cycle-stamped simulator event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A core opened a new chunk (`seq` is per-core, monotonically rising).
+    ChunkStart { core: u32, seq: u64 },
+    /// A core asked the arbiter for permission to commit.
+    CommitRequest {
+        core: u32,
+        seq: u64,
+        w_lines: u32,
+        carries_rsig: bool,
+    },
+    /// The (G-)arbiter granted commit permission.
+    CommitGrant { core: u32, seq: u64 },
+    /// The (G-)arbiter denied commit permission (the core will retry).
+    CommitDeny { core: u32, seq: u64 },
+    /// A chunk finished committing and retired its instructions.
+    ChunkCommit {
+        core: u32,
+        seq: u64,
+        read_lines: u32,
+        write_lines: u32,
+        priv_lines: u32,
+    },
+    /// A chunk was squashed and will re-execute from its checkpoint.
+    Squash {
+        core: u32,
+        seq: u64,
+        cause: SquashCause,
+        squashed_instrs: u64,
+    },
+    /// The directory expanded a committing W signature (Table 1's DirBDM
+    /// walk): `lookups`/`updates` count the directory accesses it took,
+    /// `inv_targets` the sharer caches it invalidated.
+    SigExpand {
+        dir: u32,
+        core: u32,
+        seq: u64,
+        lookups: u64,
+        updates: u64,
+        inv_targets: u64,
+    },
+    /// A directory-cache entry was displaced (its owner must flush).
+    DirDisplacement { dir: u32, line: u64 },
+    /// An L1 cache line with speculative read-set footprint was displaced.
+    CacheDisplacement { core: u32, line: u64 },
+    /// The Private Buffer supplied a dirty line instead of memory (§5.2).
+    PrivSupply { core: u32, line: u64 },
+    /// A message entered the interconnect.
+    NetSend {
+        src: Endpoint,
+        dst: Endpoint,
+        kind: &'static str,
+        bytes: u64,
+    },
+    /// A message left the interconnect at its destination.
+    NetDeliver {
+        src: Endpoint,
+        dst: Endpoint,
+        kind: &'static str,
+    },
+}
+
+impl Event {
+    /// Stable snake_case name (the `ev` field of the JSONL encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::ChunkStart { .. } => "chunk_start",
+            Event::CommitRequest { .. } => "commit_request",
+            Event::CommitGrant { .. } => "commit_grant",
+            Event::CommitDeny { .. } => "commit_deny",
+            Event::ChunkCommit { .. } => "chunk_commit",
+            Event::Squash { .. } => "squash",
+            Event::SigExpand { .. } => "sig_expand",
+            Event::DirDisplacement { .. } => "dir_displacement",
+            Event::CacheDisplacement { .. } => "cache_displacement",
+            Event::PrivSupply { .. } => "priv_supply",
+            Event::NetSend { .. } => "net_send",
+            Event::NetDeliver { .. } => "net_deliver",
+        }
+    }
+
+    /// The component this event happened at (used as the Chrome-trace
+    /// thread id so Perfetto lanes events per component).
+    pub fn actor(&self) -> Endpoint {
+        match *self {
+            Event::ChunkStart { core, .. }
+            | Event::CommitRequest { core, .. }
+            | Event::CommitGrant { core, .. }
+            | Event::CommitDeny { core, .. }
+            | Event::ChunkCommit { core, .. }
+            | Event::Squash { core, .. }
+            | Event::CacheDisplacement { core, .. }
+            | Event::PrivSupply { core, .. } => Endpoint::core(core),
+            Event::SigExpand { dir, .. } | Event::DirDisplacement { dir, .. } => Endpoint::dir(dir),
+            Event::NetSend { src, .. } => src,
+            Event::NetDeliver { dst, .. } => dst,
+        }
+    }
+
+    /// The `(key, value)` payload fields, in a stable order.
+    pub fn fields(&self) -> Vec<(&'static str, crate::Json)> {
+        match *self {
+            Event::ChunkStart { core, seq } => {
+                vec![("core", core.into()), ("seq", seq.into())]
+            }
+            Event::CommitRequest {
+                core,
+                seq,
+                w_lines,
+                carries_rsig,
+            } => vec![
+                ("core", core.into()),
+                ("seq", seq.into()),
+                ("w_lines", w_lines.into()),
+                ("carries_rsig", carries_rsig.into()),
+            ],
+            Event::CommitGrant { core, seq } | Event::CommitDeny { core, seq } => {
+                vec![("core", core.into()), ("seq", seq.into())]
+            }
+            Event::ChunkCommit {
+                core,
+                seq,
+                read_lines,
+                write_lines,
+                priv_lines,
+            } => vec![
+                ("core", core.into()),
+                ("seq", seq.into()),
+                ("read_lines", read_lines.into()),
+                ("write_lines", write_lines.into()),
+                ("priv_lines", priv_lines.into()),
+            ],
+            Event::Squash {
+                core,
+                seq,
+                cause,
+                squashed_instrs,
+            } => vec![
+                ("core", core.into()),
+                ("seq", seq.into()),
+                ("cause", cause.label().into()),
+                ("squashed_instrs", squashed_instrs.into()),
+            ],
+            Event::SigExpand {
+                dir,
+                core,
+                seq,
+                lookups,
+                updates,
+                inv_targets,
+            } => vec![
+                ("dir", dir.into()),
+                ("core", core.into()),
+                ("seq", seq.into()),
+                ("lookups", lookups.into()),
+                ("updates", updates.into()),
+                ("inv_targets", inv_targets.into()),
+            ],
+            Event::DirDisplacement { dir, line } => {
+                vec![("dir", dir.into()), ("line", line.into())]
+            }
+            Event::CacheDisplacement { core, line } | Event::PrivSupply { core, line } => {
+                vec![("core", core.into()), ("line", line.into())]
+            }
+            Event::NetSend {
+                src,
+                dst,
+                kind,
+                bytes,
+            } => vec![
+                ("src", src.to_string().into()),
+                ("dst", dst.to_string().into()),
+                ("kind", kind.into()),
+                ("bytes", bytes.into()),
+            ],
+            Event::NetDeliver { src, dst, kind } => vec![
+                ("src", src.to_string().into()),
+                ("dst", dst.to_string().into()),
+                ("kind", kind.into()),
+            ],
+        }
+    }
+
+    /// One JSONL line (no trailing newline): `{"t":cycle,"ev":name,...}`.
+    pub fn jsonl(&self, cycle: u64) -> String {
+        let mut obj = crate::Json::obj([("t", cycle.into()), ("ev", self.name().into())]);
+        for (k, v) in self.fields() {
+            obj.push(k, v);
+        }
+        obj.to_string()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @{}", self.name(), self.actor())?;
+        for (k, v) in self.fields() {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_display() {
+        assert_eq!(Endpoint::core(3).to_string(), "core3");
+        assert_eq!(Endpoint::dir(0).to_string(), "dir0");
+        assert_eq!(Endpoint::arbiter(1).to_string(), "arb1");
+        assert_eq!(Endpoint::garbiter().to_string(), "garb");
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let events = [
+            Event::ChunkStart { core: 0, seq: 1 },
+            Event::CommitRequest {
+                core: 0,
+                seq: 1,
+                w_lines: 3,
+                carries_rsig: true,
+            },
+            Event::CommitGrant { core: 0, seq: 1 },
+            Event::CommitDeny { core: 1, seq: 9 },
+            Event::ChunkCommit {
+                core: 0,
+                seq: 1,
+                read_lines: 20,
+                write_lines: 3,
+                priv_lines: 8,
+            },
+            Event::Squash {
+                core: 1,
+                seq: 9,
+                cause: SquashCause::Alias,
+                squashed_instrs: 412,
+            },
+            Event::SigExpand {
+                dir: 0,
+                core: 0,
+                seq: 1,
+                lookups: 4,
+                updates: 2,
+                inv_targets: 1,
+            },
+            Event::DirDisplacement {
+                dir: 0,
+                line: 0xfeed,
+            },
+            Event::CacheDisplacement {
+                core: 2,
+                line: 0xbeef,
+            },
+            Event::PrivSupply {
+                core: 2,
+                line: 0xcafe,
+            },
+            Event::NetSend {
+                src: Endpoint::core(0),
+                dst: Endpoint::arbiter(0),
+                kind: "CommitReq",
+                bytes: 264,
+            },
+            Event::NetDeliver {
+                src: Endpoint::core(0),
+                dst: Endpoint::arbiter(0),
+                kind: "CommitReq",
+            },
+        ];
+        for (i, ev) in events.iter().enumerate() {
+            let line = ev.jsonl(100 + i as u64);
+            assert!(crate::json::is_valid(&line), "invalid JSONL: {line}");
+            assert!(line.contains(&format!("\"ev\":\"{}\"", ev.name())));
+            assert!(line.starts_with(&format!("{{\"t\":{}", 100 + i)));
+        }
+    }
+
+    #[test]
+    fn squash_causes_have_stable_labels() {
+        assert_eq!(SquashCause::Alias.label(), "alias");
+        assert_eq!(SquashCause::TrueSharing.label(), "true-sharing");
+        assert_eq!(SquashCause::Overflow.label(), "overflow");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Event::Squash {
+            core: 1,
+            seq: 9,
+            cause: SquashCause::Overflow,
+            squashed_instrs: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("squash") && s.contains("core1") && s.contains("overflow"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Interval metrics: periodic snapshots of system occupancy.
+//!
+//! End-of-run aggregates (`SimReport`) say *what* happened; the interval
+//! series says *when*. Every `every` cycles the system records per-core
+//! retirement deltas (IPC), the arbiters' pending-W-signature count, the
+//! fabric queue depth, and interconnect traffic deltas. The simulator may
+//! fast-forward across idle stretches, so sampling is boundary-based: a
+//! sample is taken at the first opportunity at or after each boundary and
+//! deltas are normalized by the cycles actually elapsed.
+
+use crate::Json;
+
+/// One snapshot of the system at (approximately) an interval boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalSample {
+    /// Cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Instructions retired per core since the previous sample.
+    pub retired_delta: Vec<u64>,
+    /// Per-core IPC over the elapsed window.
+    pub ipc: Vec<f64>,
+    /// W signatures currently held by the arbiters (committing chunks).
+    pub pending_w: u64,
+    /// Messages in flight in the fabric.
+    pub fabric_depth: u64,
+    /// Interconnect bytes moved since the previous sample.
+    pub traffic_bytes_delta: u64,
+    /// Interconnect messages sent since the previous sample.
+    pub messages_delta: u64,
+}
+
+impl IntervalSample {
+    /// JSON encoding (one element of the series array).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycle", self.cycle.into()),
+            (
+                "retired_delta",
+                Json::Arr(self.retired_delta.iter().map(|&r| r.into()).collect()),
+            ),
+            (
+                "ipc",
+                Json::Arr(self.ipc.iter().map(|&x| x.into()).collect()),
+            ),
+            ("pending_w", self.pending_w.into()),
+            ("fabric_depth", self.fabric_depth.into()),
+            ("traffic_bytes_delta", self.traffic_bytes_delta.into()),
+            ("messages_delta", self.messages_delta.into()),
+        ])
+    }
+}
+
+/// The accumulating time series. The owner (the simulator's `System`)
+/// checks [`IntervalSeries::due`] as time advances and calls
+/// [`IntervalSeries::record`] with current totals; the series turns totals
+/// into deltas.
+#[derive(Clone, Debug)]
+pub struct IntervalSeries {
+    every: u64,
+    next_at: u64,
+    last_cycle: u64,
+    last_retired: Vec<u64>,
+    last_bytes: u64,
+    last_messages: u64,
+    samples: Vec<IntervalSample>,
+}
+
+impl IntervalSeries {
+    /// A series sampling every `every` cycles (clamped to ≥ 1).
+    pub fn new(every: u64) -> IntervalSeries {
+        let every = every.max(1);
+        IntervalSeries {
+            every,
+            next_at: every,
+            last_cycle: 0,
+            last_retired: Vec::new(),
+            last_bytes: 0,
+            last_messages: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Is a sample due at `now`? (True whenever `now` has reached or
+    /// passed the next boundary — time jumps cost at most one sample.)
+    pub fn due(&self, now: u64) -> bool {
+        now >= self.next_at
+    }
+
+    /// Record a snapshot from *cumulative* totals; deltas are computed
+    /// against the previous sample.
+    pub fn record(
+        &mut self,
+        now: u64,
+        retired: &[u64],
+        pending_w: u64,
+        fabric_depth: u64,
+        traffic_bytes: u64,
+        messages: u64,
+    ) {
+        let elapsed = now.saturating_sub(self.last_cycle).max(1);
+        if self.last_retired.len() < retired.len() {
+            self.last_retired.resize(retired.len(), 0);
+        }
+        let retired_delta: Vec<u64> = retired
+            .iter()
+            .zip(self.last_retired.iter())
+            .map(|(&cur, &prev)| cur.saturating_sub(prev))
+            .collect();
+        let ipc: Vec<f64> = retired_delta
+            .iter()
+            .map(|&d| d as f64 / elapsed as f64)
+            .collect();
+        self.samples.push(IntervalSample {
+            cycle: now,
+            retired_delta,
+            ipc,
+            pending_w,
+            fabric_depth,
+            traffic_bytes_delta: traffic_bytes.saturating_sub(self.last_bytes),
+            messages_delta: messages.saturating_sub(self.last_messages),
+        });
+        self.last_cycle = now;
+        self.last_retired = retired.to_vec();
+        self.last_bytes = traffic_bytes;
+        self.last_messages = messages;
+        // Next boundary strictly after `now` (a fast-forward may have
+        // jumped several boundaries; they collapse into this one sample).
+        self.next_at = (now / self.every + 1) * self.every;
+    }
+
+    /// The samples taken so far.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    /// JSON encoding of the whole series.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("every", self.every.into()),
+            (
+                "samples",
+                Json::Arr(self.samples.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_and_boundaries() {
+        let mut s = IntervalSeries::new(100);
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        s.record(100, &[50, 10], 2, 3, 1000, 7);
+        assert!(!s.due(100));
+        assert!(s.due(200));
+        s.record(205, &[150, 10], 0, 0, 1600, 9);
+        let samples = s.samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].retired_delta, vec![50, 10]);
+        assert_eq!(samples[1].retired_delta, vec![100, 0]);
+        assert!((samples[1].ipc[0] - 100.0 / 105.0).abs() < 1e-12);
+        assert_eq!(samples[1].traffic_bytes_delta, 600);
+        assert_eq!(samples[1].messages_delta, 2);
+        // Boundary realigned after the late sample.
+        assert!(!s.due(299));
+        assert!(s.due(300));
+    }
+
+    #[test]
+    fn fast_forward_collapses_boundaries() {
+        let mut s = IntervalSeries::new(10);
+        // Time jumps from 0 to 75: one sample, next boundary at 80.
+        assert!(s.due(75));
+        s.record(75, &[75], 0, 0, 0, 0);
+        assert_eq!(s.samples().len(), 1);
+        assert!(!s.due(79));
+        assert!(s.due(80));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut s = IntervalSeries::new(10);
+        s.record(10, &[5], 1, 2, 64, 1);
+        let j = s.to_json().to_string();
+        assert!(crate::json::is_valid(&j));
+        assert!(j.contains("\"every\":10"));
+        assert!(j.contains("\"pending_w\":1"));
+    }
+}

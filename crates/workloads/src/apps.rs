@@ -20,10 +20,16 @@
 //!   behaviour;
 //! * contended "hot" lines and lock/barrier rates recreate the true-sharing
 //!   conflict rates visible in Table 3's `BSCexact` squash column.
+//!
+//! Randomness comes from the workspace's internal [`SplitMix64`] generator
+//! (no external dependencies, so the tree builds offline). Seeds mean the
+//! same thing as before — same seed, same deterministic stream — but the
+//! streams themselves differ from the earlier `rand::SmallRng`-based
+//! generator, so absolute measured numbers shifted within their statistical
+//! bands when the PRNG was swapped.
 
 use bulksc_sig::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bulksc_stats::SplitMix64;
 
 use crate::isa::{Instr, RmwOp};
 use crate::layout::AddressMap;
@@ -324,7 +330,7 @@ pub struct SyntheticApp {
     map: AddressMap,
     tid: u32,
     threads: u32,
-    rng: SmallRng,
+    rng: SplitMix64,
     /// Planned instructions for the current 1000-instruction window.
     plan: Vec<Instr>,
     /// Next index into `plan`.
@@ -361,9 +367,7 @@ impl SyntheticApp {
             map: AddressMap::new(threads),
             tid,
             threads,
-            rng: SmallRng::seed_from_u64(
-                seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            ),
+            rng: SplitMix64::new(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             plan: Vec::new(),
             cursor: 0,
             recent: Vec::new(),
@@ -394,9 +398,13 @@ impl SyntheticApp {
         // stores that define an iteration's output go to fresh or strided
         // locations (a grid's next sweep, a sort's output buckets), which
         // is what makes write misses expensive on a real machine.
-        let reuse_prob = if for_write { p.locality * 0.2 } else { p.locality };
+        let reuse_prob = if for_write {
+            p.locality * 0.2
+        } else {
+            p.locality
+        };
         if !self.recent.is_empty() && self.rng.gen_bool(reuse_prob) {
-            let i = self.rng.gen_range(0..self.recent.len());
+            let i = self.rng.gen_index(self.recent.len());
             return self.recent[i];
         }
         let line = match p.stride {
@@ -458,14 +466,17 @@ impl SyntheticApp {
             let line = self.pick_shared_line(false);
             if window_reads.insert(line) {
                 let addr = self.shared_addr(line);
-                mem_ops.push(Instr::Load { addr, consume: false });
+                mem_ops.push(Instr::Load {
+                    addr,
+                    consume: false,
+                });
             }
         }
 
         if self.rng.gen_bool(p.write_burst_prob.min(1.0)) {
             for _ in 0..p.write_burst_lines {
                 let line = if !self.recent_writes.is_empty() && self.rng.gen_bool(0.35) {
-                    let i = self.rng.gen_range(0..self.recent_writes.len());
+                    let i = self.rng.gen_index(self.recent_writes.len());
                     self.recent_writes[i]
                 } else {
                     let l = self.pick_shared_line(true);
@@ -476,7 +487,10 @@ impl SyntheticApp {
                     l
                 };
                 let addr = self.shared_addr(line);
-                mem_ops.push(Instr::Store { addr, value: self.emitted });
+                mem_ops.push(Instr::Store {
+                    addr,
+                    value: self.emitted,
+                });
             }
         }
 
@@ -498,14 +512,20 @@ impl SyntheticApp {
             };
             if window_priv.insert(line) {
                 let addr = self.map.private_word(self.tid, line);
-                mem_ops.push(Instr::Store { addr, value: self.emitted });
+                mem_ops.push(Instr::Store {
+                    addr,
+                    value: self.emitted,
+                });
             }
         }
 
         for _ in 0..sample_count(&mut self.rng, p.hot_reads_per_kilo) {
             let line = self.rng.gen_range(0..p.hot_lines.max(1));
             let addr = self.shared_addr(line); // hot lines are the set's head
-            mem_ops.push(Instr::Load { addr, consume: false });
+            mem_ops.push(Instr::Load {
+                addr,
+                consume: false,
+            });
         }
         for _ in 0..sample_count(&mut self.rng, p.hot_writes_per_kilo) {
             // Each thread owns an eighth of the hot set (its queue slots /
@@ -515,7 +535,10 @@ impl SyntheticApp {
             let span = (p.hot_lines.max(8) / self.threads.max(1) as u64).max(1);
             let line = self.tid as u64 * span + self.rng.gen_range(0..span);
             let addr = self.shared_addr(line);
-            mem_ops.push(Instr::Store { addr, value: self.emitted });
+            mem_ops.push(Instr::Store {
+                addr,
+                value: self.emitted,
+            });
         }
 
         // Fill the memory-op budget with private-region reads. Stack
@@ -525,7 +548,7 @@ impl SyntheticApp {
         let budget = (WINDOW as f64 * p.mem_op_density) as usize;
         let stack_top = hot_priv.min(6);
         while mem_ops.len() < budget {
-            let roll: f64 = self.rng.gen();
+            let roll = self.rng.gen_f64();
             let line = if roll < 0.90 {
                 self.rng.gen_range(0..stack_top) // the live stack frames
             } else if roll < 0.98 {
@@ -534,13 +557,16 @@ impl SyntheticApp {
                 self.rng.gen_range(0..p.private_lines)
             };
             let addr = self.map.private_word(self.tid, line);
-            mem_ops.push(Instr::Load { addr, consume: false });
+            mem_ops.push(Instr::Load {
+                addr,
+                consume: false,
+            });
         }
 
         // Deterministic shuffle, then interleave with compute batches so
         // the window totals ~WINDOW dynamic instructions.
         for i in (1..mem_ops.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.rng.gen_index(i + 1);
             mem_ops.swap(i, j);
         }
         let gaps = mem_ops.len() as u64 + 1;
@@ -566,13 +592,16 @@ impl SyntheticApp {
         let lock_idx = self.rng.gen_range(0..self.params.num_locks);
         let lock = self.map.lock(lock_idx);
         self.mode = Mode::LockPoll(lock);
-        self.emit(Instr::Load { addr: lock, consume: true })
+        self.emit(Instr::Load {
+            addr: lock,
+            consume: true,
+        })
     }
 }
 
 /// Sample an integer with expectation `rate` (deterministic given the
 /// RNG): floor plus a Bernoulli for the fraction.
-fn sample_count(rng: &mut SmallRng, rate: f64) -> u64 {
+fn sample_count(rng: &mut SplitMix64, rate: f64) -> u64 {
     let base = rate.floor() as u64;
     let frac = rate - rate.floor();
     base + u64::from(frac > 0.0 && rng.gen_bool(frac))
@@ -596,7 +625,10 @@ impl ThreadProgram for SyntheticApp {
                         }
                         if self.params.locks_per_kilo > 0.0 {
                             let rate = self.params.locks_per_kilo;
-                            if self.rng.gen_bool((rate / (WINDOW as f64) * 1000.0).min(1.0)) {
+                            if self
+                                .rng
+                                .gen_bool((rate / (WINDOW as f64) * 1000.0).min(1.0))
+                            {
                                 return self.start_lock();
                             }
                         }
@@ -611,35 +643,53 @@ impl ThreadProgram for SyntheticApp {
                     let v = last_value.expect("lock poll returns a value");
                     if v == 0 {
                         self.mode = Mode::LockTas(lock);
-                        return self.emit(Instr::Rmw { addr: lock, op: RmwOp::TestAndSet });
+                        return self.emit(Instr::Rmw {
+                            addr: lock,
+                            op: RmwOp::TestAndSet,
+                        });
                     }
                     // Busy: keep polling (test-and-test-and-set).
-                    return self.emit(Instr::Load { addr: lock, consume: true });
+                    return self.emit(Instr::Load {
+                        addr: lock,
+                        consume: true,
+                    });
                 }
                 Mode::LockTas(lock) => {
                     let old = last_value.expect("test-and-set returns the old value");
                     if old == 0 {
                         // Acquired: short critical section touching hot data.
-                        let ops = self.rng.gen_range(1..4);
+                        let ops = 1 + self.rng.gen_index(3);
                         self.mode = Mode::Critical(lock, ops);
                         continue;
                     }
                     self.mode = Mode::LockPoll(lock);
-                    return self.emit(Instr::Load { addr: lock, consume: true });
+                    return self.emit(Instr::Load {
+                        addr: lock,
+                        consume: true,
+                    });
                 }
                 Mode::Critical(lock, remaining) => {
                     if remaining == 0 {
                         self.mode = Mode::Window;
-                        return self.emit(Instr::Store { addr: lock, value: 0 });
+                        return self.emit(Instr::Store {
+                            addr: lock,
+                            value: 0,
+                        });
                     }
                     self.mode = Mode::Critical(lock, remaining - 1);
                     let line = self.rng.gen_range(0..self.params.hot_lines.max(1));
                     let addr = self.shared_addr(line);
                     let write = self.rng.gen_bool(0.5);
                     return self.emit(if write {
-                        Instr::Store { addr, value: self.emitted }
+                        Instr::Store {
+                            addr,
+                            value: self.emitted,
+                        }
                     } else {
-                        Instr::Load { addr, consume: false }
+                        Instr::Load {
+                            addr,
+                            consume: false,
+                        }
                     });
                 }
 
@@ -656,7 +706,10 @@ impl ThreadProgram for SyntheticApp {
                     if arrivals == self.threads as u64 {
                         // Release: reset the counter and bump the sense.
                         self.mode = Mode::Window;
-                        self.emit(Instr::Store { addr: self.map.barrier_count(), value: 0 });
+                        self.emit(Instr::Store {
+                            addr: self.map.barrier_count(),
+                            value: 0,
+                        });
                         return self.emit(Instr::Store {
                             addr: self.map.barrier_gen(),
                             value: g + 1,
@@ -762,7 +815,10 @@ mod tests {
         let names: BTreeSet<&str> = c.iter().map(|a| a.name).collect();
         assert!(names.contains("radix") && names.contains("sweb2005"));
         assert!(by_name("ocean").is_some());
-        assert!(by_name("volrend").is_none(), "volrend is excluded, as in the paper");
+        assert!(
+            by_name("volrend").is_none(),
+            "volrend is excluded, as in the paper"
+        );
     }
 
     #[test]
@@ -850,7 +906,10 @@ mod tests {
         // Strided writes spread across the working set rather than
         // clustering near the start.
         let span = lines.iter().max().unwrap_or(&0) - lines.iter().min().unwrap_or(&0);
-        assert!(span > 10_000, "stride should cover a wide range, span={span}");
+        assert!(
+            span > 10_000,
+            "stride should cover a wide range, span={span}"
+        );
     }
 
     #[test]

@@ -123,10 +123,22 @@ mod tests {
 
     #[test]
     fn classification() {
-        let ld = Instr::Load { addr: Addr(4), consume: false };
-        let ldc = Instr::Load { addr: Addr(4), consume: true };
-        let st = Instr::Store { addr: Addr(8), value: 1 };
-        let rmw = Instr::Rmw { addr: Addr(12), op: RmwOp::TestAndSet };
+        let ld = Instr::Load {
+            addr: Addr(4),
+            consume: false,
+        };
+        let ldc = Instr::Load {
+            addr: Addr(4),
+            consume: true,
+        };
+        let st = Instr::Store {
+            addr: Addr(8),
+            value: 1,
+        };
+        let rmw = Instr::Rmw {
+            addr: Addr(12),
+            op: RmwOp::TestAndSet,
+        };
         assert!(ld.is_read() && !ld.is_write() && !ld.consumes_value());
         assert!(ldc.consumes_value());
         assert!(st.is_write() && !st.is_read());

@@ -111,7 +111,10 @@ pub fn message_passing() -> Litmus {
         name: "MP",
         scripts: vec![
             warmed(&[data, flag], vec![st(data, 1), st(flag, 1)]),
-            warmed(&[flag, data], vec![ScriptOp::Record(flag), ScriptOp::Record(data)]),
+            warmed(
+                &[flag, data],
+                vec![ScriptOp::Record(flag), ScriptOp::Record(data)],
+            ),
         ],
         forbidden: |obs| obs[1] == [1, 0],
     }
@@ -187,8 +190,20 @@ pub fn rmw_dekker() -> Litmus {
     Litmus {
         name: "RMW-Dekker",
         scripts: vec![
-            warmed(&[x], vec![ScriptOp::RecordRmw { addr: x, op: crate::isa::RmwOp::TestAndSet }]),
-            warmed(&[x], vec![ScriptOp::RecordRmw { addr: x, op: crate::isa::RmwOp::TestAndSet }]),
+            warmed(
+                &[x],
+                vec![ScriptOp::RecordRmw {
+                    addr: x,
+                    op: crate::isa::RmwOp::TestAndSet,
+                }],
+            ),
+            warmed(
+                &[x],
+                vec![ScriptOp::RecordRmw {
+                    addr: x,
+                    op: crate::isa::RmwOp::TestAndSet,
+                }],
+            ),
         ],
         forbidden: |obs| obs[0] == [0] && obs[1] == [0],
     }

@@ -160,7 +160,13 @@ pub struct ScriptProgram {
 impl ScriptProgram {
     /// A program executing `ops` in order.
     pub fn new(ops: Vec<ScriptOp>) -> Self {
-        ScriptProgram { ops, pc: 0, state: OpState::Start, observed: Vec::new(), spin_pad: 8 }
+        ScriptProgram {
+            ops,
+            pc: 0,
+            state: OpState::Start,
+            observed: Vec::new(),
+            spin_pad: 8,
+        }
     }
 
     fn advance(&mut self) {
@@ -169,7 +175,10 @@ impl ScriptProgram {
     }
 
     fn poll(addr: Addr) -> Instr {
-        Instr::Load { addr, consume: true }
+        Instr::Load {
+            addr,
+            consume: true,
+        }
     }
 }
 
@@ -209,7 +218,10 @@ impl ThreadProgram for ScriptProgram {
                     let v = last_value.expect("lock poll delivers a value");
                     if v == 0 {
                         self.state = OpState::AwaitTas;
-                        return Some(Instr::Rmw { addr: *addr, op: RmwOp::TestAndSet });
+                        return Some(Instr::Rmw {
+                            addr: *addr,
+                            op: RmwOp::TestAndSet,
+                        });
                     }
                     self.state = OpState::PollAgain;
                     return Some(Instr::Compute(self.spin_pad));
@@ -227,7 +239,10 @@ impl ThreadProgram for ScriptProgram {
 
                 (ScriptOp::ReleaseLock(addr), OpState::Start) => {
                     self.advance();
-                    return Some(Instr::Store { addr: *addr, value: 0 });
+                    return Some(Instr::Store {
+                        addr: *addr,
+                        value: 0,
+                    });
                 }
 
                 (ScriptOp::Barrier { gen, .. }, OpState::Start) => {
@@ -237,7 +252,10 @@ impl ThreadProgram for ScriptProgram {
                 (ScriptOp::Barrier { count, .. }, OpState::AwaitGen) => {
                     let g = last_value.expect("generation load delivers a value");
                     self.state = OpState::AwaitCount { gen_seen: g };
-                    return Some(Instr::Rmw { addr: *count, op: RmwOp::FetchAdd(1) });
+                    return Some(Instr::Rmw {
+                        addr: *count,
+                        op: RmwOp::FetchAdd(1),
+                    });
                 }
                 (ScriptOp::Barrier { count, n, .. }, OpState::AwaitCount { gen_seen }) => {
                     let arrivals = last_value.expect("fetch-add delivers the old value") + 1;
@@ -245,14 +263,20 @@ impl ThreadProgram for ScriptProgram {
                         // Last thread: reset the counter, then bump the
                         // generation to release everyone.
                         self.state = OpState::EmitGenBump { gen_seen };
-                        return Some(Instr::Store { addr: *count, value: 0 });
+                        return Some(Instr::Store {
+                            addr: *count,
+                            value: 0,
+                        });
                     }
                     self.state = OpState::AwaitGenPoll { gen_seen };
                     continue;
                 }
                 (ScriptOp::Barrier { gen, .. }, OpState::EmitGenBump { gen_seen }) => {
                     self.advance();
-                    return Some(Instr::Store { addr: *gen, value: gen_seen + 1 });
+                    return Some(Instr::Store {
+                        addr: *gen,
+                        value: gen_seen + 1,
+                    });
                 }
                 (ScriptOp::Barrier { gen, .. }, OpState::AwaitGenPoll { gen_seen }) => {
                     self.state = OpState::AwaitGenValue { gen_seen };
@@ -291,7 +315,10 @@ impl ThreadProgram for ScriptProgram {
 
                 (ScriptOp::RecordRmw { addr, op }, OpState::Start) => {
                     self.state = OpState::AwaitRecord;
-                    return Some(Instr::Rmw { addr: *addr, op: *op });
+                    return Some(Instr::Rmw {
+                        addr: *addr,
+                        op: *op,
+                    });
                 }
                 (ScriptOp::RecordRmw { .. }, OpState::AwaitRecord) => {
                     let v = last_value.expect("rmw delivers the old value");

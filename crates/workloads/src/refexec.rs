@@ -12,8 +12,7 @@
 use std::collections::HashMap;
 
 use bulksc_sig::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bulksc_stats::SplitMix64;
 
 use crate::isa::Instr;
 use crate::program::ThreadProgram;
@@ -52,16 +51,15 @@ pub fn run_interleaved(
     schedule_seed: u64,
     max_steps: u64,
 ) -> RefResult {
-    let mut rng = SmallRng::seed_from_u64(schedule_seed);
+    let mut rng = SplitMix64::new(schedule_seed);
     let mut memory: HashMap<Addr, u64> = HashMap::new();
     let mut pending: Vec<Option<u64>> = vec![None; programs.len()];
     let mut done: Vec<bool> = vec![false; programs.len()];
     let mut steps = 0u64;
 
     while steps < max_steps && done.iter().any(|d| !d) {
-        let runnable: Vec<usize> =
-            (0..programs.len()).filter(|&i| !done[i]).collect();
-        let t = runnable[rng.gen_range(0..runnable.len())];
+        let runnable: Vec<usize> = (0..programs.len()).filter(|&i| !done[i]).collect();
+        let t = runnable[rng.gen_index(runnable.len())];
         match programs[t].next(pending[t].take()) {
             None => done[t] = true,
             Some(instr) => {
@@ -106,8 +104,14 @@ mod tests {
     #[test]
     fn stores_become_visible() {
         let t0 = ScriptProgram::new(vec![
-            ScriptOp::Op(Instr::Store { addr: Addr(0), value: 5 }),
-            ScriptOp::Op(Instr::Store { addr: Addr(1), value: 6 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0),
+                value: 5,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(1),
+                value: 6,
+            }),
         ]);
         let r = run_interleaved(vec![boxed(t0)], 0, 100);
         assert!(r.finished);
@@ -119,10 +123,17 @@ mod tests {
     fn spin_until_eq_waits_for_producer() {
         let producer = ScriptProgram::new(vec![
             ScriptOp::Op(Instr::Compute(50)),
-            ScriptOp::Op(Instr::Store { addr: Addr(0), value: 1 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0),
+                value: 1,
+            }),
         ]);
         let consumer = ScriptProgram::new(vec![
-            ScriptOp::SpinUntilEq { addr: Addr(0), value: 1, pad: 2 },
+            ScriptOp::SpinUntilEq {
+                addr: Addr(0),
+                value: 1,
+                pad: 2,
+            },
             ScriptOp::Record(Addr(0)),
         ]);
         for seed in 0..20 {
@@ -150,7 +161,10 @@ mod tests {
                 // The store value cannot depend on the read in a script,
                 // so each thread writes tag; mutual exclusion is checked
                 // through the recorded reads instead.
-                ScriptOp::Op(Instr::Store { addr: counter, value: tag }),
+                ScriptOp::Op(Instr::Store {
+                    addr: counter,
+                    value: tag,
+                }),
                 ScriptOp::ReleaseLock(lock),
             ])
         };
@@ -182,12 +196,15 @@ mod tests {
             ])
         };
         for seed in 0..20 {
-            let programs: Vec<Box<dyn ThreadProgram>> =
-                (0..n).map(|i| boxed(prog(i))).collect();
+            let programs: Vec<Box<dyn ThreadProgram>> = (0..n).map(|i| boxed(prog(i))).collect();
             let r = run_interleaved(programs, seed, 1_000_000);
             assert!(r.finished, "seed {seed}: barrier deadlocked");
             for t in 0..n as usize {
-                assert_eq!(r.observations[t], vec![1], "thread {t} saw the new generation");
+                assert_eq!(
+                    r.observations[t],
+                    vec![1],
+                    "thread {t} saw the new generation"
+                );
             }
             assert_eq!(r.memory[&count], 0, "counter reset for reuse");
         }
@@ -231,7 +248,10 @@ mod tests {
     fn checkpoint_clone_restarts_from_snapshot() {
         let mut p = ScriptProgram::new(vec![
             ScriptOp::Op(Instr::Compute(1)),
-            ScriptOp::Op(Instr::Store { addr: Addr(0), value: 9 }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0),
+                value: 9,
+            }),
         ]);
         let cp = p.clone_box();
         assert!(matches!(p.next(None), Some(Instr::Compute(1))));

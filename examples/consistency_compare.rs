@@ -53,7 +53,9 @@ fn main() {
         "Chunks".into(),
         "Traffic/RC".into(),
     ]);
-    let rc_traffic = run(Model::Baseline(BaselineModel::Rc), &app, budget).traffic.total();
+    let rc_traffic = run(Model::Baseline(BaselineModel::Rc), &app, budget)
+        .traffic
+        .total();
     for m in models {
         let name = m.name();
         let r = run(m, &app, budget);

@@ -4,8 +4,7 @@
 //! `cargo run --release --example signature_playground`
 
 use bulksc_sig::{wire_bytes, ExactSet, LineAddr, Signature, SignatureConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bulksc_stats::SplitMix64;
 
 fn main() {
     let cfg = SignatureConfig::default();
@@ -28,7 +27,7 @@ fn main() {
     // Aliasing: measure the false-positive rate of disambiguation when a
     // strided write set (radix's digit buckets) meets a typical read set
     // (stack lines plus another thread's buckets), vs. fully random sets.
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     for (label, strided) in [("strided", true), ("random", false)] {
         let mut fp = 0;
         let trials = 5_000u64;
@@ -44,8 +43,9 @@ fn main() {
                 })
                 .collect();
             let rbase = 0x40000 + ((t + 3) % 8) * 64;
-            let mut rl: Vec<LineAddr> =
-                (0..30u64).map(|j| LineAddr(0x2000_0000 + rng.gen_range(0..30u64) + j % 2)).collect();
+            let mut rl: Vec<LineAddr> = (0..30u64)
+                .map(|j| LineAddr(0x2000_0000 + rng.gen_range(0..30u64) + j % 2))
+                .collect();
             rl.extend((0..10u64).map(|k| {
                 if strided {
                     LineAddr(rbase + k * 2048 + (t / 8 + k) % 16)

@@ -1,0 +1,104 @@
+//! Tracing demo: attach every sink to a BulkSC run and write the
+//! machine-readable artifacts.
+//!
+//! `cargo run --release --example trace_demo`
+//!
+//! Produces, under `results/`:
+//! * `trace_demo.jsonl` — one JSON object per event (byte-deterministic
+//!   for a given seed);
+//! * `trace_demo.trace.json` — Chrome trace-event JSON: open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev> to see chunks,
+//!   commits, and squashes on a per-core timeline;
+//! * `trace_demo.samples.json` — interval metrics (per-core IPC, pending
+//!   W signatures, fabric queue depth, traffic deltas).
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_trace::{ChromeTracer, JsonlTracer, RingTracer, TraceHandle};
+use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+
+fn main() {
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+    cfg.budget = 5_000;
+    let app = by_name("ocean").expect("ocean is in the catalog");
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| Box::new(SyntheticApp::new(app, t, cfg.cores, 42)) as Box<dyn ThreadProgram>)
+        .collect();
+    let mut sys = System::new(cfg, programs);
+
+    // All three sinks share the one event stream; the ring keeps the last
+    // few hundred events for stuck-run dumps, the other two export.
+    let ring = RingTracer::shared(256);
+    let jsonl = JsonlTracer::shared();
+    let chrome = ChromeTracer::shared();
+    let mut trace = TraceHandle::off();
+    trace.attach(ring.clone());
+    trace.attach(jsonl.clone());
+    trace.attach(chrome.clone());
+    sys.set_tracer(trace);
+    sys.enable_sampling(1_000); // one IntervalSample every 1000 cycles
+
+    assert!(sys.run(u64::MAX / 4), "the machine drains and finishes");
+    let r = SimReport::collect(&sys);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    jsonl
+        .borrow()
+        .write_to("results/trace_demo.jsonl")
+        .expect("write jsonl");
+    chrome
+        .borrow()
+        .write_to("results/trace_demo.trace.json")
+        .expect("write chrome trace");
+    let samples = sys
+        .interval_series()
+        .expect("sampler enabled")
+        .to_json()
+        .to_string();
+    assert!(
+        bulksc_trace::json::is_valid(&samples),
+        "samples serialize to valid JSON"
+    );
+    std::fs::write("results/trace_demo.samples.json", format!("{samples}\n"))
+        .expect("write samples");
+
+    println!(
+        "run       : {} on ocean, {} cycles, {} instructions",
+        r.model, r.cycles, r.retired
+    );
+    println!(
+        "events    : {} traced ({} JSONL lines)",
+        ring.borrow().seen(),
+        jsonl.borrow().lines()
+    );
+    println!("chrome    : {} trace events", chrome.borrow().len());
+    println!(
+        "samples   : {} intervals of 1000 cycles",
+        sys.samples().len()
+    );
+    for s in sys.samples().iter().take(3) {
+        let ipc: Vec<String> = s.ipc.iter().map(|x| format!("{x:.2}")).collect();
+        println!(
+            "  cycle {:>5}: ipc [{}] pend_w {} fabric {} Δbytes {}",
+            s.cycle,
+            ipc.join(" "),
+            s.pending_w,
+            s.fabric_depth,
+            s.traffic_bytes_delta
+        );
+    }
+    println!("wrote results/trace_demo.jsonl");
+    println!("wrote results/trace_demo.trace.json  (load in ui.perfetto.dev)");
+    println!("wrote results/trace_demo.samples.json");
+    println!("\nlast events before the end of the run:");
+    let dump = ring.borrow().dump();
+    for line in dump
+        .lines()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full offline CI gate for the workspace: formatting, lints, release
+# build, and the complete test suite. No network access required — the
+# workspace has zero external dependencies.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --workspace --release --offline
+run cargo test --workspace -q --offline
+
+echo "CI gate passed."

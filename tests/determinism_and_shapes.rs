@@ -68,10 +68,13 @@ fn sc_baseline_is_slower_than_rc() {
 #[test]
 fn rsig_optimization_cuts_rdsig_bytes() {
     let with = run(Model::Bulk(BulkConfig::bsc_dypvt()), "ocean", 8_000, 3);
-    let without = run(Model::Bulk(BulkConfig::bsc_dypvt().without_rsig()), "ocean", 8_000, 3);
-    assert!(
-        with.traffic.bytes(TrafficClass::RdSig) < without.traffic.bytes(TrafficClass::RdSig)
+    let without = run(
+        Model::Bulk(BulkConfig::bsc_dypvt().without_rsig()),
+        "ocean",
+        8_000,
+        3,
     );
+    assert!(with.traffic.bytes(TrafficClass::RdSig) < without.traffic.bytes(TrafficClass::RdSig));
 }
 
 #[test]
@@ -85,7 +88,10 @@ fn dynamically_private_data_reduces_write_sets() {
         dypvt.write_set,
         base.write_set
     );
-    assert!(dypvt.priv_write_set > 0.5, "Wpriv should absorb the rewrites");
+    assert!(
+        dypvt.priv_write_set > 0.5,
+        "Wpriv should absorb the rewrites"
+    );
 }
 
 #[test]
@@ -109,10 +115,23 @@ fn exact_signature_never_alias_squashes() {
 
 #[test]
 fn chunk_size_sweep_runs_and_commits_fewer_bigger_chunks() {
-    let small = run(Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(500)), "lu", 6_000, 3);
-    let big = run(Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(4000)), "lu", 6_000, 3);
+    let small = run(
+        Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(500)),
+        "lu",
+        6_000,
+        3,
+    );
+    let big = run(
+        Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(4000)),
+        "lu",
+        6_000,
+        3,
+    );
     assert!(small.chunks_committed > big.chunks_committed);
-    assert!(big.read_set > small.read_set, "bigger chunks carry bigger sets");
+    assert!(
+        big.read_set > small.read_set,
+        "bigger chunks carry bigger sets"
+    );
 }
 
 #[test]

@@ -16,7 +16,11 @@ fn run(programs: Vec<Box<dyn ThreadProgram>>, what: &str) -> System {
     cfg.cores = programs.len() as u32;
     cfg.budget = u64::MAX;
     let mut sys = System::new(cfg, programs);
-    assert!(sys.run(50_000_000), "{what} did not finish:\n{}", sys.debug_state());
+    assert!(
+        sys.run(50_000_000),
+        "{what} did not finish:\n{}",
+        sys.debug_state()
+    );
     sys
 }
 
@@ -30,18 +34,30 @@ fn writing_spinners_cannot_starve_the_key_processor() {
     let key = script(vec![
         ScriptOp::Op(Instr::Compute(300)),
         ScriptOp::Record(noise),
-        ScriptOp::Op(Instr::Store { addr: flag, value: 1 }),
+        ScriptOp::Op(Instr::Store {
+            addr: flag,
+            value: 1,
+        }),
     ]);
     let spinner = || {
         let mut ops = Vec::new();
         for i in 0..4000u64 {
-            ops.push(ScriptOp::Op(Instr::Store { addr: noise, value: i }));
-            ops.push(ScriptOp::Op(Instr::Load { addr: flag, consume: false }));
+            ops.push(ScriptOp::Op(Instr::Store {
+                addr: noise,
+                value: i,
+            }));
+            ops.push(ScriptOp::Op(Instr::Load {
+                addr: flag,
+                consume: false,
+            }));
             ops.push(ScriptOp::Op(Instr::Compute(3)));
         }
         script(ops)
     };
-    let sys = run(vec![key, spinner(), spinner(), spinner()], "writing-spinner storm");
+    let sys = run(
+        vec![key, spinner(), spinner(), spinner()],
+        "writing-spinner storm",
+    );
     assert_eq!(sys.values().read(flag), 1, "key processor made progress");
     let prearbs: u64 = sys
         .nodes()
@@ -70,7 +86,10 @@ fn eight_core_lock_storm_completes() {
             script(vec![
                 ScriptOp::Op(Instr::Compute((i * 13 % 40) as u32 + 1)),
                 ScriptOp::AcquireLock(lock),
-                ScriptOp::Op(Instr::Store { addr: cells[i as usize], value: i + 1 }),
+                ScriptOp::Op(Instr::Store {
+                    addr: cells[i as usize],
+                    value: i + 1,
+                }),
                 ScriptOp::ReleaseLock(lock),
             ])
         })

@@ -1,30 +1,51 @@
-//! Property-based whole-system tests: randomized multithreaded programs
+//! Randomized whole-system tests: randomized multithreaded programs
 //! executed on the BulkSC machine must respect per-location coherence and
 //! atomicity invariants that every sequentially consistent machine
 //! satisfies.
+//!
+//! These were proptest properties; they are now a deterministic seeded
+//! loop (no external dependencies, hermetically reproducible). Every case
+//! derives from `SplitMix64`, so a failure's seed pins the exact program.
 
 use bulksc::{BulkConfig, Model, System, SystemConfig};
 use bulksc_sig::Addr;
+use bulksc_stats::SplitMix64;
 use bulksc_workloads::{Instr, RmwOp, ScriptOp, ScriptProgram, ThreadProgram};
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 /// A small random program: stores tagged with unique values, RMW
 /// increments, loads, compute padding.
-fn program_strategy(thread: u64) -> impl Strategy<Value = Vec<ScriptOp>> {
-    let op = prop_oneof![
-        (0u64..8, 1u64..1000).prop_map(move |(slot, v)| ScriptOp::Op(Instr::Store {
-            addr: Addr(0x100_0000 + slot * 64),
-            value: thread * 1_000_000 + v,
-        })),
-        (0u64..8).prop_map(|slot| ScriptOp::Op(Instr::Load {
-            addr: Addr(0x100_0000 + slot * 64),
-            consume: false,
-        })),
-        Just(ScriptOp::Op(Instr::Rmw { addr: Addr(0x200_0000), op: RmwOp::FetchAdd(1) })),
-        (1u32..40).prop_map(|n| ScriptOp::Op(Instr::Compute(n))),
-        (0u64..8).prop_map(|slot| ScriptOp::Record(Addr(0x100_0000 + slot * 64))),
-    ];
-    prop::collection::vec(op, 1..25)
+fn random_program(rng: &mut SplitMix64, thread: u64) -> Vec<ScriptOp> {
+    let len = 1 + rng.gen_index(24);
+    (0..len)
+        .map(|_| match rng.gen_index(5) {
+            0 => {
+                let slot = rng.gen_range(0..8);
+                let v = rng.gen_range(1..1000);
+                ScriptOp::Op(Instr::Store {
+                    addr: Addr(0x100_0000 + slot * 64),
+                    value: thread * 1_000_000 + v,
+                })
+            }
+            1 => {
+                let slot = rng.gen_range(0..8);
+                ScriptOp::Op(Instr::Load {
+                    addr: Addr(0x100_0000 + slot * 64),
+                    consume: false,
+                })
+            }
+            2 => ScriptOp::Op(Instr::Rmw {
+                addr: Addr(0x200_0000),
+                op: RmwOp::FetchAdd(1),
+            }),
+            3 => ScriptOp::Op(Instr::Compute(1 + rng.gen_range(0..39) as u32)),
+            _ => {
+                let slot = rng.gen_range(0..8);
+                ScriptOp::Record(Addr(0x100_0000 + slot * 64))
+            }
+        })
+        .collect()
 }
 
 fn rmw_count(ops: &[ScriptOp]) -> u64 {
@@ -33,16 +54,15 @@ fn rmw_count(ops: &[ScriptOp]) -> u64 {
         .count() as u64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Every final memory value is a value someone actually wrote, and
-    /// the shared RMW counter is exact (chunk atomicity).
-    #[test]
-    fn random_programs_preserve_write_provenance_and_atomicity(
-        progs in (program_strategy(1), program_strategy(2), program_strategy(3)),
-    ) {
-        let (p1, p2, p3) = progs;
+/// Every final memory value is a value someone actually wrote, and the
+/// shared RMW counter is exact (chunk atomicity).
+#[test]
+fn random_programs_preserve_write_provenance_and_atomicity() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5eed_0000 + case);
+        let p1 = random_program(&mut rng, 1);
+        let p2 = random_program(&mut rng, 2);
+        let p3 = random_program(&mut rng, 3);
         let expected_counter = rmw_count(&p1) + rmw_count(&p2) + rmw_count(&p3);
         let mut written: Vec<Vec<u64>> = vec![Vec::new(); 8];
         for ops in [&p1, &p2, &p3] {
@@ -62,25 +82,36 @@ proptest! {
             Box::new(ScriptProgram::new(p3)),
         ];
         let mut sys = System::new(cfg, programs);
-        prop_assert!(sys.run(20_000_000), "random program hung:\n{}", sys.debug_state());
+        assert!(
+            sys.run(20_000_000),
+            "case {case}: random program hung:\n{}",
+            sys.debug_state()
+        );
 
         // Atomicity: the counter is exactly the number of FetchAdds.
-        prop_assert_eq!(sys.values().read(Addr(0x200_0000)), expected_counter);
+        assert_eq!(
+            sys.values().read(Addr(0x200_0000)),
+            expected_counter,
+            "case {case}: RMW counter"
+        );
 
         // Provenance: each slot holds 0 or one of the stored values.
         for slot in 0..8u64 {
             let v = sys.values().read(Addr(0x100_0000 + slot * 64));
-            prop_assert!(
+            assert!(
                 v == 0 || written[slot as usize].contains(&v),
-                "slot {slot} holds {v}, never written"
+                "case {case}: slot {slot} holds {v}, never written"
             );
         }
 
         // Observations likewise: only 0 or genuinely-written values.
+        let slot_values: Vec<u64> = written.iter().flatten().copied().collect();
         for obs in sys.observations() {
             for v in obs {
-                let slot_values: Vec<u64> = written.iter().flatten().copied().collect();
-                prop_assert!(v == 0 || slot_values.contains(&v));
+                assert!(
+                    v == 0 || slot_values.contains(&v),
+                    "case {case}: observed {v}, never written"
+                );
             }
         }
     }

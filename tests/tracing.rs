@@ -1,0 +1,115 @@
+//! Tracing must observe without perturbing: same-seed runs emit
+//! byte-identical event streams, and a traced run retires the same
+//! instructions in the same cycles as an untraced one.
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_trace::{ChromeTracer, JsonlTracer, RingTracer, TraceHandle};
+use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+
+fn build(budget: u64, seed: u64) -> System {
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+    cfg.budget = budget;
+    let app = by_name("ocean").expect("catalog app");
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| Box::new(SyntheticApp::new(app, t, cfg.cores, seed)) as Box<dyn ThreadProgram>)
+        .collect();
+    System::new(cfg, programs)
+}
+
+fn traced_run(budget: u64, seed: u64) -> (SimReport, String, u64) {
+    let mut sys = build(budget, seed);
+    let jsonl = JsonlTracer::shared();
+    let ring = RingTracer::shared(64);
+    let mut trace = TraceHandle::off();
+    trace.attach(jsonl.clone());
+    trace.attach(ring.clone());
+    sys.set_tracer(trace);
+    assert!(sys.run(u64::MAX / 4), "traced run finishes");
+    let seen = ring.borrow().seen();
+    let text = jsonl.borrow().contents().to_string();
+    (SimReport::collect(&sys), text, seen)
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_traces() {
+    let (r1, t1, n1) = traced_run(3_000, 7);
+    let (r2, t2, n2) = traced_run(3_000, 7);
+    assert!(n1 > 0, "a real run emits events");
+    assert_eq!(n1, n2);
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(t1, t2, "same seed, same bytes");
+
+    // A different seed is a different execution — and a different stream.
+    let (_, t3, _) = traced_run(3_000, 8);
+    assert_ne!(t1, t3);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let mut untraced = build(3_000, 7);
+    assert!(untraced.run(u64::MAX / 4));
+    let base = SimReport::collect(&untraced);
+
+    let (traced, _, _) = traced_run(3_000, 7);
+    assert_eq!(base.cycles, traced.cycles, "cycle counts bit-identical");
+    assert_eq!(base.retired, traced.retired);
+    assert_eq!(base.chunks_committed, traced.chunks_committed);
+    assert_eq!(base.traffic.total(), traced.traffic.total());
+
+    // Sampling is observation-only too.
+    let mut sampled = build(3_000, 7);
+    sampled.enable_sampling(500);
+    assert!(sampled.run(u64::MAX / 4));
+    let s = SimReport::collect(&sampled);
+    assert_eq!(base.cycles, s.cycles);
+    assert!(!sampled.samples().is_empty());
+    let total_retired: u64 = sampled
+        .samples()
+        .iter()
+        .flat_map(|s| s.retired_delta.iter())
+        .sum();
+    assert!(total_retired <= s.retired);
+}
+
+#[test]
+fn every_jsonl_line_is_valid_json() {
+    let (_, text, _) = traced_run(2_000, 3);
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(
+            bulksc_trace::json::is_valid(line),
+            "invalid JSONL line: {line}"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_document() {
+    let mut sys = build(2_000, 3);
+    let chrome = ChromeTracer::shared();
+    let mut trace = TraceHandle::off();
+    trace.attach(chrome.clone());
+    sys.set_tracer(trace);
+    assert!(sys.run(u64::MAX / 4));
+    let doc = chrome.borrow().finish();
+    assert!(!chrome.borrow().is_empty());
+    assert!(
+        bulksc_trace::json::is_valid(&doc),
+        "chrome trace must parse"
+    );
+}
+
+#[test]
+fn ring_dump_appears_in_debug_state() {
+    let mut sys = build(1_000, 3);
+    let ring = RingTracer::shared(32);
+    let mut trace = TraceHandle::off();
+    trace.attach(ring);
+    sys.set_tracer(trace);
+    assert!(sys.run(u64::MAX / 4));
+    let dump = sys.debug_state();
+    assert!(
+        dump.contains("trace ring: last"),
+        "debug_state carries the ring tail:\n{dump}"
+    );
+}
