@@ -1,0 +1,679 @@
+//! Post-processing for run artifacts: the logic behind `bulksc-analyze`.
+//!
+//! Three operations, all pure text-in/text-out so they unit-test without
+//! touching the filesystem (the `bulksc-analyze` binary is a thin argv
+//! wrapper):
+//!
+//! * [`report`] — summarize a `results/*.json` RunLog: per-phase commit
+//!   latency percentiles, per-core cycle-loss attribution (validated to
+//!   sum to the run's cycle count), and the signature false-positive rate;
+//! * [`timeline`] — reconstruct per-chunk spans from a JSONL event stream,
+//!   emit a Chrome trace of them, and flag every `chunk_start` that never
+//!   reached a commit, squash, or abandon;
+//! * [`diff`] — compare two RunLog artifacts metric-by-metric with a
+//!   relative-delta threshold, for regression gating in CI.
+//!
+//! Every entry point first checks the artifact's `schema`/`version` pair
+//! against [`bulksc_trace::SCHEMA_VERSION`] and refuses anything it does
+//! not understand, so stale artifacts fail loudly instead of mis-parsing.
+
+use std::collections::BTreeMap;
+
+use bulksc_stats::{Histogram, Table};
+use bulksc_trace::{Json, SCHEMA_VERSION};
+
+/// The latency phases a run artifact carries, in lifecycle order.
+const PHASES: [&str; 5] = [
+    "execute",
+    "arbitration",
+    "dir_update",
+    "commit_visible",
+    "l1_miss",
+];
+
+/// Parse an artifact document and check its schema stamp.
+fn load_runlog(text: &str) -> Result<Json, String> {
+    let doc = Json::parse(text).ok_or_else(|| "artifact is not valid JSON".to_string())?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "bulksc-runlog" {
+        return Err(format!(
+            "not a bulksc-runlog artifact (schema {schema:?}); \
+             regenerate it with a current binary"
+        ));
+    }
+    let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "artifact schema version {version} != supported {SCHEMA_VERSION}; \
+             regenerate it with a current binary"
+        ));
+    }
+    Ok(doc)
+}
+
+/// Rebuild a [`Histogram`] from the sparse JSON form `SimReport` emits.
+fn hist_from_json(j: &Json) -> Option<Histogram> {
+    let count = j.get("count")?.as_u64()?;
+    let sum = j.get("sum")?.as_u64()?;
+    let min = j.get("min")?.as_u64()?;
+    let max = j.get("max")?.as_u64()?;
+    let mut pairs = Vec::new();
+    for pair in j.get("buckets")?.as_arr()? {
+        let p = pair.as_arr()?;
+        pairs.push((p.first()?.as_u64()? as usize, p.get(1)?.as_u64()?));
+    }
+    Histogram::from_parts(&pairs, count, sum, min, max)
+}
+
+/// Summarize one RunLog artifact (the text of a `results/*.json` file).
+///
+/// For every recorded run: a per-phase latency table (count, p50, p90,
+/// p99, max, mean), the per-core cycle-loss attribution with its
+/// sums-to-cycles invariant checked, and the squash false-positive rate.
+pub fn report(text: &str) -> Result<String, String> {
+    let doc = load_runlog(text)?;
+    let experiment = doc.get("experiment").and_then(Json::as_str).unwrap_or("?");
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "artifact has no runs array".to_string())?;
+    let mut out = format!("experiment {experiment}: {} runs\n", runs.len());
+    for run in runs {
+        let app = run.get("app").and_then(Json::as_str).unwrap_or("?");
+        let config = run.get("config").and_then(Json::as_str).unwrap_or("?");
+        let rep = run
+            .get("report")
+            .ok_or_else(|| format!("run {app}/{config} has no report"))?;
+        out.push_str(&format!("\n== {app} / {config} ==\n"));
+        out.push_str(&run_report(app, config, rep)?);
+    }
+    Ok(out)
+}
+
+/// The report body for a single run.
+fn run_report(app: &str, config: &str, rep: &Json) -> Result<String, String> {
+    let cycles = rep
+        .get("cycles")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("run {app}/{config}: no cycles field"))?;
+    let mut out = String::new();
+
+    // Phase latency percentiles (bulk configs only: baselines have no
+    // chunk lifecycle, their phase histograms are empty).
+    let latency = rep.get("latency");
+    let mut t = Table::new(
+        ["phase latency", "count", "p50", "p90", "p99", "max", "mean"]
+            .map(str::to_string)
+            .to_vec(),
+    );
+    let mut any = false;
+    for phase in PHASES {
+        let Some(h) = latency.and_then(|l| l.get(phase)).and_then(hist_from_json) else {
+            continue;
+        };
+        if h.is_empty() {
+            continue;
+        }
+        any = true;
+        t.row(vec![
+            phase.to_string(),
+            h.count().to_string(),
+            h.percentile(50.0).to_string(),
+            h.percentile(90.0).to_string(),
+            h.percentile(99.0).to_string(),
+            h.max().to_string(),
+            format!("{:.1}", h.mean()),
+        ]);
+    }
+    if any {
+        out.push_str(&t.to_string());
+    } else {
+        out.push_str("no phase latency samples (baseline model)\n");
+    }
+
+    // Cycle-loss attribution: one column per core, totals checked.
+    if let Some(losses) = rep.get("cycle_loss").and_then(Json::as_arr) {
+        if !losses.is_empty() {
+            out.push_str(&cycle_loss_table(app, config, cycles, losses)?);
+        }
+    }
+
+    // Squash-cause attribution and the signature false-positive rate
+    // (aliasing squashes over all conflict squashes, Table 3's contrast).
+    let alias = rep
+        .get("alias_squashes")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let true_sharing = rep
+        .get("true_squashes")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let conflicts = alias + true_sharing;
+    if conflicts > 0.0 {
+        out.push_str(&format!(
+            "squashes/1k-instr: alias {alias:.3}, true-sharing {true_sharing:.3} \
+             (signature false-positive rate {:.1}%)\n",
+            100.0 * alias / conflicts
+        ));
+    }
+    Ok(out)
+}
+
+/// Render the per-core cycle-loss table, validating each core's total.
+fn cycle_loss_table(
+    app: &str,
+    config: &str,
+    cycles: u64,
+    losses: &[Json],
+) -> Result<String, String> {
+    // Collect the label set across cores, preserving core-0 order.
+    let mut labels: Vec<String> = Vec::new();
+    for loss in losses {
+        for (k, _) in loss.as_obj().unwrap_or(&[]) {
+            if k != "total" && !labels.contains(k) {
+                labels.push(k.clone());
+            }
+        }
+    }
+    let mut header = vec!["cycle loss".to_string()];
+    header.extend((0..losses.len()).map(|c| format!("core{c}")));
+    let mut t = Table::new(header);
+    for label in &labels {
+        let mut row = vec![label.clone()];
+        for loss in losses {
+            row.push(
+                loss.get(label)
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+                    .to_string(),
+            );
+        }
+        t.row(row);
+    }
+    let mut total_row = vec!["total".to_string()];
+    for (core, loss) in losses.iter().enumerate() {
+        let total = loss.get("total").and_then(Json::as_u64).unwrap_or(0);
+        if total != cycles {
+            return Err(format!(
+                "run {app}/{config}: core {core} cycle-loss total {total} != run cycles {cycles}"
+            ));
+        }
+        total_row.push(total.to_string());
+    }
+    t.row(total_row);
+    Ok(t.to_string())
+}
+
+/// The outcome of reconstructing chunk spans from a JSONL event stream.
+#[derive(Debug)]
+pub struct Timeline {
+    /// Chrome trace (duration events, one per completed chunk span).
+    pub chrome_trace: String,
+    /// Spans ending in a commit.
+    pub commits: u64,
+    /// Spans ending in a squash.
+    pub squashes: u64,
+    /// Spans ending in an end-of-program abandon.
+    pub abandons: u64,
+    /// Commits/abandons whose `chunk_start` predates the trace (chunks
+    /// already open when the tracer attached — e.g. each core's first
+    /// chunk, opened at construction time). No span is emitted for them.
+    pub orphan_ends: u64,
+    /// `chunk_start`s that never terminated (should be empty for a
+    /// complete trace of a finished run).
+    pub unmatched: Vec<String>,
+}
+
+impl Timeline {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} spans ({} commits, {} squashes, {} abandons), {} pre-trace ends, {} unmatched",
+            self.commits + self.squashes + self.abandons,
+            self.commits,
+            self.squashes,
+            self.abandons,
+            self.orphan_ends,
+            self.unmatched.len()
+        )
+    }
+}
+
+/// Reconstruct per-chunk spans from a JSONL event stream.
+///
+/// A span opens at `chunk_start` and closes at the matching
+/// `chunk_commit` or `chunk_abandon`; a `squash` at `(core, seq)` closes
+/// every open span on that core with sequence ≥ `seq` (the core discards
+/// its whole speculative suffix). Spans become Chrome-trace duration
+/// events (`"ph":"X"`) laned per core; unmatched starts are collected for
+/// the caller to fail on.
+pub fn timeline(jsonl: &str) -> Result<Timeline, String> {
+    let mut lines = jsonl.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| "empty trace".to_string())?;
+    let h = Json::parse(header).ok_or_else(|| "trace header is not valid JSON".to_string())?;
+    if h.get("schema").and_then(Json::as_str) != Some("bulksc-trace") {
+        return Err("not a bulksc-trace stream (bad schema header)".to_string());
+    }
+    let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "trace schema version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+
+    // (core, seq) -> start cycle; BTreeMap for deterministic iteration.
+    let mut open: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut spans: Vec<String> = Vec::new();
+    let (mut commits, mut squashes, mut abandons) = (0u64, 0u64, 0u64);
+    let mut orphan_ends = 0u64;
+    let mut span = |core: u64, seq: u64, start: u64, end: u64, reason: &str| {
+        let entry = Json::obj([
+            ("name", format!("chunk {seq} ({reason})").into()),
+            ("cat", "chunk".into()),
+            ("ph", "X".into()),
+            ("ts", start.into()),
+            ("dur", (end - start).into()),
+            ("pid", Json::U64(0)),
+            ("tid", format!("core{core}").into()),
+            (
+                "args",
+                Json::obj([("seq", seq.into()), ("end", reason.into())]),
+            ),
+        ]);
+        spans.push(entry.to_string());
+    };
+
+    for (lineno, line) in lines {
+        let ev = Json::parse(line)
+            .ok_or_else(|| format!("line {}: not valid JSON: {line}", lineno + 1))?;
+        let name = ev.get("ev").and_then(Json::as_str).unwrap_or("");
+        let t = ev
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: event without cycle stamp", lineno + 1))?;
+        let core_seq = || -> Option<(u64, u64)> {
+            Some((
+                ev.get("core").and_then(Json::as_u64)?,
+                ev.get("seq").and_then(Json::as_u64)?,
+            ))
+        };
+        match name {
+            "chunk_start" => {
+                let (core, seq) = core_seq()
+                    .ok_or_else(|| format!("line {}: chunk_start missing core/seq", lineno + 1))?;
+                if open.insert((core, seq), t).is_some() {
+                    return Err(format!(
+                        "line {}: chunk core{core}#{seq} started twice without terminating",
+                        lineno + 1
+                    ));
+                }
+            }
+            "chunk_commit" | "chunk_abandon" => {
+                let (core, seq) = core_seq()
+                    .ok_or_else(|| format!("line {}: {name} missing core/seq", lineno + 1))?;
+                if let Some(start) = open.remove(&(core, seq)) {
+                    let reason = if name == "chunk_commit" {
+                        commits += 1;
+                        "commit"
+                    } else {
+                        abandons += 1;
+                        "abandon"
+                    };
+                    span(core, seq, start, t, reason);
+                } else {
+                    // The chunk was already open when tracing attached
+                    // (every core's first chunk): terminated, but no span.
+                    orphan_ends += 1;
+                }
+            }
+            "squash" => {
+                let (core, seq) = core_seq()
+                    .ok_or_else(|| format!("line {}: squash missing core/seq", lineno + 1))?;
+                // The squash discards the chunk and every younger one on
+                // the same core.
+                let doomed: Vec<(u64, u64)> = open
+                    .range((core, seq)..(core, u64::MAX))
+                    .map(|(&k, _)| k)
+                    .collect();
+                for key in doomed {
+                    let start = open.remove(&key).expect("listed above");
+                    squashes += 1;
+                    span(key.0, key.1, start, t, "squash");
+                }
+            }
+            _ => {} // other events carry no span boundaries
+        }
+    }
+
+    let unmatched: Vec<String> = open
+        .iter()
+        .map(|(&(core, seq), &start)| format!("core{core}#{seq} started at cycle {start}"))
+        .collect();
+
+    let mut chrome = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            chrome.push(',');
+        }
+        chrome.push('\n');
+        chrome.push_str(s);
+    }
+    chrome.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+
+    Ok(Timeline {
+        chrome_trace: chrome,
+        commits,
+        squashes,
+        abandons,
+        orphan_ends,
+        unmatched,
+    })
+}
+
+/// One metric delta between two artifacts.
+#[derive(Debug)]
+pub struct Delta {
+    /// `app/config · dotted.metric.path`.
+    pub path: String,
+    /// Value in the first artifact.
+    pub a: f64,
+    /// Value in the second artifact.
+    pub b: f64,
+    /// Relative delta in percent (100 when appearing/disappearing).
+    pub rel_pct: f64,
+}
+
+/// The outcome of comparing two RunLog artifacts.
+#[derive(Debug)]
+pub struct Diff {
+    /// Numeric leaves compared.
+    pub compared: u64,
+    /// Deltas whose relative change exceeds the threshold, largest first.
+    pub breaches: Vec<Delta>,
+    /// Runs present in one artifact but not the other.
+    pub unpaired: Vec<String>,
+}
+
+impl Diff {
+    /// True if the two artifacts agree within the threshold everywhere.
+    pub fn clean(&self) -> bool {
+        self.breaches.is_empty() && self.unpaired.is_empty()
+    }
+
+    /// Human-readable comparison report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} metrics compared, {} over threshold, {} unpaired runs\n",
+            self.compared,
+            self.breaches.len(),
+            self.unpaired.len()
+        );
+        for u in &self.unpaired {
+            out.push_str(&format!("  unpaired: {u}\n"));
+        }
+        if !self.breaches.is_empty() {
+            let mut t = Table::new(["metric", "a", "b", "delta%"].map(str::to_string).to_vec());
+            for d in self.breaches.iter().take(25) {
+                t.row(vec![
+                    d.path.clone(),
+                    format!("{:.4}", d.a),
+                    format!("{:.4}", d.b),
+                    format!("{:+.2}", d.rel_pct),
+                ]);
+            }
+            out.push_str(&t.to_string());
+            if self.breaches.len() > 25 {
+                out.push_str(&format!("  ... and {} more\n", self.breaches.len() - 25));
+            }
+        }
+        out
+    }
+}
+
+/// Compare two RunLog artifacts; report every numeric leaf whose relative
+/// delta exceeds `threshold_pct`.
+///
+/// Runs are matched by `(app, config)`. Histogram bucket arrays are
+/// skipped (summary fields and percentiles cover them at far less noise);
+/// every other numeric leaf of each run's report participates.
+pub fn diff(a_text: &str, b_text: &str, threshold_pct: f64) -> Result<Diff, String> {
+    let a = load_runlog(a_text)?;
+    let b = load_runlog(b_text)?;
+    let index = |doc: &Json| -> Result<BTreeMap<(String, String), Json>, String> {
+        let mut map = BTreeMap::new();
+        for run in doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+            let app = run.get("app").and_then(Json::as_str).unwrap_or("?");
+            let config = run.get("config").and_then(Json::as_str).unwrap_or("?");
+            let rep = run
+                .get("report")
+                .ok_or_else(|| format!("run {app}/{config} has no report"))?;
+            map.insert((app.to_string(), config.to_string()), rep.clone());
+        }
+        Ok(map)
+    };
+    let runs_a = index(&a)?;
+    let runs_b = index(&b)?;
+
+    let mut compared = 0u64;
+    let mut breaches: Vec<Delta> = Vec::new();
+    let mut unpaired: Vec<String> = Vec::new();
+    for key in runs_b.keys() {
+        if !runs_a.contains_key(key) {
+            unpaired.push(format!("{}/{} (second only)", key.0, key.1));
+        }
+    }
+    for ((app, config), rep_a) in &runs_a {
+        let Some(rep_b) = runs_b.get(&(app.clone(), config.clone())) else {
+            unpaired.push(format!("{app}/{config} (first only)"));
+            continue;
+        };
+        let mut leaves_a = Vec::new();
+        let mut leaves_b = Vec::new();
+        numeric_leaves(rep_a, String::new(), &mut leaves_a);
+        numeric_leaves(rep_b, String::new(), &mut leaves_b);
+        let map_b: BTreeMap<&str, f64> = leaves_b.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+        for (path, va) in &leaves_a {
+            let Some(&vb) = map_b.get(path.as_str()) else {
+                continue; // structural difference: covered by count below
+            };
+            compared += 1;
+            let rel = relative_delta_pct(*va, vb);
+            if rel > threshold_pct {
+                breaches.push(Delta {
+                    path: format!("{app}/{config} · {path}"),
+                    a: *va,
+                    b: vb,
+                    rel_pct: if vb >= *va { rel } else { -rel },
+                });
+            }
+        }
+    }
+    breaches.sort_by(|x, y| {
+        y.rel_pct
+            .abs()
+            .partial_cmp(&x.rel_pct.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.path.cmp(&y.path))
+    });
+    Ok(Diff {
+        compared,
+        breaches,
+        unpaired,
+    })
+}
+
+/// Relative delta in percent, symmetric-safe for zeros.
+fn relative_delta_pct(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 || b == 0.0 {
+        100.0
+    } else {
+        100.0 * (b - a).abs() / a.abs()
+    }
+}
+
+/// Collect every numeric leaf of `j` as `(dotted.path, value)`. Histogram
+/// bucket arrays are skipped: their summary fields already participate.
+fn numeric_leaves(j: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    let join = |path: &str, key: &str| {
+        if path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{path}.{key}")
+        }
+    };
+    match j {
+        Json::U64(_) | Json::I64(_) | Json::F64(_) => {
+            if let Some(v) = j.as_f64() {
+                out.push((path, v));
+            }
+        }
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                if k == "buckets" {
+                    continue;
+                }
+                numeric_leaves(v, join(&path, k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                numeric_leaves(v, join(&path, &i.to_string()), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::RunLog;
+    use crate::run_app;
+    use bulksc::{BulkConfig, Model};
+
+    fn sample_runlog() -> String {
+        let app = bulksc_workloads::by_name("lu").unwrap();
+        let r = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, 1_500);
+        let mut log = RunLog::new("analyze-test", 1_500);
+        log.record("lu", "BSCdypvt", &r);
+        let mut text = log.to_json().to_string();
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn report_summarizes_a_runlog() {
+        let text = sample_runlog();
+        let out = report(&text).expect("report succeeds");
+        assert!(out.contains("analyze-test"));
+        assert!(out.contains("lu / BSCdypvt"));
+        assert!(out.contains("arbitration"), "phase table present: {out}");
+        assert!(out.contains("committed"), "cycle-loss table present");
+        assert!(out.contains("total"));
+    }
+
+    #[test]
+    fn report_rejects_wrong_schema() {
+        assert!(report("{\"schema\":\"nope\"}").is_err());
+        assert!(report("{\"schema\":\"bulksc-runlog\",\"version\":1}").is_err());
+        assert!(report("not json").is_err());
+    }
+
+    #[test]
+    fn diff_of_identical_artifacts_is_clean() {
+        let text = sample_runlog();
+        let d = diff(&text, &text, 0.0).expect("diff succeeds");
+        assert!(d.clean(), "self-diff must be clean: {}", d.render());
+        assert!(d.compared > 30, "compares many metrics: {}", d.compared);
+    }
+
+    #[test]
+    fn diff_detects_arbiter_config_change_at_one_percent() {
+        // The acceptance gate: two runs that differ only in the arbiter
+        // organization (1 range arbiter vs 4 + G-arbiter) disagree on
+        // commit-latency and denial metrics well past a 1% threshold.
+        use bulksc::{SimReport, System, SystemConfig};
+        use bulksc_workloads::{SyntheticApp, ThreadProgram};
+        let app = bulksc_workloads::by_name("ocean").unwrap();
+        let artifact = |config: BulkConfig, dirs: u32| {
+            let mut cfg = SystemConfig::cmp8(Model::Bulk(config));
+            cfg.dirs = dirs;
+            cfg.budget = 1_500;
+            let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+                .map(|t| {
+                    Box::new(SyntheticApp::new(app, t, cfg.cores, crate::SEED))
+                        as Box<dyn ThreadProgram>
+                })
+                .collect();
+            let mut sys = System::new(cfg, programs);
+            assert!(sys.run(u64::MAX / 4));
+            let r = SimReport::collect(&sys);
+            let mut log = RunLog::new("arb-compare", 1_500);
+            // Same config label on both sides so the runs pair up.
+            log.record("ocean", "arb", &r);
+            let mut text = log.to_json().to_string();
+            text.push('\n');
+            text
+        };
+        let one = artifact(BulkConfig::bsc_base(), 1);
+        let four = artifact(BulkConfig::bsc_base().with_arbiters(4), 4);
+        let d = diff(&one, &four, 1.0).expect("diff succeeds");
+        assert!(
+            !d.clean(),
+            "different arbiter configs must breach a 1% threshold"
+        );
+        // And the same artifact against itself stays clean at 0%.
+        assert!(diff(&one, &one, 0.0).unwrap().clean());
+    }
+
+    #[test]
+    fn diff_flags_changed_metrics() {
+        let text = sample_runlog();
+        let bumped = text.replace("\"cycles\":", "\"cycles\":9");
+        let d = diff(&text, &bumped, 1.0).expect("diff succeeds");
+        assert!(!d.clean());
+        assert!(d.breaches.iter().any(|b| b.path.contains("cycles")));
+        let rendered = d.render();
+        assert!(rendered.contains("cycles"));
+    }
+
+    #[test]
+    fn timeline_matches_every_chunk_start() {
+        let header = bulksc_trace::jsonl_header();
+        let trace = format!(
+            "{header}\n\
+             {{\"t\":0,\"ev\":\"chunk_start\",\"core\":0,\"seq\":0}}\n\
+             {{\"t\":5,\"ev\":\"chunk_start\",\"core\":0,\"seq\":1}}\n\
+             {{\"t\":9,\"ev\":\"chunk_commit\",\"core\":0,\"seq\":0,\"read_lines\":1,\"write_lines\":1,\"priv_lines\":0}}\n\
+             {{\"t\":12,\"ev\":\"chunk_start\",\"core\":0,\"seq\":2}}\n\
+             {{\"t\":15,\"ev\":\"squash\",\"core\":0,\"seq\":1,\"cause\":\"alias\",\"squashed_instrs\":4}}\n\
+             {{\"t\":20,\"ev\":\"chunk_start\",\"core\":0,\"seq\":1}}\n\
+             {{\"t\":25,\"ev\":\"chunk_abandon\",\"core\":0,\"seq\":1}}\n"
+        );
+        let tl = timeline(&trace).expect("timeline succeeds");
+        assert_eq!(tl.commits, 1);
+        assert_eq!(tl.squashes, 2, "squash closes seq 1 and the younger 2");
+        assert_eq!(tl.abandons, 1);
+        assert!(tl.unmatched.is_empty(), "unmatched: {:?}", tl.unmatched);
+        assert_eq!(tl.orphan_ends, 0);
+        assert!(bulksc_trace::json::is_valid(&tl.chrome_trace));
+        assert!(tl.summary().contains("4 spans"));
+    }
+
+    #[test]
+    fn timeline_reports_unterminated_chunks() {
+        let header = bulksc_trace::jsonl_header();
+        let trace = format!("{header}\n{{\"t\":0,\"ev\":\"chunk_start\",\"core\":2,\"seq\":7}}\n");
+        let tl = timeline(&trace).expect("parse succeeds");
+        assert_eq!(tl.unmatched, vec!["core2#7 started at cycle 0"]);
+    }
+
+    #[test]
+    fn timeline_rejects_bad_headers() {
+        assert!(timeline("").is_err());
+        assert!(timeline("{\"schema\":\"bulksc-trace\",\"version\":999}\n").is_err());
+        assert!(timeline("{\"schema\":\"other\"}\n").is_err());
+    }
+}

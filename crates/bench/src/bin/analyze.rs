@@ -1,0 +1,131 @@
+//! `bulksc-analyze`: post-process run artifacts and event traces.
+//!
+//! ```text
+//! bulksc-analyze report   <results.json>...
+//! bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]
+//! bulksc-analyze diff     <a.json> <b.json> [--threshold <pct>]
+//! ```
+//!
+//! * `report` prints per-phase commit-latency percentiles, the per-core
+//!   cycle-loss attribution (validated to sum to the run's cycles), and
+//!   the signature false-positive rate for every run in each artifact.
+//! * `timeline` rebuilds per-chunk spans from a JSONL event stream,
+//!   writes a Chrome trace (open in <https://ui.perfetto.dev>), and fails
+//!   if any `chunk_start` never reached a commit, squash, or abandon.
+//! * `diff` compares two artifacts run-by-run; any metric whose relative
+//!   delta exceeds the threshold (default 0%) makes the exit code
+//!   nonzero, so CI can gate on regressions.
+//!
+//! Exit codes: 0 success, 1 validation/regression failure, 2 usage or
+//! unreadable/unsupported input.
+
+use bulksc_bench::analyze;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bulksc-analyze report <results.json>...\n\
+         \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
+         \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("bulksc-analyze: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match (cmd.as_str(), &args[1..]) {
+        ("report", paths) if !paths.is_empty() => {
+            for path in paths {
+                let text = match read(path) {
+                    Ok(t) => t,
+                    Err(code) => return code,
+                };
+                match analyze::report(&text) {
+                    Ok(out) => {
+                        println!("# {path}");
+                        print!("{out}");
+                    }
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {path}: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("timeline", rest) if !rest.is_empty() => {
+            let path = &rest[0];
+            let out_path = match rest[1..] {
+                [] => None,
+                [ref flag, ref p] if flag == "--out" => Some(p.clone()),
+                _ => return usage(),
+            };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let tl = match analyze::timeline(&text) {
+                Ok(tl) => tl,
+                Err(e) => {
+                    eprintln!("bulksc-analyze: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!("{path}: {}", tl.summary());
+            if let Some(out) = out_path {
+                if let Err(e) = std::fs::write(&out, &tl.chrome_trace) {
+                    eprintln!("bulksc-analyze: cannot write {out}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("wrote {out}");
+            }
+            if tl.unmatched.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for u in &tl.unmatched {
+                    eprintln!("bulksc-analyze: unterminated chunk: {u}");
+                }
+                ExitCode::from(1)
+            }
+        }
+        ("diff", rest) if rest.len() >= 2 => {
+            let threshold = match rest[2..] {
+                [] => 0.0,
+                [ref flag, ref v] if flag == "--threshold" => match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => t,
+                    _ => return usage(),
+                },
+                _ => return usage(),
+            };
+            let (a, b) = match (read(&rest[0]), read(&rest[1])) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            match analyze::diff(&a, &b, threshold) {
+                Ok(d) => {
+                    print!("{}", d.render());
+                    if d.clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bulksc-analyze: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
-use bulksc_stats::TimeWeighted;
+use bulksc_stats::{Histogram, TimeWeighted};
 use bulksc_trace::{Event, TraceHandle};
 
 /// Arbiter event counters (Table 4's arbiter columns).
@@ -47,6 +47,9 @@ pub struct ArbStats {
     pub pending_w: TimeWeighted,
     /// Pre-arbitration grants issued.
     pub prearbs: u64,
+    /// Directory-update latency of granted commits: grant issued to the
+    /// last DirDone (the W signature's time in the list).
+    pub dir_update_latency: Histogram,
 }
 
 #[derive(Debug)]
@@ -55,6 +58,9 @@ struct CommitTrack {
     /// Where the final completion/done notification goes: the core for
     /// ordinary commits, the G-arbiter for multi-range commits.
     report_to: NodeId,
+    /// Cycle the commit was granted (or, for range commits, released),
+    /// for the directory-update latency histogram.
+    granted_at: Cycle,
 }
 
 #[derive(Debug)]
@@ -136,6 +142,12 @@ impl Arbiter {
     /// Number of W signatures currently in the list.
     pub fn pending(&self) -> usize {
         self.w_list.len()
+    }
+
+    /// Requests queued but not yet decided: parked RSig fetches plus the
+    /// pre-arbitration queue (an interval-sampler gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.waiting_rsig.len() + self.prearb_queue.len()
     }
 
     fn note_occupancy(&mut self, now: Cycle) {
@@ -318,6 +330,7 @@ impl Arbiter {
             CommitTrack {
                 dirs_left: dirs.len() as u32,
                 report_to: NodeId::Core(core),
+                granted_at: now,
             },
         );
         for d in dirs {
@@ -358,6 +371,9 @@ impl Arbiter {
             return;
         }
         let track = self.commits.remove(&chunk).expect("checked above");
+        self.stats
+            .dir_update_latency
+            .record(now.saturating_sub(track.granted_at));
         self.w_list.retain(|(t, _)| *t != chunk);
         self.note_occupancy(now);
         let msg = match track.report_to {
@@ -448,6 +464,7 @@ impl Arbiter {
             CommitTrack {
                 dirs_left: dirs.len() as u32,
                 report_to: src,
+                granted_at: now,
             },
         );
         for d in dirs {

@@ -63,6 +63,12 @@ pub struct Chunk {
     /// Lines of this chunk's read set displaced from the L1 (Table 3:
     /// harmless under BulkSC, counted).
     pub read_displacements: u64,
+    /// Cycle the chunk opened (latency accounting: the execute phase runs
+    /// from here to the first commit request).
+    pub t_start: u64,
+    /// Cycle the first commit-permission request was sent, if any
+    /// (arbitration latency counts retries from this first attempt).
+    pub t_first_request: Option<u64>,
 }
 
 impl Chunk {
@@ -87,6 +93,8 @@ impl Chunk {
             pending_lines: HashSet::new(),
             retired: 0,
             read_displacements: 0,
+            t_start: 0,
+            t_first_request: None,
         }
     }
 

@@ -34,7 +34,7 @@ use bulksc_cpu::{CoreConfig, InstrWindow, SlotId, SlotState, ValueStore};
 use bulksc_mem::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{Addr, LineAddr, TrackedSig};
-use bulksc_stats::RunningMean;
+use bulksc_stats::{CycleLoss, Histogram, RunningMean};
 use bulksc_trace::{Event, SquashCause, TraceHandle};
 use bulksc_workloads::{AddressMap, Instr, ThreadProgram};
 
@@ -91,6 +91,22 @@ pub struct BulkStats {
     pub io_ops: u64,
     /// Cycle the program (and all its chunks) finished.
     pub finished_at: Option<Cycle>,
+    /// Execute-phase latency of committed chunks: chunk open to first
+    /// commit-permission request.
+    pub lat_execute: Histogram,
+    /// Arbitration latency of committed chunks: first commit request to
+    /// grant, retries included.
+    pub lat_arbitration: Histogram,
+    /// Commit-visibility latency: grant received to CommitComplete
+    /// received (the directory round trip as seen by the core).
+    pub lat_commit_visible: Histogram,
+    /// L1 miss latency: request sent to fill received.
+    pub lat_miss: Histogram,
+    /// Where this core's cycles went: each interval between lifecycle
+    /// events is charged to the event that ended it (commit grant, denial,
+    /// squash by cause). The end-of-run remainder is added as "tail" by
+    /// `SimReport::collect`, making the total exactly the run's cycles.
+    pub loss: CycleLoss,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +122,8 @@ enum WindowForward {
 #[derive(Debug)]
 struct MissEntry {
     sent: bool,
+    /// Cycle the request actually went out (for miss-latency accounting).
+    sent_at: Cycle,
     retry_at: Cycle,
     waiting_loads: Vec<SlotId>,
     invalidated: bool,
@@ -140,13 +158,18 @@ pub struct BulkNode {
     next_seq: u64,
     /// Dynamic instructions fetched into the open chunk.
     fetched_into_chunk: u64,
-    /// Granted chunks whose commit protocol is still completing.
-    committing: HashSet<ChunkTag>,
+    /// Granted chunks whose commit protocol is still completing, with the
+    /// cycle the grant arrived (for commit-visibility latency).
+    committing: HashMap<ChunkTag, Cycle>,
     /// Completions that raced ahead of their own grant response (the
-    /// whole directory round can be faster than the delayed CommitResp).
-    early_completes: HashSet<ChunkTag>,
+    /// whole directory round can be faster than the delayed CommitResp),
+    /// with the cycle the completion arrived.
+    early_completes: HashMap<ChunkTag, Cycle>,
     /// Earliest cycle the oldest chunk may (re)request commit.
     commit_retry_at: Cycle,
+    /// Cycle-loss partition marker: start of the interval not yet charged
+    /// to any cause in `stats.loss`.
+    loss_mark: Cycle,
     /// Consecutive squashes (for §3.3's backoff and pre-arbitration).
     consec_squashes: u32,
     effective_chunk_size: u64,
@@ -197,8 +220,9 @@ impl BulkNode {
             chunks: VecDeque::new(),
             next_seq: 0,
             fetched_into_chunk: 0,
-            committing: HashSet::new(),
-            early_completes: HashSet::new(),
+            committing: HashMap::new(),
+            early_completes: HashMap::new(),
+            loss_mark: 0,
             commit_retry_at: 0,
             consec_squashes: 0,
             effective_chunk_size: chunk_size,
@@ -242,6 +266,21 @@ impl BulkNode {
         self.chunks.len()
     }
 
+    /// True while the core is recovering from squashes (§3.3 back-off
+    /// still in effect); an interval-sampler gauge.
+    pub fn squashing(&self) -> bool {
+        self.consec_squashes > 0
+    }
+
+    /// Charge the cycles since the last charged lifecycle event to
+    /// `label` and restart the interval at `now`.
+    fn charge_loss(&mut self, now: Cycle, label: &'static str) {
+        self.stats
+            .loss
+            .charge(label, now.saturating_sub(self.loss_mark));
+        self.loss_mark = now;
+    }
+
     fn dir_node(&self, line: LineAddr) -> NodeId {
         NodeId::Dir((line.0 % self.num_dirs as u64) as u32)
     }
@@ -268,6 +307,7 @@ impl BulkNode {
         // instruction are architectural state too.
         chunk.checkpoint_feed = self.feed;
         chunk.checkpoint_stash = self.stash;
+        chunk.t_start = now;
         self.chunks.push_back(chunk);
     }
 
@@ -642,6 +682,7 @@ impl BulkNode {
     fn want_line(&mut self, now: Cycle, _slot: SlotId, line: LineAddr, pending_for: Option<u64>) {
         self.misses.entry(line).or_insert_with(|| MissEntry {
             sent: false,
+            sent_at: 0,
             retry_at: now,
             waiting_loads: Vec::new(),
             invalidated: false,
@@ -673,6 +714,7 @@ impl BulkNode {
             let dst = self.dir_node(line);
             let m = self.misses.get_mut(&line).expect("listed above");
             m.sent = true;
+            m.sent_at = now;
             self.stats.l1_misses += 1;
             // §4.3: always a read request, even for writes.
             fab.send(
@@ -825,7 +867,16 @@ impl BulkNode {
         } else {
             (NodeId::Arbiter(0), Some(r))
         };
-        self.chunks.front_mut().expect("checked").state = ChunkState::Arbitrating;
+        {
+            let front = self.chunks.front_mut().expect("checked");
+            front.state = ChunkState::Arbitrating;
+            if front.t_first_request.is_none() {
+                front.t_first_request = Some(now);
+                self.stats
+                    .lat_execute
+                    .record(now.saturating_sub(front.t_start));
+            }
+        }
         self.trace.emit(now, || Event::CommitRequest {
             core: tag.core,
             seq: tag.seq,
@@ -860,11 +911,16 @@ impl BulkNode {
         }
         if !ok {
             self.stats.commit_denials += 1;
+            self.charge_loss(now, "arb_denial");
             self.chunks.front_mut().expect("checked").state = ChunkState::Closed;
             self.commit_retry_at = now + self.bulk.commit_retry;
             return;
         }
         let mut front = self.chunks.pop_front().expect("checked");
+        self.charge_loss(now, "committed");
+        self.stats
+            .lat_arbitration
+            .record(now.saturating_sub(front.t_first_request.unwrap_or(now)));
         // The commit is granted: make the chunk's stores globally visible.
         for &(addr, value) in &front.store_order {
             values.write(addr, value);
@@ -918,8 +974,16 @@ impl BulkNode {
         if front.w.is_empty() {
             self.stats.empty_w_commits += 1;
         }
-        if !self.early_completes.remove(&chunk) {
-            self.committing.insert(chunk);
+        match self.early_completes.remove(&chunk) {
+            // The completion raced ahead of the grant response: the
+            // directory round was already over when the grant arrived.
+            Some(completed_at) => self
+                .stats
+                .lat_commit_visible
+                .record(completed_at.saturating_sub(now)),
+            None => {
+                self.committing.insert(chunk, now);
+            }
         }
         self.consec_squashes = 0;
         self.effective_chunk_size = self.bulk.chunk_size;
@@ -934,9 +998,18 @@ impl BulkNode {
 
     /// Squash chunks from index `idx` onward: restore the checkpoint,
     /// discard speculative state, shrink the next chunk if squashes keep
-    /// coming.
-    fn squash_from(&mut self, idx: usize, cause: SquashCause, fab: &mut Fabric, now: Cycle) {
+    /// coming. `loss_label` names the cycle-loss cause the interval since
+    /// the last lifecycle event is charged to.
+    fn squash_from(
+        &mut self,
+        idx: usize,
+        cause: SquashCause,
+        loss_label: &'static str,
+        fab: &mut Fabric,
+        now: Cycle,
+    ) {
         debug_assert!(idx < self.chunks.len());
+        self.charge_loss(now, loss_label);
         let first_seq = self.chunks[idx].tag.seq;
         // Restore the program (and its pending feed/stash) as of the
         // squashed chunk's start.
@@ -1061,11 +1134,15 @@ impl BulkNode {
                 let r = Box::new(front.r.clone());
                 fab.send(now, self.id(), env.src, Message::RSigResp { chunk, r });
             }
-            Message::CommitComplete { chunk } => {
-                if !self.committing.remove(&chunk) {
-                    self.early_completes.insert(chunk);
+            Message::CommitComplete { chunk } => match self.committing.remove(&chunk) {
+                Some(granted_at) => self
+                    .stats
+                    .lat_commit_visible
+                    .record(now.saturating_sub(granted_at)),
+                None => {
+                    self.early_completes.insert(chunk, now);
                 }
-            }
+            },
             Message::PreArbGrant => {
                 self.prearb_granted = true;
             }
@@ -1113,7 +1190,14 @@ impl BulkNode {
                 self.stats.alias_squashes += 1;
                 SquashCause::Alias
             };
-            self.squash_from(idx, cause, fab, now);
+            // Which signature detected the conflict: the victim's R (a
+            // read this chunk did) or its W (a write-write collision).
+            let label = if w.intersects(&self.chunks[idx].r) {
+                "r_sig_conflict"
+            } else {
+                "w_sig_conflict"
+            };
+            self.squash_from(idx, cause, label, fab, now);
         }
         // 2. Bulk invalidation: δ-expand the signature over the L1 and
         //    invalidate members. Lines whose pre-image the Private Buffer
@@ -1180,7 +1264,12 @@ impl BulkNode {
                 self.stats.alias_squashes += 1;
                 SquashCause::Alias
             };
-            self.squash_from(idx, cause, fab, now);
+            let label = if sig.intersects(&self.chunks[idx].r) {
+                "r_sig_conflict"
+            } else {
+                "w_sig_conflict"
+            };
+            self.squash_from(idx, cause, label, fab, now);
         }
         let state = self.l1.invalidate(line);
         if self.priv_buffer.remove(line) {
@@ -1346,7 +1435,13 @@ impl BulkNode {
                 self.stats.overflow_squashes += 1;
                 if !self.chunks.is_empty() {
                     let idx = self.chunks.len() - 1;
-                    self.squash_from(idx, SquashCause::Overflow, fab, now);
+                    self.squash_from(
+                        idx,
+                        SquashCause::Overflow,
+                        "displacement_overflow",
+                        fab,
+                        now,
+                    );
                 }
             }
             InsertOutcome::Placed => {}
@@ -1356,6 +1451,9 @@ impl BulkNode {
             c.pending_lines.remove(&line);
         }
         if let Some(m) = self.misses.remove(&line) {
+            if m.sent {
+                self.stats.lat_miss.record(now.saturating_sub(m.sent_at));
+            }
             for slot in m.waiting_loads {
                 // Values: forwarding first, then the response snapshot.
                 let Some(s) = self.window.get_mut(slot) else {
@@ -1403,6 +1501,11 @@ impl BulkNode {
         {
             let only = self.chunks.front().expect("checked");
             if only.retired == 0 && only.stores.is_empty() && only.r.is_empty() {
+                let tag = only.tag;
+                self.trace.emit(now, || Event::ChunkAbandon {
+                    core: tag.core,
+                    seq: tag.seq,
+                });
                 self.chunks.clear();
             }
         }

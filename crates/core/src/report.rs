@@ -7,7 +7,7 @@
 //! breakdown.
 
 use bulksc_net::{TrafficClass, TrafficStats};
-use bulksc_stats::{per_100k, per_1k, percent};
+use bulksc_stats::{per_100k, per_1k, percent, CycleLoss, Histogram};
 use bulksc_trace::Json;
 
 use crate::system::System;
@@ -76,6 +76,72 @@ pub struct SimReport {
 
     /// Interconnect bytes by Figure 11 category.
     pub traffic: TrafficStats,
+
+    // Chunk-lifecycle latency distributions (merged across cores; empty
+    // for baseline models).
+    /// Chunk open to first commit request.
+    pub lat_execute: Histogram,
+    /// First commit request to grant (retries included).
+    pub lat_arbitration: Histogram,
+    /// Grant to last DirDone at the arbiter (W list residency).
+    pub lat_dir_update: Histogram,
+    /// Grant to CommitComplete as seen by the core.
+    pub lat_commit_visible: Histogram,
+    /// L1 miss request to fill, across all cores (bulk and baseline).
+    pub lat_l1_miss: Histogram,
+    /// Per-core cycle-loss attribution (bulk cores only). Each table ends
+    /// with a "tail" entry so its total is exactly `cycles`.
+    pub cycle_loss: Vec<CycleLoss>,
+}
+
+/// Canonical label order for cycle-loss JSON, so same-shape runs emit
+/// byte-comparable objects regardless of first-charge order.
+const LOSS_LABELS: [&str; 6] = [
+    "committed",
+    "arb_denial",
+    "w_sig_conflict",
+    "r_sig_conflict",
+    "displacement_overflow",
+    "tail",
+];
+
+/// JSON encoding of a histogram: exact summary fields, the standard
+/// percentiles, and the sparse bucket list (enough to rebuild it with
+/// [`Histogram::from_parts`]).
+pub fn histogram_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", h.count().into()),
+        ("sum", h.sum().into()),
+        ("min", h.min().into()),
+        ("max", h.max().into()),
+        ("mean", h.mean().into()),
+        ("p50", h.percentile(50.0).into()),
+        ("p90", h.percentile(90.0).into()),
+        ("p99", h.percentile(99.0).into()),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .map(|(i, c)| Json::Arr(vec![Json::U64(i as u64), c.into()]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// JSON encoding of one core's cycle-loss table, canonical labels first.
+pub fn cycle_loss_json(l: &CycleLoss) -> Json {
+    let mut obj = Json::Obj(Vec::new());
+    for label in LOSS_LABELS {
+        obj.push(label, l.get(label).into());
+    }
+    for &(label, cycles) in l.entries() {
+        if !LOSS_LABELS.contains(&label) {
+            obj.push(label, cycles.into());
+        }
+    }
+    obj.push("total", l.total().into());
+    obj
 }
 
 impl SimReport {
@@ -96,6 +162,11 @@ impl SimReport {
             bulksc_stats::RunningMean::new(),
         );
         let mut empty_w = 0u64;
+        let mut lat_execute = Histogram::new();
+        let mut lat_arbitration = Histogram::new();
+        let mut lat_commit_visible = Histogram::new();
+        let mut lat_l1_miss = Histogram::new();
+        let mut cycle_loss: Vec<CycleLoss> = Vec::new();
         for n in sys.nodes() {
             if let Some(b) = n.bulk_stats() {
                 retired += b.retired;
@@ -110,10 +181,21 @@ impl SimReport {
                 ws.merge(&b.write_set);
                 ps.merge(&b.priv_write_set);
                 empty_w += b.empty_w_commits;
+                lat_execute.merge(&b.lat_execute);
+                lat_arbitration.merge(&b.lat_arbitration);
+                lat_commit_visible.merge(&b.lat_commit_visible);
+                lat_l1_miss.merge(&b.lat_miss);
+                // Close each core's attribution: whatever follows the last
+                // charged lifecycle event (end-of-run drain, post-finish
+                // idle) is the tail, making the total exactly the run.
+                let mut loss = b.loss.clone();
+                loss.charge("tail", sys.cycles().saturating_sub(loss.total()));
+                cycle_loss.push(loss);
             }
             if let Some(b) = n.baseline_stats() {
                 retired += b.retired;
                 squashed += b.squashed_instrs;
+                lat_l1_miss.merge(&b.lat_miss);
             }
         }
 
@@ -134,12 +216,14 @@ impl SimReport {
         let mut denials = 0u64;
         let mut rsig_required = 0u64;
         let mut grants = 0u64;
+        let mut lat_dir_update = Histogram::new();
         let (mut pending_sum, mut nonempty_sum, mut arbs) = (0.0f64, 0.0f64, 0u32);
         for a in sys.arbiter_stats() {
             requests += a.requests;
             denials += a.denials;
             rsig_required += a.rsig_required;
             grants += a.grants;
+            lat_dir_update.merge(&a.dir_update_latency);
             // The run may still be inside the stats window: finish a copy.
             let mut tw = a.pending_w;
             tw.finish(sys.cycles().max(1));
@@ -200,6 +284,12 @@ impl SimReport {
                 denials as f64 / chunks as f64
             },
             traffic: *sys.traffic(),
+            lat_execute,
+            lat_arbitration,
+            lat_dir_update,
+            lat_commit_visible,
+            lat_l1_miss,
+            cycle_loss,
         }
     }
 
@@ -254,6 +344,20 @@ impl SimReport {
             ("arb_denials", self.arb_denials.into()),
             ("denials_per_commit", self.denials_per_commit.into()),
             ("traffic", traffic),
+            (
+                "latency",
+                Json::obj([
+                    ("execute", histogram_json(&self.lat_execute)),
+                    ("arbitration", histogram_json(&self.lat_arbitration)),
+                    ("dir_update", histogram_json(&self.lat_dir_update)),
+                    ("commit_visible", histogram_json(&self.lat_commit_visible)),
+                    ("l1_miss", histogram_json(&self.lat_l1_miss)),
+                ]),
+            ),
+            (
+                "cycle_loss",
+                Json::Arr(self.cycle_loss.iter().map(cycle_loss_json).collect()),
+            ),
         ])
     }
 }
@@ -284,6 +388,46 @@ mod tests {
         let mut sys = System::new(cfg, vec![prog(1), prog(1000)]);
         assert!(sys.run(5_000_000), "contended run must finish");
         sys
+    }
+
+    #[test]
+    fn cycle_loss_sums_to_run_cycles_per_core() {
+        let sys = contended_run();
+        let r = SimReport::collect(&sys);
+        assert_eq!(r.cycle_loss.len(), 2, "one table per bulk core");
+        for (core, loss) in r.cycle_loss.iter().enumerate() {
+            assert_eq!(
+                loss.total(),
+                r.cycles,
+                "core {core} attribution must partition the run: {loss:?}"
+            );
+            assert!(loss.get("committed") > 0, "core {core} did useful work");
+        }
+        // Contention costs cycles somewhere: conflict squashes or denials.
+        let lost: u64 = r
+            .cycle_loss
+            .iter()
+            .map(|l| l.get("arb_denial") + l.get("w_sig_conflict") + l.get("r_sig_conflict"))
+            .sum();
+        assert!(lost > 0, "contended run must lose cycles to contention");
+    }
+
+    #[test]
+    fn latency_histograms_cover_every_commit() {
+        let sys = contended_run();
+        let r = SimReport::collect(&sys);
+        // Arbitration and visibility latencies are recorded once per grant.
+        assert_eq!(r.lat_arbitration.count(), r.chunks_committed);
+        assert_eq!(r.lat_commit_visible.count(), r.chunks_committed);
+        // Execute latency is recorded at the first commit request; squashed
+        // chunks may re-request, so it at least covers every commit.
+        assert!(r.lat_execute.count() >= r.chunks_committed);
+        // Retries happen between first request and grant, so arbitration
+        // latency on a contended run has a non-trivial tail.
+        assert!(r.lat_arbitration.max() >= r.lat_arbitration.percentile(50.0));
+        // Store-heavy chunks all carry W signatures through the directory.
+        assert!(r.lat_dir_update.count() > 0);
+        assert!(r.lat_dir_update.count() <= r.chunks_committed);
     }
 
     #[test]

@@ -250,11 +250,28 @@ impl System {
         }
         let retired = self.per_core_retired();
         let pending_w: u64 = self.arbiters.iter().map(|a| a.pending() as u64).sum();
+        let arb_queue: u64 = self.arbiters.iter().map(|a| a.queue_depth() as u64).sum();
+        let squashing_cores = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, CoreNode::Bulk(b) if b.squashing()))
+            .count() as u64;
         let fabric_depth = self.fabric.in_flight() as u64;
         let bytes = self.fabric.traffic().total();
         let msgs = self.fabric.traffic().messages();
         let s = self.sampler.as_mut().expect("checked above");
-        s.record(self.now, &retired, pending_w, fabric_depth, bytes, msgs);
+        s.record(
+            self.now,
+            &retired,
+            bulksc_trace::GaugeSnapshot {
+                pending_w,
+                arb_queue,
+                squashing_cores,
+                fabric_depth,
+                traffic_bytes: bytes,
+                messages: msgs,
+            },
+        );
     }
 
     /// Current simulation time.

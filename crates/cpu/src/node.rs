@@ -28,6 +28,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use bulksc_mem::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
 use bulksc_net::{Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{Addr, LineAddr};
+use bulksc_stats::Histogram;
 use bulksc_workloads::{Instr, ThreadProgram};
 
 use crate::config::CoreConfig;
@@ -67,6 +68,8 @@ pub struct CoreStats {
     pub nacks: u64,
     /// Cycle at which this core finished its program, if it has.
     pub finished_at: Option<Cycle>,
+    /// L1 miss latency: request sent to fill (or upgrade ack) received.
+    pub lat_miss: Histogram,
 }
 
 #[derive(Debug)]
@@ -75,6 +78,8 @@ struct MissEntry {
     excl: bool,
     /// Request currently in flight.
     sent: bool,
+    /// Cycle the request went out (for miss-latency accounting).
+    sent_at: Cycle,
     /// Retry barrier after a Nack.
     retry_at: Cycle,
     /// Loads waiting for this line.
@@ -626,6 +631,7 @@ impl BaselineNode {
         let entry = self.misses.entry(line).or_insert_with(|| MissEntry {
             excl,
             sent: false,
+            sent_at: 0,
             retry_at: now,
             waiting_loads: Vec::new(),
             invalidated: false,
@@ -669,6 +675,7 @@ impl BaselineNode {
                 Message::ReadShared { line }
             };
             m.sent = true;
+            m.sent_at = now;
             self.stats.l1_misses += 1;
             fab.send(now, src, dst, msg);
             budget -= 1;
@@ -847,6 +854,9 @@ impl BaselineNode {
             Message::UpgradeAck { line } => {
                 self.l1.set_state(line, LineState::Exclusive);
                 if let Some(m) = self.misses.remove(&line) {
+                    if m.sent {
+                        self.stats.lat_miss.record(now.saturating_sub(m.sent_at));
+                    }
                     // Loads merged into the upgraded miss read the (still
                     // valid, now exclusive) local copy.
                     for slot in m.waiting_loads {
@@ -970,6 +980,9 @@ impl BaselineNode {
             _ => {}
         }
         if let Some(m) = self.misses.remove(&line) {
+            if m.sent {
+                self.stats.lat_miss.record(now.saturating_sub(m.sent_at));
+            }
             for slot in m.waiting_loads {
                 self.complete_load_slot_with_line(now, slot, values, line, &data);
             }

@@ -1,0 +1,436 @@
+//! Latency distributions and cycle-loss attribution.
+//!
+//! Scalar counters and means (the rest of this crate) answer "how much on
+//! average"; the evaluation questions of the paper — where do commit
+//! cycles go, what does the arbitration tail look like — need
+//! distributions. [`Histogram`] is a log-bucketed HDR-style histogram:
+//! exact below 2^6, ~1.6% relative error (64 sub-buckets per octave,
+//! ≈2.5 significant figures) up to 2^40 cycles, constant-time recording,
+//! mergeable across cores, and serializable to the sparse JSON form the
+//! `bulksc-analyze` tooling reads back.
+//!
+//! [`CycleLoss`] is the companion accumulator for *attribution*: a small
+//! labelled table of cycle counts (useful work, squash causes, arbitration
+//! denials, end-of-run tail) whose per-core totals are constructed to sum
+//! exactly to the simulated cycle count.
+
+use crate::table::Table;
+
+/// Sub-bucket resolution: 2^6 = 64 sub-buckets per power of two.
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Largest distinguishable value (~10^12 cycles); larger values clamp.
+const MAX_VALUE: u64 = 1 << 40;
+
+/// A log-bucketed histogram of `u64` samples (cycle counts).
+///
+/// Values in `0..64` get exact unit buckets; every higher octave is split
+/// into 64 sub-buckets, so any recorded value is represented with at most
+/// ~1.6% error. Values above 2^40 are clamped into the top bucket.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_stats::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.percentile(50.0), 20);
+/// assert_eq!(h.max(), 40);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Sparse-in-practice dense bucket array, allocated on first record.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index of `value` (monotone in `value`).
+fn bucket_index(value: u64) -> usize {
+    let v = value.min(MAX_VALUE);
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+    let sub = (v >> (exp - SUB_BITS)) & (SUB_COUNT - 1);
+    (((exp - SUB_BITS + 1) as u64 * SUB_COUNT) + sub) as usize
+}
+
+/// Largest value that maps to bucket `index` (the reported quantile value,
+/// so percentiles never under-state a latency).
+fn bucket_high(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_COUNT {
+        return i;
+    }
+    let exp = i / SUB_COUNT - 1 + SUB_BITS as u64;
+    let sub = i % SUB_COUNT;
+    let low = (1u64 << exp) + (sub << (exp - SUB_BITS as u64));
+    low + (1u64 << (exp - SUB_BITS as u64)) - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Exact largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at percentile `p` (0..=100): the upper edge of the bucket
+    /// holding the sample of rank `ceil(p/100 · count)`, clamped to the
+    /// exact observed min/max so `percentile(0)` and `percentile(100)` are
+    /// exact. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (e.g. per-core → machine).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The non-empty `(bucket_index, count)` pairs, ascending by index.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuild a histogram from sparse `(index, count)` pairs plus the
+    /// exact summary fields (the inverse of the JSON encoding). Returns
+    /// `None` if the pairs are inconsistent with `count`.
+    pub fn from_parts(
+        pairs: &[(usize, u64)],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Option<Histogram> {
+        let mut h = Histogram {
+            buckets: Vec::new(),
+            count,
+            sum,
+            min,
+            max,
+        };
+        let mut total = 0u64;
+        for &(idx, c) in pairs {
+            if idx > bucket_index(MAX_VALUE) {
+                return None;
+            }
+            if h.buckets.len() <= idx {
+                h.buckets.resize(idx + 1, 0);
+            }
+            h.buckets[idx] += c;
+            total += c;
+        }
+        (total == count).then_some(h)
+    }
+}
+
+/// Labelled cycle-loss attribution table.
+///
+/// Each entry charges some cycles to a fixed cause label. The simulator
+/// partitions every core's timeline into consecutive intervals and charges
+/// each interval to the event that ended it (commit, squash by cause,
+/// arbitration denial), with the end-of-run remainder charged to a tail
+/// label — so [`CycleLoss::total`] equals the simulated cycle count
+/// exactly, by construction.
+///
+/// # Example
+///
+/// ```
+/// use bulksc_stats::CycleLoss;
+/// let mut l = CycleLoss::new();
+/// l.charge("committed", 90);
+/// l.charge("w_sig_conflict", 10);
+/// assert_eq!(l.total(), 100);
+/// assert_eq!(l.get("committed"), 90);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleLoss {
+    /// `(label, cycles)` in first-charge order (deterministic).
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl CycleLoss {
+    /// An empty table.
+    pub fn new() -> CycleLoss {
+        CycleLoss::default()
+    }
+
+    /// Charge `cycles` to `label` (creating the entry on first use).
+    pub fn charge(&mut self, label: &'static str, cycles: u64) {
+        match self.entries.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += cycles,
+            None => self.entries.push((label, cycles)),
+        }
+    }
+
+    /// Cycles charged to `label` so far (0 if never charged).
+    pub fn get(&self, label: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// All `(label, cycles)` entries, in first-charge order.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+
+    /// Total cycles charged across all labels.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Merge another table into this one.
+    pub fn merge(&mut self, other: &CycleLoss) {
+        for &(label, cycles) in &other.entries {
+            self.charge(label, cycles);
+        }
+    }
+
+    /// Render a two-column table (label, cycles, % of total).
+    pub fn render(&self, title: &str) -> String {
+        let total = self.total().max(1);
+        let mut t = Table::new(vec![
+            title.to_string(),
+            "cycles".to_string(),
+            "%".to_string(),
+        ]);
+        for &(label, cycles) in &self.entries {
+            t.row(vec![
+                label.to_string(),
+                cycles.to_string(),
+                format!("{:.2}", 100.0 * cycles as f64 / total as f64),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // Unit buckets below 64: every percentile lands on a real value.
+        assert_eq!(h.percentile(50.0), 31);
+        assert_eq!(h.percentile(100.0), 63);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        // At every power-of-two boundary the index must be monotone and
+        // the reported bucket edge within 1/32 of the value.
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..=40u32 {
+            values.extend([(1u64 << exp), (1u64 << exp) + 1, (3u64 << exp) / 2]);
+        }
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            prev = idx;
+            let hi = bucket_high(idx);
+            assert!(hi >= v.min(MAX_VALUE), "bucket high {hi} < value {v}");
+            let err = (hi - v.min(MAX_VALUE)) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0, "error {err} too large at {v}");
+        }
+    }
+
+    #[test]
+    fn percentile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in (1..=100_000u64).step_by(7) {
+            h.record(v);
+        }
+        for p in [50.0, 90.0, 99.0] {
+            let exact = ((p / 100.0) * h.count() as f64).ceil() as u64 * 7 - 6;
+            let got = h.percentile(p);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.02, "p{p}: got {got}, exact ~{exact}, err {err}");
+        }
+        assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [1u64, 5, 100, 1_000_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 70, 12_345, 1 << 39] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::new());
+        assert_eq!(a, both);
+        let mut empty = Histogram::new();
+        empty.merge(&both);
+        assert_eq!(empty, both);
+    }
+
+    #[test]
+    fn clamps_above_max_value() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 1);
+        // The clamped sample still lands in the top bucket.
+        assert_eq!(h.nonzero_buckets().count(), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 63, 64, 65, 4096, 123_456_789] {
+            h.record(v);
+        }
+        let pairs: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(&pairs, h.count(), h.sum(), h.min(), h.max())
+            .expect("consistent parts");
+        assert_eq!(back, h);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+        // Inconsistent count is rejected.
+        assert!(Histogram::from_parts(&pairs, h.count() + 1, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn cycle_loss_accumulates_and_merges() {
+        let mut l = CycleLoss::new();
+        l.charge("committed", 10);
+        l.charge("w_sig_conflict", 5);
+        l.charge("committed", 10);
+        assert_eq!(l.get("committed"), 20);
+        assert_eq!(l.get("never"), 0);
+        assert_eq!(l.total(), 25);
+        let mut other = CycleLoss::new();
+        other.charge("tail", 5);
+        other.charge("committed", 1);
+        l.merge(&other);
+        assert_eq!(l.total(), 31);
+        assert_eq!(l.get("committed"), 21);
+        let rendered = l.render("core0");
+        assert!(rendered.contains("w_sig_conflict"));
+        assert!(rendered.contains("core0"));
+    }
+}

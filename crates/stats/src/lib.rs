@@ -11,12 +11,18 @@
 //!   arbiter, % of time the W list is non-empty) — [`TimeWeighted`];
 //! * geometric means across applications (the `SP2-G.M.` column) —
 //!   [`geomean`];
+//! * latency distributions (per-phase commit latency percentiles) —
+//!   [`hist::Histogram`];
+//! * cycle-loss attribution (where each core's cycles went) —
+//!   [`hist::CycleLoss`];
 //! * aligned text tables mirroring the paper's layout — [`table::Table`].
 
+pub mod hist;
 pub mod rates;
 pub mod rng;
 pub mod table;
 
+pub use hist::{CycleLoss, Histogram};
 pub use rates::{per_100k, per_1k, percent};
 pub use rng::SplitMix64;
 pub use table::Table;

@@ -112,6 +112,10 @@ pub enum Event {
         write_lines: u32,
         priv_lines: u32,
     },
+    /// A core discarded a still-empty trailing chunk at the end of its
+    /// program (no instructions were lost; nothing will re-execute).
+    /// Terminates the chunk's span like a commit or squash does.
+    ChunkAbandon { core: u32, seq: u64 },
     /// A chunk was squashed and will re-execute from its checkpoint.
     Squash {
         core: u32,
@@ -160,6 +164,7 @@ impl Event {
             Event::CommitGrant { .. } => "commit_grant",
             Event::CommitDeny { .. } => "commit_deny",
             Event::ChunkCommit { .. } => "chunk_commit",
+            Event::ChunkAbandon { .. } => "chunk_abandon",
             Event::Squash { .. } => "squash",
             Event::SigExpand { .. } => "sig_expand",
             Event::DirDisplacement { .. } => "dir_displacement",
@@ -179,6 +184,7 @@ impl Event {
             | Event::CommitGrant { core, .. }
             | Event::CommitDeny { core, .. }
             | Event::ChunkCommit { core, .. }
+            | Event::ChunkAbandon { core, .. }
             | Event::Squash { core, .. }
             | Event::CacheDisplacement { core, .. }
             | Event::PrivSupply { core, .. } => Endpoint::core(core),
@@ -205,7 +211,9 @@ impl Event {
                 ("w_lines", w_lines.into()),
                 ("carries_rsig", carries_rsig.into()),
             ],
-            Event::CommitGrant { core, seq } | Event::CommitDeny { core, seq } => {
+            Event::CommitGrant { core, seq }
+            | Event::CommitDeny { core, seq }
+            | Event::ChunkAbandon { core, seq } => {
                 vec![("core", core.into()), ("seq", seq.into())]
             }
             Event::ChunkCommit {
@@ -323,6 +331,7 @@ mod tests {
                 write_lines: 3,
                 priv_lines: 8,
             },
+            Event::ChunkAbandon { core: 3, seq: 40 },
             Event::Squash {
                 core: 1,
                 seq: 9,

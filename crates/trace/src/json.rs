@@ -47,6 +47,68 @@ impl Json {
         }
     }
 
+    /// Parse one complete JSON document into a value tree. Returns `None`
+    /// on malformed input or trailing garbage. Numbers parse as `U64` when
+    /// they are non-negative integers in range, `I64` for negative
+    /// integers, and `F64` otherwise — matching what [`Json::write`]
+    /// emits, so render → parse round-trips.
+    pub fn parse(input: &str) -> Option<Json> {
+        let bytes = input.as_bytes();
+        let (value, next) = parse_tree(bytes, skip_ws(bytes, 0))?;
+        (skip_ws(bytes, next) == bytes.len()).then_some(value)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's items, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Render into `out`.
     pub fn write(&self, out: &mut String) {
         match self {
@@ -297,6 +359,115 @@ fn parse_obj(b: &[u8], i: usize) -> Option<usize> {
     }
 }
 
+/// Parse one value starting at `i`, building the tree; return the value
+/// and the index just past it.
+fn parse_tree(b: &[u8], i: usize) -> Option<(Json, usize)> {
+    match b.get(i)? {
+        b'{' => {
+            let mut fields = Vec::new();
+            let mut pos = skip_ws(b, i + 1);
+            if b.get(pos) == Some(&b'}') {
+                return Some((Json::Obj(fields), pos + 1));
+            }
+            loop {
+                if b.get(pos) != Some(&b'"') {
+                    return None;
+                }
+                let (key, next) = parse_string_tree(b, pos)?;
+                pos = skip_ws(b, next);
+                if b.get(pos) != Some(&b':') {
+                    return None;
+                }
+                let (value, next) = parse_tree(b, skip_ws(b, pos + 1))?;
+                fields.push((key, value));
+                pos = skip_ws(b, next);
+                match b.get(pos)? {
+                    b',' => pos = skip_ws(b, pos + 1),
+                    b'}' => return Some((Json::Obj(fields), pos + 1)),
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            let mut items = Vec::new();
+            let mut pos = skip_ws(b, i + 1);
+            if b.get(pos) == Some(&b']') {
+                return Some((Json::Arr(items), pos + 1));
+            }
+            loop {
+                let (value, next) = parse_tree(b, pos)?;
+                items.push(value);
+                pos = skip_ws(b, next);
+                match b.get(pos)? {
+                    b',' => pos = skip_ws(b, pos + 1),
+                    b']' => return Some((Json::Arr(items), pos + 1)),
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            let (s, next) = parse_string_tree(b, i)?;
+            Some((Json::Str(s), next))
+        }
+        b't' => parse_lit(b, i, b"true").map(|n| (Json::Bool(true), n)),
+        b'f' => parse_lit(b, i, b"false").map(|n| (Json::Bool(false), n)),
+        b'n' => parse_lit(b, i, b"null").map(|n| (Json::Null, n)),
+        b'-' | b'0'..=b'9' => {
+            let next = parse_number(b, i)?;
+            let text = std::str::from_utf8(&b[i..next]).ok()?;
+            let value = if text.bytes().all(|c| c.is_ascii_digit()) {
+                text.parse::<u64>()
+                    .map(Json::U64)
+                    .unwrap_or(Json::F64(text.parse().ok()?))
+            } else if !text.contains(['.', 'e', 'E']) {
+                text.parse::<i64>()
+                    .map(Json::I64)
+                    .unwrap_or(Json::F64(text.parse().ok()?))
+            } else {
+                Json::F64(text.parse().ok()?)
+            };
+            Some((value, next))
+        }
+        _ => None,
+    }
+}
+
+/// Parse a string literal at `i` into its unescaped form.
+fn parse_string_tree(b: &[u8], i: usize) -> Option<(String, usize)> {
+    let end = parse_string(b, i)?;
+    let raw = std::str::from_utf8(&b[i + 1..end - 1]).ok()?;
+    if !raw.contains('\\') {
+        return Some((raw.to_string(), end));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                // Lone surrogates render as the replacement character; the
+                // writer never emits surrogate pairs.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return None,
+        }
+    }
+    Some((out, end))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +531,57 @@ mod tests {
         ] {
             assert!(!is_valid(bad), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_round_trips_what_we_render() {
+        let mut o = Json::obj([
+            ("name", Json::from("fig9 \u{7} tab\t\"q\"")),
+            (
+                "xs",
+                Json::Arr(vec![Json::from(1.25), Json::from(-2i64), Json::Bool(false)]),
+            ),
+            ("big", Json::from(u64::MAX)),
+            ("neg", Json::from(i64::MIN)),
+            ("nested", Json::obj([("empty", Json::Arr(Vec::new()))])),
+            ("null", Json::Null),
+        ]);
+        o.push("f", Json::from(0.1));
+        let text = o.to_string();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back, o);
+        // Re-render is byte-identical: parse is a faithful inverse.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "[1] x", "1e999x", "\"\\q\""] {
+            assert!(Json::parse(bad).is_none(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_trees() {
+        let doc = Json::parse("{\"a\":{\"b\":[1,-2,3.5,\"s\"]},\"n\":7}").unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+        let arr = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = arr.as_arr().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_u64(), None);
+        assert_eq!(items[1].as_f64(), Some(-2.0));
+        assert_eq!(items[2].as_f64(), Some(3.5));
+        assert_eq!(items[3].as_str(), Some("s"));
+        assert_eq!(doc.as_obj().unwrap().len(), 2);
+        assert!(doc.get("missing").is_none());
+        assert!(items[0].get("x").is_none());
+        assert!(items[0].as_arr().is_none());
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let doc = Json::parse("\"a\\n\\t\\u0041\\\\\\\"/\\u00e9\"").unwrap();
+        assert_eq!(doc.as_str(), Some("a\n\tA\\\"/é"));
     }
 
     #[test]

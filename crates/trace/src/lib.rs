@@ -49,7 +49,10 @@
 //!
 //! trace.emit(17, || Event::ChunkStart { core: 0, seq: 0 });
 //! assert_eq!(ring.borrow().seen(), 1);
-//! assert!(jsonl.borrow().contents().starts_with("{\"t\":17"));
+//! // Line 1 is the schema header; events follow, one object per line.
+//! let text = jsonl.borrow().contents().to_string();
+//! assert!(text.starts_with("{\"schema\":\"bulksc-trace\""));
+//! assert!(text.lines().nth(1).unwrap().starts_with("{\"t\":17"));
 //! ```
 
 use std::cell::RefCell;
@@ -62,8 +65,25 @@ pub mod sinks;
 
 pub use event::{Endpoint, EndpointKind, Event, SquashCause};
 pub use json::Json;
-pub use sampler::{IntervalSample, IntervalSeries};
+pub use sampler::{GaugeSnapshot, IntervalSample, IntervalSeries};
 pub use sinks::{ChromeTracer, JsonlTracer, RingTracer};
+
+/// Version of every on-disk artifact schema this workspace emits: the
+/// JSONL event stream header, the sampler series header, and the
+/// `results/*.json` RunLog. Bump it when an event's fields, an event
+/// name, or an artifact's layout changes incompatibly; `bulksc-analyze`
+/// refuses artifacts whose version it does not understand.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The first line of every JSONL event stream:
+/// `{"schema":"bulksc-trace","version":N}`.
+pub fn jsonl_header() -> String {
+    Json::obj([
+        ("schema", "bulksc-trace".into()),
+        ("version", SCHEMA_VERSION.into()),
+    ])
+    .to_string()
+}
 
 /// A consumer of cycle-stamped events.
 ///

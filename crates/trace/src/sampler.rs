@@ -21,6 +21,12 @@ pub struct IntervalSample {
     pub ipc: Vec<f64>,
     /// W signatures currently held by the arbiters (committing chunks).
     pub pending_w: u64,
+    /// Commit requests queued at the arbiters (R-sig waits + pre-arb
+    /// queue), not yet granted or denied.
+    pub arb_queue: u64,
+    /// Cores currently in squash back-off (outstanding squashes being
+    /// re-executed).
+    pub squashing_cores: u64,
     /// Messages in flight in the fabric.
     pub fabric_depth: u64,
     /// Interconnect bytes moved since the previous sample.
@@ -43,11 +49,32 @@ impl IntervalSample {
                 Json::Arr(self.ipc.iter().map(|&x| x.into()).collect()),
             ),
             ("pending_w", self.pending_w.into()),
+            ("arb_queue", self.arb_queue.into()),
+            ("squashing_cores", self.squashing_cores.into()),
             ("fabric_depth", self.fabric_depth.into()),
             ("traffic_bytes_delta", self.traffic_bytes_delta.into()),
             ("messages_delta", self.messages_delta.into()),
         ])
     }
+}
+
+/// The instantaneous gauges and cumulative totals handed to
+/// [`IntervalSeries::record`] (grouped so the call site stays readable as
+/// gauges are added).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GaugeSnapshot {
+    /// W signatures currently held by the arbiters.
+    pub pending_w: u64,
+    /// Commit requests queued at the arbiters.
+    pub arb_queue: u64,
+    /// Cores currently in squash back-off.
+    pub squashing_cores: u64,
+    /// Messages in flight in the fabric.
+    pub fabric_depth: u64,
+    /// Cumulative interconnect bytes (the series takes deltas).
+    pub traffic_bytes: u64,
+    /// Cumulative interconnect messages (the series takes deltas).
+    pub messages: u64,
 }
 
 /// The accumulating time series. The owner (the simulator's `System`)
@@ -93,15 +120,7 @@ impl IntervalSeries {
 
     /// Record a snapshot from *cumulative* totals; deltas are computed
     /// against the previous sample.
-    pub fn record(
-        &mut self,
-        now: u64,
-        retired: &[u64],
-        pending_w: u64,
-        fabric_depth: u64,
-        traffic_bytes: u64,
-        messages: u64,
-    ) {
+    pub fn record(&mut self, now: u64, retired: &[u64], g: GaugeSnapshot) {
         let elapsed = now.saturating_sub(self.last_cycle).max(1);
         if self.last_retired.len() < retired.len() {
             self.last_retired.resize(retired.len(), 0);
@@ -119,15 +138,17 @@ impl IntervalSeries {
             cycle: now,
             retired_delta,
             ipc,
-            pending_w,
-            fabric_depth,
-            traffic_bytes_delta: traffic_bytes.saturating_sub(self.last_bytes),
-            messages_delta: messages.saturating_sub(self.last_messages),
+            pending_w: g.pending_w,
+            arb_queue: g.arb_queue,
+            squashing_cores: g.squashing_cores,
+            fabric_depth: g.fabric_depth,
+            traffic_bytes_delta: g.traffic_bytes.saturating_sub(self.last_bytes),
+            messages_delta: g.messages.saturating_sub(self.last_messages),
         });
         self.last_cycle = now;
         self.last_retired = retired.to_vec();
-        self.last_bytes = traffic_bytes;
-        self.last_messages = messages;
+        self.last_bytes = g.traffic_bytes;
+        self.last_messages = g.messages;
         // Next boundary strictly after `now` (a fast-forward may have
         // jumped several boundaries; they collapse into this one sample).
         self.next_at = (now / self.every + 1) * self.every;
@@ -141,6 +162,8 @@ impl IntervalSeries {
     /// JSON encoding of the whole series.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("schema", "bulksc-samples".into()),
+            ("version", crate::SCHEMA_VERSION.into()),
             ("every", self.every.into()),
             (
                 "samples",
@@ -159,10 +182,32 @@ mod tests {
         let mut s = IntervalSeries::new(100);
         assert!(!s.due(99));
         assert!(s.due(100));
-        s.record(100, &[50, 10], 2, 3, 1000, 7);
+        s.record(
+            100,
+            &[50, 10],
+            GaugeSnapshot {
+                pending_w: 2,
+                arb_queue: 1,
+                squashing_cores: 0,
+                fabric_depth: 3,
+                traffic_bytes: 1000,
+                messages: 7,
+            },
+        );
         assert!(!s.due(100));
         assert!(s.due(200));
-        s.record(205, &[150, 10], 0, 0, 1600, 9);
+        s.record(
+            205,
+            &[150, 10],
+            GaugeSnapshot {
+                pending_w: 0,
+                arb_queue: 0,
+                squashing_cores: 2,
+                fabric_depth: 0,
+                traffic_bytes: 1600,
+                messages: 9,
+            },
+        );
         let samples = s.samples();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].retired_delta, vec![50, 10]);
@@ -170,6 +215,8 @@ mod tests {
         assert!((samples[1].ipc[0] - 100.0 / 105.0).abs() < 1e-12);
         assert_eq!(samples[1].traffic_bytes_delta, 600);
         assert_eq!(samples[1].messages_delta, 2);
+        assert_eq!(samples[0].arb_queue, 1);
+        assert_eq!(samples[1].squashing_cores, 2);
         // Boundary realigned after the late sample.
         assert!(!s.due(299));
         assert!(s.due(300));
@@ -180,7 +227,7 @@ mod tests {
         let mut s = IntervalSeries::new(10);
         // Time jumps from 0 to 75: one sample, next boundary at 80.
         assert!(s.due(75));
-        s.record(75, &[75], 0, 0, 0, 0);
+        s.record(75, &[75], GaugeSnapshot::default());
         assert_eq!(s.samples().len(), 1);
         assert!(!s.due(79));
         assert!(s.due(80));
@@ -189,10 +236,24 @@ mod tests {
     #[test]
     fn json_shape() {
         let mut s = IntervalSeries::new(10);
-        s.record(10, &[5], 1, 2, 64, 1);
+        s.record(
+            10,
+            &[5],
+            GaugeSnapshot {
+                pending_w: 1,
+                arb_queue: 4,
+                squashing_cores: 2,
+                fabric_depth: 2,
+                traffic_bytes: 64,
+                messages: 1,
+            },
+        );
         let j = s.to_json().to_string();
         assert!(crate::json::is_valid(&j));
-        assert!(j.contains("\"every\":10"));
+        assert!(j.contains("\"every\":10"), "interval present in header");
+        assert!(j.contains(&format!("\"version\":{}", crate::SCHEMA_VERSION)));
         assert!(j.contains("\"pending_w\":1"));
+        assert!(j.contains("\"arb_queue\":4"));
+        assert!(j.contains("\"squashing_cores\":2"));
     }
 }

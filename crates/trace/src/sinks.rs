@@ -80,16 +80,26 @@ impl Tracer for RingTracer {
 /// Accumulates in memory — the event volume of a simulation run is modest
 /// and buffering keeps recording deterministic and infallible — and is
 /// written out with [`JsonlTracer::write_to`] (or read back with
-/// [`JsonlTracer::contents`]) after the run.
-#[derive(Debug, Default)]
+/// [`JsonlTracer::contents`]) after the run. The first line is always the
+/// schema header ([`crate::jsonl_header`]); [`JsonlTracer::lines`] counts
+/// events only.
+#[derive(Debug)]
 pub struct JsonlTracer {
     out: String,
     lines: u64,
 }
 
+impl Default for JsonlTracer {
+    fn default() -> JsonlTracer {
+        JsonlTracer::new()
+    }
+}
+
 impl JsonlTracer {
     pub fn new() -> JsonlTracer {
-        JsonlTracer::default()
+        let mut out = crate::jsonl_header();
+        out.push('\n');
+        JsonlTracer { out, lines: 0 }
     }
 
     /// A shareable writer, ready for [`crate::TraceHandle::attach`].
@@ -261,9 +271,11 @@ mod tests {
         for (i, ev) in sample_events().iter().enumerate() {
             w.record(i as u64 * 10, ev);
         }
-        assert_eq!(w.lines(), 3);
+        assert_eq!(w.lines(), 3, "lines() counts events, not the header");
         let lines: Vec<&str> = w.contents().lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4, "schema header + one line per event");
+        assert!(lines[0].contains("\"schema\":\"bulksc-trace\""));
+        assert!(lines[0].contains(&format!("\"version\":{}", crate::SCHEMA_VERSION)));
         for line in lines {
             assert!(is_valid(line), "bad line: {line}");
         }

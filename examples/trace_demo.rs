@@ -78,10 +78,12 @@ fn main() {
     for s in sys.samples().iter().take(3) {
         let ipc: Vec<String> = s.ipc.iter().map(|x| format!("{x:.2}")).collect();
         println!(
-            "  cycle {:>5}: ipc [{}] pend_w {} fabric {} Δbytes {}",
+            "  cycle {:>5}: ipc [{}] pend_w {} arb_q {} squashing {} fabric {} Δbytes {}",
             s.cycle,
             ipc.join(" "),
             s.pending_w,
+            s.arb_queue,
+            s.squashing_cores,
             s.fabric_depth,
             s.traffic_bytes_delta
         );

@@ -17,4 +17,18 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo test --workspace -q --offline
 
+# Analyze smoke test: trace a short run, then make sure the analysis
+# tooling accepts the artifacts this tree produces. `timeline` exits
+# nonzero if any chunk_start never reached a commit, squash, or abandon;
+# `report` exits nonzero if an artifact's schema version is stale or a
+# core's cycle-loss total drifts from its run's cycle count; a self-`diff`
+# must always be clean.
+run cargo run -q --release --offline --example trace_demo
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  timeline results/trace_demo.jsonl
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  report results/fig9.json > /dev/null
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  diff results/fig9.json results/fig9.json > /dev/null
+
 echo "CI gate passed."

@@ -56,6 +56,16 @@ fn tracing_does_not_perturb_the_simulation() {
     assert_eq!(base.chunks_committed, traced.chunks_committed);
     assert_eq!(base.traffic.total(), traced.traffic.total());
 
+    // The latency histograms and cycle-loss attribution are part of the
+    // simulation's observable state: tracing must leave them bit-identical
+    // too (the instrumentation is always on, never trace-gated).
+    assert_eq!(base.lat_execute, traced.lat_execute);
+    assert_eq!(base.lat_arbitration, traced.lat_arbitration);
+    assert_eq!(base.lat_commit_visible, traced.lat_commit_visible);
+    assert_eq!(base.lat_dir_update, traced.lat_dir_update);
+    assert_eq!(base.lat_l1_miss, traced.lat_l1_miss);
+    assert_eq!(base.cycle_loss, traced.cycle_loss);
+
     // Sampling is observation-only too.
     let mut sampled = build(3_000, 7);
     sampled.enable_sampling(500);
@@ -75,12 +85,95 @@ fn tracing_does_not_perturb_the_simulation() {
 fn every_jsonl_line_is_valid_json() {
     let (_, text, _) = traced_run(2_000, 3);
     assert!(!text.is_empty());
+    assert_eq!(
+        text.lines().next().unwrap(),
+        bulksc_trace::jsonl_header(),
+        "line 1 is the schema header"
+    );
     for line in text.lines() {
         assert!(
             bulksc_trace::json::is_valid(line),
             "invalid JSONL line: {line}"
         );
     }
+}
+
+#[test]
+fn cycle_loss_partitions_every_core_timeline() {
+    // Seeded end-to-end check of the attribution invariant: on a full
+    // multi-core run, every bulk core's cycle-loss table (including the
+    // report-time tail) sums to exactly the simulated cycle count.
+    let mut sys = build(3_000, 7);
+    assert!(sys.run(u64::MAX / 4));
+    let r = SimReport::collect(&sys);
+    assert_eq!(r.cycle_loss.len(), 8, "one table per core on the cmp8");
+    for (core, loss) in r.cycle_loss.iter().enumerate() {
+        assert_eq!(
+            loss.total(),
+            r.cycles,
+            "core {core}: cycle-loss total must equal run cycles ({loss:?})"
+        );
+        assert!(loss.get("committed") > 0, "core {core} committed work");
+    }
+    // Every grant produced an arbitration and a visibility sample.
+    assert_eq!(r.lat_arbitration.count(), r.chunks_committed);
+    assert_eq!(r.lat_commit_visible.count(), r.chunks_committed);
+    assert!(r.lat_execute.count() >= r.chunks_committed);
+}
+
+#[test]
+fn sample_series_carries_schema_and_gauges() {
+    let mut sys = build(3_000, 7);
+    sys.enable_sampling(500);
+    assert!(sys.run(u64::MAX / 4));
+    let series = sys.interval_series().expect("sampling enabled");
+    let text = series.to_json().to_string();
+    let doc = bulksc_trace::Json::parse(&text).expect("samples parse");
+    assert_eq!(
+        doc.get("schema").and_then(bulksc_trace::Json::as_str),
+        Some("bulksc-samples")
+    );
+    assert_eq!(
+        doc.get("version").and_then(bulksc_trace::Json::as_u64),
+        Some(bulksc_trace::SCHEMA_VERSION)
+    );
+    assert_eq!(
+        doc.get("every").and_then(bulksc_trace::Json::as_u64),
+        Some(500),
+        "the sampling interval is recorded in the header"
+    );
+    let samples = doc.get("samples").and_then(bulksc_trace::Json::as_arr);
+    let first = samples
+        .and_then(|s| s.first())
+        .expect("at least one sample");
+    assert!(
+        first.get("arb_queue").is_some(),
+        "arbiter queue-depth gauge"
+    );
+    assert!(
+        first.get("squashing_cores").is_some(),
+        "outstanding-squash gauge"
+    );
+}
+
+#[test]
+fn timeline_reconstruction_matches_live_trace() {
+    // End-to-end: a real traced run feeds `bulksc-analyze timeline` logic
+    // and every chunk_start finds its commit, squash, or abandon.
+    let (r, text, _) = traced_run(3_000, 7);
+    let tl = bulksc_bench::analyze::timeline(&text).expect("trace parses");
+    assert!(
+        tl.unmatched.is_empty(),
+        "every chunk span terminates: {:?}",
+        tl.unmatched
+    );
+    assert_eq!(
+        tl.commits + tl.orphan_ends,
+        r.chunks_committed,
+        "every committed chunk ends a span (the first chunk per core \
+         opened before the tracer attached, so it has no start)"
+    );
+    assert!(bulksc_trace::json::is_valid(&tl.chrome_trace));
 }
 
 #[test]
