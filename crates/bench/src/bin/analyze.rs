@@ -4,6 +4,7 @@
 //! bulksc-analyze report   <results.json>...
 //! bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]
 //! bulksc-analyze diff     <a.json> <b.json> [--threshold <pct>]
+//! bulksc-analyze check    <trace.jsonl>...
 //! ```
 //!
 //! * `report` prints per-phase commit-latency percentiles, the per-core
@@ -15,6 +16,11 @@
 //! * `diff` compares two artifacts run-by-run; any metric whose relative
 //!   delta exceeds the threshold (default 0%) makes the exit code
 //!   nonzero, so CI can gate on regressions.
+//! * `check` runs the `bulksc-check` SC conformance oracle over a
+//!   value-traced event stream (a run recorded with value tracing on):
+//!   prints the certificate summary on success, the full violation
+//!   report — offending accesses, edge kinds, surrounding chunk
+//!   lifecycle — on failure.
 //!
 //! Exit codes: 0 success, 1 validation/regression failure, 2 usage or
 //! unreadable/unsupported input.
@@ -26,7 +32,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bulksc-analyze report <results.json>...\n\
          \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
-         \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]"
+         \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
+         \x20      bulksc-analyze check <trace.jsonl>..."
     );
     ExitCode::from(2)
 }
@@ -125,6 +132,43 @@ fn main() -> ExitCode {
                     ExitCode::from(2)
                 }
             }
+        }
+        ("check", paths) if !paths.is_empty() => {
+            use bulksc_check::{CheckError, ValueTrace};
+            let mut worst = ExitCode::SUCCESS;
+            for path in paths {
+                let text = match read(path) {
+                    Ok(t) => t,
+                    Err(code) => return code,
+                };
+                let trace = match ValueTrace::from_jsonl(&text) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                if trace.accesses.is_empty() {
+                    eprintln!(
+                        "bulksc-analyze: {path}: no value events — was the run \
+                         recorded with value tracing on?"
+                    );
+                    return ExitCode::from(2);
+                }
+                match trace.verify() {
+                    Ok(cert) => println!("{path}: {}", cert.summary()),
+                    Err(CheckError::Violation(v)) => {
+                        println!("{path}: SC VIOLATION");
+                        print!("{}", v.report);
+                        worst = ExitCode::from(1);
+                    }
+                    Err(CheckError::Malformed(m)) => {
+                        eprintln!("bulksc-analyze: {path}: malformed trace: {m}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            worst
         }
         _ => usage(),
     }

@@ -1,0 +1,342 @@
+//! Differential SC fuzzer: random workloads × machine configs, every
+//! execution certified by the `bulksc-check` oracle.
+//!
+//! Each case runs one randomized program set (unique store values, plain
+//! reorderable loads, a contended address pool — see
+//! [`bulksc_workloads::fuzzprog`]) under a sweep of BulkSC configurations
+//! plus the SC baseline, with value tracing on, and asserts three things:
+//!
+//! 1. the oracle certifies the trace (po ∪ rf ∪ co ∪ fr is acyclic);
+//! 2. the witness replay's final memory matches the simulator's value
+//!    store word-for-word;
+//! 3. the witness, projected to a per-core access schedule and replayed
+//!    on the atomic reference executor, reproduces the same final memory
+//!    — so the claimed interleaving is *reachable*, not just consistent.
+//!
+//! The sweep deliberately includes configurations that stress the
+//! squash/retry machinery: tiny chunks, a small aliasing-prone signature,
+//! a tiny L1 (cache-displacement pressure on speculative lines), and the
+//! distributed arbiter. RC is intentionally absent — it is not SC and
+//! the oracle would (correctly) flag it.
+
+use std::time::{Duration, Instant};
+
+use bulksc::{BulkConfig, Model, System, SystemConfig};
+use bulksc_check::{CheckError, CollectingTracer, ScCertificate, ValueTrace};
+use bulksc_cpu::BaselineModel;
+use bulksc_mem::CacheConfig;
+use bulksc_sig::{Addr, SignatureConfig};
+use bulksc_trace::TraceHandle;
+use bulksc_workloads::{fuzz_programs, run_in_order, FuzzSpec};
+
+/// One configuration of the sweep: a model plus the system-level knobs
+/// that go with it.
+pub struct SweepEntry {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// Consistency machinery under test.
+    pub model: Model,
+    /// Directory modules (>1 exercises the distributed arbiter).
+    pub dirs: u32,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+}
+
+/// The default configuration sweep.
+pub fn sweep() -> Vec<SweepEntry> {
+    let entry = |name, model| SweepEntry {
+        name,
+        model,
+        dirs: 1,
+        l1: CacheConfig::l1_default(),
+    };
+    vec![
+        entry("SC", Model::Baseline(BaselineModel::Sc)),
+        entry("BSCbase", Model::Bulk(BulkConfig::bsc_base())),
+        entry("BSCdypvt", Model::Bulk(BulkConfig::bsc_dypvt())),
+        entry("BSCstpvt", Model::Bulk(BulkConfig::bsc_stpvt())),
+        entry("BSCexact", Model::Bulk(BulkConfig::bsc_exact())),
+        entry(
+            "BSCdypvt/chunk64",
+            Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(64)),
+        ),
+        entry(
+            "BSCbase/chunk16",
+            Model::Bulk(BulkConfig::bsc_base().with_chunk_size(16)),
+        ),
+        entry(
+            "BSCbase/sig256",
+            Model::Bulk(BulkConfig {
+                sig: SignatureConfig::with_total_bits(256),
+                ..BulkConfig::bsc_base()
+            }),
+        ),
+        entry(
+            "BSCdypvt/norsig",
+            Model::Bulk(BulkConfig::bsc_dypvt().without_rsig()),
+        ),
+        SweepEntry {
+            name: "BSCdypvt/arb4",
+            model: Model::Bulk(BulkConfig::bsc_dypvt().with_arbiters(4)),
+            dirs: 4,
+            l1: CacheConfig::l1_default(),
+        },
+        SweepEntry {
+            name: "BSCbase/tinyL1",
+            model: Model::Bulk(BulkConfig::bsc_base()),
+            dirs: 1,
+            l1: CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+            },
+        },
+    ]
+}
+
+/// Statistics of one certified case.
+pub struct CaseStats {
+    /// Accesses in the trace.
+    pub accesses: usize,
+    /// Reads whose rf source was ambiguous (edges skipped).
+    pub ambiguous: usize,
+    /// Chunk-lifecycle events captured alongside.
+    pub lifecycle: usize,
+}
+
+/// Run one fuzz case under one sweep entry with value tracing on and
+/// return the captured trace plus the live system for cross-checks.
+pub fn run_traced(entry: &SweepEntry, spec: FuzzSpec, seed: u64) -> (ValueTrace, System) {
+    let mut cfg = SystemConfig::cmp8(entry.model.clone());
+    cfg.cores = spec.threads;
+    cfg.dirs = entry.dirs;
+    cfg.l1 = entry.l1;
+    cfg.budget = u64::MAX;
+    let mut sys = System::new(cfg, fuzz_programs(spec, seed));
+    let tracer = CollectingTracer::shared();
+    let mut handle = TraceHandle::off();
+    handle.attach(tracer.clone());
+    sys.set_tracer(handle);
+    assert!(
+        sys.run(50_000_000),
+        "fuzz seed {seed} under {} did not finish:\n{}",
+        entry.name,
+        sys.debug_state()
+    );
+    let trace = tracer.borrow_mut().take();
+    (trace, sys)
+}
+
+/// Certify one case end-to-end. `Err` carries a human-readable failure
+/// report (oracle violation or differential mismatch).
+pub fn certify_case(entry: &SweepEntry, spec: FuzzSpec, seed: u64) -> Result<CaseStats, String> {
+    let (trace, sys) = run_traced(entry, spec, seed);
+    if trace.accesses.is_empty() {
+        return Err(format!(
+            "{} seed {seed}: value trace is empty — tracing not wired?",
+            entry.name
+        ));
+    }
+
+    // 1. The oracle must certify the trace.
+    let cert: ScCertificate = trace.verify().map_err(|e| match e {
+        CheckError::Violation(v) => {
+            format!("{} seed {seed}: SC violation\n{}", entry.name, v.report)
+        }
+        CheckError::Malformed(m) => {
+            format!("{} seed {seed}: malformed trace: {m}", entry.name)
+        }
+    })?;
+
+    // 2. Witness-replay memory must equal the simulator's value store.
+    for (&addr, &value) in &cert.final_memory {
+        let got = sys.values().read(Addr(addr));
+        if got != value {
+            return Err(format!(
+                "{} seed {seed}: witness final memory [{addr:#x}]={value:#x} \
+                 but the simulator's value store holds {got:#x}",
+                entry.name
+            ));
+        }
+    }
+
+    // 3. The witness must be *reachable*: replay its per-core access
+    // schedule on the atomic reference executor.
+    let order: Vec<u32> = cert
+        .witness
+        .iter()
+        .map(|&i| trace.accesses[i].core)
+        .collect();
+    let replay = run_in_order(fuzz_programs(spec, seed), &order, u64::MAX / 2);
+    if !replay.finished {
+        return Err(format!(
+            "{} seed {seed}: reference replay of the witness did not finish",
+            entry.name
+        ));
+    }
+    for (&addr, &value) in &cert.final_memory {
+        let got = replay.memory.get(&Addr(addr)).copied().unwrap_or(0);
+        if got != value {
+            return Err(format!(
+                "{} seed {seed}: witness final memory [{addr:#x}]={value:#x} \
+                 but the reference replay produced {got:#x}",
+                entry.name
+            ));
+        }
+    }
+
+    Ok(CaseStats {
+        accesses: cert.accesses,
+        ambiguous: cert.ambiguous_reads,
+        lifecycle: trace.lifecycle.len(),
+    })
+}
+
+/// Outcome of a sweep.
+pub struct FuzzOutcome {
+    /// Cases run to completion.
+    pub runs: usize,
+    /// Total traced accesses certified.
+    pub accesses: usize,
+    /// Failure reports (empty on a clean sweep).
+    pub failures: Vec<String>,
+    /// True if the time box expired before the seed list was exhausted.
+    pub timed_out: bool,
+}
+
+/// Sweep `seeds` × [`sweep()`] with `spec`-shaped programs, stopping
+/// early (cleanly, between cases) once `time_box` elapses.
+pub fn run_sweep(seeds: &[u64], spec: FuzzSpec, time_box: Option<Duration>) -> FuzzOutcome {
+    let start = Instant::now();
+    let entries = sweep();
+    let mut out = FuzzOutcome {
+        runs: 0,
+        accesses: 0,
+        failures: Vec::new(),
+        timed_out: false,
+    };
+    'outer: for &seed in seeds {
+        for entry in &entries {
+            if let Some(limit) = time_box {
+                if start.elapsed() >= limit {
+                    out.timed_out = true;
+                    break 'outer;
+                }
+            }
+            match certify_case(entry, spec, seed) {
+                Ok(stats) => {
+                    out.runs += 1;
+                    out.accesses += stats.accesses;
+                    println!(
+                        "ok   {:<18} seed {:>4}  {:>5} accesses, {} ambiguous, {} lifecycle events",
+                        entry.name, seed, stats.accesses, stats.ambiguous, stats.lifecycle
+                    );
+                }
+                Err(report) => {
+                    out.runs += 1;
+                    println!("FAIL {:<18} seed {:>4}", entry.name, seed);
+                    println!("{report}");
+                    out.failures.push(report);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn usage() -> i32 {
+    eprintln!(
+        "usage: bulksc-fuzz [SEED...] [--seeds N] [--time-box SECS] [--ops N] [--threads N]\n\
+         \n\
+         Runs random programs under every BulkSC configuration and the SC\n\
+         baseline, certifying each execution with the bulksc-check oracle\n\
+         and cross-checking final memory against a reference replay of the\n\
+         SC witness. Default: seeds 0..8.\n\
+         \n\
+         exit status: 0 all certified, 1 violation found, 2 bad usage"
+    );
+    2
+}
+
+/// CLI entry point (`bulksc-fuzz`). Returns the process exit code.
+pub fn main() -> i32 {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut spec = FuzzSpec::default();
+    let mut time_box: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> Option<u64> {
+            args.next().and_then(|v| v.parse().ok())
+        };
+        match arg.as_str() {
+            "--seeds" => match num(&mut args) {
+                Some(n) => seeds.extend(0..n),
+                None => return usage(),
+            },
+            "--time-box" => match num(&mut args) {
+                Some(secs) => time_box = Some(Duration::from_secs(secs)),
+                None => return usage(),
+            },
+            "--ops" => match num(&mut args) {
+                Some(n) => spec.ops_per_thread = n as u32,
+                None => return usage(),
+            },
+            "--threads" => match num(&mut args) {
+                Some(n) => spec.threads = n as u32,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return 0;
+            }
+            s => match s.parse() {
+                Ok(seed) => seeds.push(seed),
+                Err(_) => return usage(),
+            },
+        }
+    }
+    if seeds.is_empty() {
+        seeds.extend(0..8);
+    }
+
+    let outcome = run_sweep(&seeds, spec, time_box);
+    println!(
+        "fuzz: {} runs, {} accesses certified, {} failures{}",
+        outcome.runs,
+        outcome.accesses,
+        outcome.failures.len(),
+        if outcome.timed_out {
+            " (time box hit)"
+        } else {
+            ""
+        }
+    );
+    if outcome.failures.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quick_case_certifies_under_bulk_and_sc() {
+        let spec = FuzzSpec {
+            threads: 2,
+            ops_per_thread: 40,
+            pool_words: 8,
+            rmw_permille: 30,
+        };
+        for entry in sweep() {
+            if !matches!(entry.name, "SC" | "BSCbase" | "BSCbase/chunk16") {
+                continue;
+            }
+            let stats = certify_case(&entry, spec, 1).unwrap_or_else(|e| {
+                panic!("{e}");
+            });
+            assert!(stats.accesses > 0);
+        }
+    }
+}

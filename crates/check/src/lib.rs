@@ -1,0 +1,490 @@
+//! SC conformance oracle: certify (or refute) that one simulated
+//! execution is sequentially consistent.
+//!
+//! The timing simulator, when value tracing is on, emits one `val_load` /
+//! `val_store` / `val_rmw` event per retired-and-committed memory access:
+//! the value every load observed and the value every store published,
+//! tagged with the owning core, chunk sequence number, per-core program
+//! order, and retire cycle. This crate consumes that stream — live
+//! through a [`CollectingTracer`] sink, or offline from a JSONL file —
+//! and answers the only question that matters for a consistency-model
+//! reproduction: *was this execution SC?*
+//!
+//! # The witness order
+//!
+//! Following Shasha–Snir, an execution is SC iff the union of four
+//! relations over its accesses is acyclic:
+//!
+//! * **po** — per-core program order (the `po` index stamped on every
+//!   access);
+//! * **co** — coherence order: the total order of writes per location.
+//!   In this simulator all values live in one global value store, so the
+//!   trace-stream order of `val_store`/`val_rmw` events at one address
+//!   *is* co — no inference needed;
+//! * **rf** — reads-from: derived by matching each load's observed value
+//!   against the writes at that address (memory starts zeroed, so a load
+//!   of 0 with no zero-writer reads from a virtual initial store);
+//! * **fr** — from-reads: each read precedes the co-successor of the
+//!   write it read from.
+//!
+//! If several writes to one address published the same value the read's
+//! source is ambiguous; the oracle then *skips* that read's rf/fr edges
+//! (sound — dropping edges can only under-approximate, never fabricate,
+//! a cycle) and reports the count, so workloads that want airtight
+//! checking use distinct store values.
+//!
+//! A topological sort of the union yields a **witness**: one global
+//! interleaving that explains every observed value. The oracle replays
+//! it against a fresh memory image as a final cross-check and returns
+//! the end state. A cycle, an observed value no write ever published, or
+//! a torn read-modify-write yields an [`ScViolation`] naming the minimal
+//! offending access set, with the chunk-lifecycle events around it for
+//! context.
+//!
+//! Complexity: `O(n log n)` to order accesses plus `O(n + e)` for the
+//! sort itself, with `e ≤ 4n` edges — a million-access trace checks in
+//! well under a second.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bulksc_trace::{Event, Json, Tracer, SCHEMA_VERSION};
+
+mod order;
+
+pub use order::{check, CheckError, EdgeKind, ScCertificate, ScViolation, ViolationKind};
+
+/// What one traced access did at its address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Observed `value`.
+    Load { value: u64 },
+    /// Published `value`.
+    Store { value: u64 },
+    /// Atomically observed `old` and published `new`.
+    Rmw { old: u64, new: u64 },
+}
+
+/// One memory access from the value trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Position in the global trace stream (the co tiebreaker).
+    pub idx: usize,
+    /// Issuing core.
+    pub core: u32,
+    /// Owning chunk sequence number (0 for baseline models).
+    pub seq: u64,
+    /// Per-core program-order index.
+    pub po: u64,
+    /// Word address.
+    pub addr: u64,
+    /// Load / store / RMW and the values involved.
+    pub kind: AccessKind,
+    /// Cycle the access retired at its core.
+    pub retired_at: u64,
+    /// Cycle the event entered the trace (commit-grant cycle for BulkSC).
+    pub emitted_at: u64,
+}
+
+impl Access {
+    /// The value this access observed, if it reads.
+    pub fn observed(&self) -> Option<u64> {
+        match self.kind {
+            AccessKind::Load { value } => Some(value),
+            AccessKind::Rmw { old, .. } => Some(old),
+            AccessKind::Store { .. } => None,
+        }
+    }
+
+    /// The value this access published, if it writes.
+    pub fn published(&self) -> Option<u64> {
+        match self.kind {
+            AccessKind::Store { value } => Some(value),
+            AccessKind::Rmw { new, .. } => Some(new),
+            AccessKind::Load { .. } => None,
+        }
+    }
+
+    /// One-line rendering used in violation reports.
+    pub fn describe(&self) -> String {
+        let what = match self.kind {
+            AccessKind::Load { value } => format!("load  0x{:x} -> {}", self.addr, value),
+            AccessKind::Store { value } => format!("store 0x{:x} <- {}", self.addr, value),
+            AccessKind::Rmw { old, new } => {
+                format!("rmw   0x{:x}: {} -> {}", self.addr, old, new)
+            }
+        };
+        format!(
+            "core{} chunk#{} po={} {} (retired @{}, visible @{})",
+            self.core, self.seq, self.po, what, self.retired_at, self.emitted_at
+        )
+    }
+}
+
+/// A chunk-lifecycle event kept alongside the accesses so a violation
+/// report can show what the machine was doing around the offending
+/// accesses (which chunk committed, what squashed and why).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Emission cycle.
+    pub t: u64,
+    /// Core the event happened at.
+    pub core: u32,
+    /// Chunk sequence number.
+    pub seq: u64,
+    /// Stable label: `chunk_start`, `commit_grant`, `commit_deny`,
+    /// `chunk_commit`, `chunk_abandon`, or `squash(<cause>)`.
+    pub what: &'static str,
+}
+
+/// A full value trace of one execution: every committed memory access in
+/// global visibility order, plus the chunk-lifecycle context.
+#[derive(Clone, Debug, Default)]
+pub struct ValueTrace {
+    /// Accesses in trace-stream order (`idx` is the position here).
+    pub accesses: Vec<Access>,
+    /// Chunk lifecycle events, in stream order.
+    pub lifecycle: Vec<LifecycleEvent>,
+}
+
+impl ValueTrace {
+    /// Absorb one simulator event (value events become accesses,
+    /// lifecycle events become context, everything else is ignored).
+    pub fn absorb(&mut self, cycle: u64, event: &Event) {
+        let mut push = |core, seq, po, addr, kind, retired_at| {
+            self.accesses.push(Access {
+                idx: self.accesses.len(),
+                core,
+                seq,
+                po,
+                addr,
+                kind,
+                retired_at,
+                emitted_at: cycle,
+            });
+        };
+        match *event {
+            Event::ValLoad {
+                core,
+                seq,
+                po,
+                addr,
+                value,
+                retired_at,
+            } => push(core, seq, po, addr, AccessKind::Load { value }, retired_at),
+            Event::ValStore {
+                core,
+                seq,
+                po,
+                addr,
+                value,
+                retired_at,
+            } => push(core, seq, po, addr, AccessKind::Store { value }, retired_at),
+            Event::ValRmw {
+                core,
+                seq,
+                po,
+                addr,
+                old,
+                new,
+                retired_at,
+            } => push(
+                core,
+                seq,
+                po,
+                addr,
+                AccessKind::Rmw { old, new },
+                retired_at,
+            ),
+            Event::ChunkStart { core, seq } => self.note(cycle, core, seq, "chunk_start"),
+            Event::CommitGrant { core, seq } => self.note(cycle, core, seq, "commit_grant"),
+            Event::CommitDeny { core, seq } => self.note(cycle, core, seq, "commit_deny"),
+            Event::ChunkCommit { core, seq, .. } => self.note(cycle, core, seq, "chunk_commit"),
+            Event::ChunkAbandon { core, seq } => self.note(cycle, core, seq, "chunk_abandon"),
+            Event::Squash {
+                core, seq, cause, ..
+            } => {
+                let what = match cause.label() {
+                    "alias" => "squash(alias)",
+                    "true-sharing" => "squash(true-sharing)",
+                    _ => "squash(overflow)",
+                };
+                self.note(cycle, core, seq, what);
+            }
+            _ => {}
+        }
+    }
+
+    fn note(&mut self, t: u64, core: u32, seq: u64, what: &'static str) {
+        self.lifecycle.push(LifecycleEvent { t, core, seq, what });
+    }
+
+    /// Parse a JSONL event stream (as written by `JsonlTracer`) into a
+    /// value trace. Validates the schema header; unknown event names are
+    /// ignored so the oracle stays compatible with richer streams.
+    pub fn from_jsonl(text: &str) -> Result<ValueTrace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| "empty trace".to_string())?;
+        let h = Json::parse(header).ok_or_else(|| "trace header is not valid JSON".to_string())?;
+        if h.get("schema").and_then(Json::as_str) != Some("bulksc-trace") {
+            return Err("not a bulksc-trace stream (bad schema header)".to_string());
+        }
+        let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "trace schema version {version} != supported {SCHEMA_VERSION} \
+                 (value events appeared in version 3)"
+            ));
+        }
+
+        let mut trace = ValueTrace::default();
+        for (lineno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Json::parse(line)
+                .ok_or_else(|| format!("line {}: not valid JSON: {line}", lineno + 1))?;
+            let t = ev
+                .get("t")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: event without cycle stamp", lineno + 1))?;
+            let name = ev.get("ev").and_then(Json::as_str).unwrap_or("");
+            let field = |key: &str| -> Result<u64, String> {
+                ev.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("line {}: {name} event missing field {key:?}", lineno + 1)
+                })
+            };
+            let kind = match name {
+                "val_load" => Some(AccessKind::Load {
+                    value: field("value")?,
+                }),
+                "val_store" => Some(AccessKind::Store {
+                    value: field("value")?,
+                }),
+                "val_rmw" => Some(AccessKind::Rmw {
+                    old: field("old")?,
+                    new: field("new")?,
+                }),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                trace.accesses.push(Access {
+                    idx: trace.accesses.len(),
+                    core: field("core")? as u32,
+                    seq: field("seq")?,
+                    po: field("po")?,
+                    addr: field("addr")?,
+                    kind,
+                    retired_at: field("retired_at")?,
+                    emitted_at: t,
+                });
+                continue;
+            }
+            let what = match name {
+                "chunk_start" => Some("chunk_start"),
+                "commit_grant" => Some("commit_grant"),
+                "commit_deny" => Some("commit_deny"),
+                "chunk_commit" => Some("chunk_commit"),
+                "chunk_abandon" => Some("chunk_abandon"),
+                "squash" => Some(match ev.get("cause").and_then(Json::as_str) {
+                    Some("alias") => "squash(alias)",
+                    Some("true-sharing") => "squash(true-sharing)",
+                    _ => "squash(overflow)",
+                }),
+                _ => None,
+            };
+            if let Some(what) = what {
+                trace.note(t, field("core")? as u32, field("seq")?, what);
+            }
+        }
+        Ok(trace)
+    }
+
+    /// The final value per traced address (the last write in co), as the
+    /// witness replay would leave memory. Addresses only ever read map to
+    /// nothing here (they stayed at their initial 0).
+    pub fn final_writes(&self) -> BTreeMap<u64, u64> {
+        let mut mem = BTreeMap::new();
+        for a in &self.accesses {
+            if let Some(v) = a.published() {
+                mem.insert(a.addr, v);
+            }
+        }
+        mem
+    }
+
+    /// Run the oracle on this trace.
+    pub fn verify(&self) -> Result<ScCertificate, CheckError> {
+        check(&self.accesses, &self.lifecycle)
+    }
+}
+
+/// A [`Tracer`] sink that collects the value trace of a live run.
+///
+/// Attach it (alongside any other sinks) before `System::run`, then
+/// [`CollectingTracer::take`] the trace and [`ValueTrace::verify`] it.
+#[derive(Debug, Default)]
+pub struct CollectingTracer {
+    trace: ValueTrace,
+}
+
+impl CollectingTracer {
+    /// A fresh shared sink, ready for `TraceHandle::attach`.
+    pub fn shared() -> Rc<RefCell<CollectingTracer>> {
+        Rc::new(RefCell::new(CollectingTracer::default()))
+    }
+
+    /// Number of accesses collected so far.
+    pub fn accesses(&self) -> usize {
+        self.trace.accesses.len()
+    }
+
+    /// Take the collected trace, leaving the sink empty.
+    pub fn take(&mut self) -> ValueTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Borrow the collected trace without consuming it.
+    pub fn trace(&self) -> &ValueTrace {
+        &self.trace
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn record(&mut self, cycle: u64, event: &Event) {
+        self.trace.absorb(cycle, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulksc_trace::TraceHandle;
+
+    #[test]
+    fn collecting_tracer_absorbs_value_and_lifecycle_events() {
+        let sink = CollectingTracer::shared();
+        let mut trace = TraceHandle::off();
+        trace.attach(sink.clone());
+        trace.emit(10, || Event::ChunkStart { core: 0, seq: 1 });
+        trace.emit(12, || Event::ValStore {
+            core: 0,
+            seq: 1,
+            po: 0,
+            addr: 0x100,
+            value: 7,
+            retired_at: 11,
+        });
+        trace.emit(12, || Event::ValLoad {
+            core: 1,
+            seq: 0,
+            po: 0,
+            addr: 0x100,
+            value: 7,
+            retired_at: 12,
+        });
+        trace.emit(13, || Event::ValRmw {
+            core: 1,
+            seq: 0,
+            po: 1,
+            addr: 0x108,
+            old: 0,
+            new: 1,
+            retired_at: 13,
+        });
+        trace.emit(14, || Event::CommitDeny { core: 0, seq: 2 });
+        trace.emit(15, || Event::NetDeliver {
+            src: bulksc_trace::Endpoint::core(0),
+            dst: bulksc_trace::Endpoint::dir(0),
+            kind: "ignored",
+        });
+        let vt = sink.borrow_mut().take();
+        assert_eq!(vt.accesses.len(), 3);
+        assert_eq!(vt.lifecycle.len(), 2);
+        assert_eq!(vt.accesses[0].published(), Some(7));
+        assert_eq!(vt.accesses[1].observed(), Some(7));
+        assert_eq!(vt.accesses[2].kind, AccessKind::Rmw { old: 0, new: 1 });
+        assert_eq!(vt.accesses[2].idx, 2);
+        assert_eq!(vt.final_writes(), BTreeMap::from([(0x100, 7), (0x108, 1)]));
+        assert_eq!(sink.borrow().accesses(), 0, "take drained the sink");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let events: Vec<(u64, Event)> = vec![
+            (5, Event::ChunkStart { core: 0, seq: 1 }),
+            (
+                9,
+                Event::ValStore {
+                    core: 0,
+                    seq: 1,
+                    po: 0,
+                    addr: 0x1_0000,
+                    value: 3,
+                    retired_at: 7,
+                },
+            ),
+            (
+                9,
+                Event::ValLoad {
+                    core: 0,
+                    seq: 1,
+                    po: 1,
+                    addr: 0x1_0008,
+                    value: 0,
+                    retired_at: 8,
+                },
+            ),
+            (
+                11,
+                Event::ValRmw {
+                    core: 1,
+                    seq: 0,
+                    po: 0,
+                    addr: 0x1_0000,
+                    old: 3,
+                    new: 4,
+                    retired_at: 11,
+                },
+            ),
+            (
+                12,
+                Event::Squash {
+                    core: 1,
+                    seq: 3,
+                    cause: bulksc_trace::SquashCause::Alias,
+                    squashed_instrs: 9,
+                },
+            ),
+        ];
+        let mut text = bulksc_trace::jsonl_header();
+        text.push('\n');
+        let mut direct = ValueTrace::default();
+        for (t, ev) in &events {
+            text.push_str(&ev.jsonl(*t));
+            text.push('\n');
+            direct.absorb(*t, ev);
+        }
+        let parsed = ValueTrace::from_jsonl(&text).expect("parses");
+        assert_eq!(parsed.accesses, direct.accesses);
+        assert_eq!(parsed.lifecycle, direct.lifecycle);
+        assert_eq!(parsed.lifecycle[1].what, "squash(alias)");
+    }
+
+    #[test]
+    fn jsonl_parser_rejects_bad_input() {
+        assert!(ValueTrace::from_jsonl("").is_err());
+        assert!(ValueTrace::from_jsonl("{\"schema\":\"other\"}\n").is_err());
+        assert!(ValueTrace::from_jsonl("{\"schema\":\"bulksc-trace\",\"version\":2}\n").is_err());
+        let header = bulksc_trace::jsonl_header();
+        assert!(ValueTrace::from_jsonl(&format!("{header}\nnot json\n")).is_err());
+        assert!(ValueTrace::from_jsonl(&format!(
+            "{header}\n{{\"t\":1,\"ev\":\"val_load\",\"core\":0}}\n"
+        ))
+        .is_err());
+        // Unknown events and blank lines are fine.
+        let ok = format!("{header}\n\n{{\"t\":1,\"ev\":\"future_event\",\"core\":0}}\n");
+        assert!(ValueTrace::from_jsonl(&ok).unwrap().accesses.is_empty());
+    }
+}

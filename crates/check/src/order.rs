@@ -1,0 +1,702 @@
+//! Witness-order construction: po ∪ rf ∪ co ∪ fr, its topological sort,
+//! and the violation report when the union is cyclic.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use crate::{Access, AccessKind, LifecycleEvent};
+
+/// Which relation an edge of the witness graph came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Program order (same core, consecutive `po`).
+    Po,
+    /// Reads-from (write → the read that observed its value).
+    Rf,
+    /// Coherence order (consecutive writes at one address).
+    Co,
+    /// From-reads (read → the co-successor of the write it read).
+    Fr,
+}
+
+impl EdgeKind {
+    fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Po => "po",
+            EdgeKind::Rf => "rf",
+            EdgeKind::Co => "co",
+            EdgeKind::Fr => "fr",
+        }
+    }
+}
+
+/// How an execution failed the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// po ∪ rf ∪ co ∪ fr is cyclic: no SC interleaving explains the
+    /// observed values.
+    Cycle,
+    /// A read observed a value no write at that address ever published
+    /// (and the address starts at 0, so it is not the initial value).
+    UnsourcedRead,
+    /// A read-modify-write was not atomic: another write intervened
+    /// between its read and its write in coherence order.
+    TornRmw,
+}
+
+/// The oracle's finding when an execution is *not* SC.
+#[derive(Clone, Debug)]
+pub struct ScViolation {
+    /// What kind of violation this is.
+    pub kind: ViolationKind,
+    /// The minimal offending access set. For [`ViolationKind::Cycle`]
+    /// this is a simple cycle: access `i` has an edge to access
+    /// `i + 1 (mod len)`.
+    pub accesses: Vec<Access>,
+    /// For cycles: the relation each edge came from (`edges[i]` connects
+    /// `accesses[i]` to its successor). Empty otherwise.
+    pub edges: Vec<EdgeKind>,
+    /// Human-readable report with chunk-lifecycle context.
+    pub report: String,
+}
+
+impl fmt::Display for ScViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.report)
+    }
+}
+
+/// Why the oracle could not run or could not certify.
+#[derive(Clone, Debug)]
+pub enum CheckError {
+    /// The trace itself is ill-formed (duplicate program-order index,
+    /// internal replay mismatch): the oracle's input invariants do not
+    /// hold, so no verdict is possible.
+    Malformed(String),
+    /// The execution is not sequentially consistent.
+    Violation(Box<ScViolation>),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Malformed(m) => write!(f, "malformed value trace: {m}"),
+            CheckError::Violation(v) => f.write_str(&v.report),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Proof that an execution is SC: the witness interleaving and the final
+/// memory it reaches.
+#[derive(Clone, Debug)]
+pub struct ScCertificate {
+    /// Accesses verified.
+    pub accesses: usize,
+    /// Witness edges constructed (po + rf + co + fr).
+    pub edges: usize,
+    /// Reads whose rf source was ambiguous (several writes published the
+    /// same value at that address): their rf/fr edges were skipped.
+    pub ambiguous_reads: usize,
+    /// A witness total order: indices into the access array, in an order
+    /// under which every read sees the most recent write.
+    pub witness: Vec<usize>,
+    /// Memory after replaying the witness (traced addresses only;
+    /// addresses never written stay at their initial 0 and are absent).
+    pub final_memory: BTreeMap<u64, u64>,
+}
+
+impl ScCertificate {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "SC-certified: {} accesses, {} witness edges, {} ambiguous reads, \
+             {} locations written",
+            self.accesses,
+            self.edges,
+            self.ambiguous_reads,
+            self.final_memory.len()
+        )
+    }
+}
+
+/// Verify that `accesses` (in trace-stream order) admit an SC witness.
+/// `lifecycle` provides the chunk/squash context quoted in violation
+/// reports; pass `&[]` when unavailable.
+pub fn check(
+    accesses: &[Access],
+    lifecycle: &[LifecycleEvent],
+) -> Result<ScCertificate, CheckError> {
+    let n = accesses.len();
+    for (i, a) in accesses.iter().enumerate() {
+        if a.idx != i {
+            return Err(CheckError::Malformed(format!(
+                "access at stream position {i} carries idx {}",
+                a.idx
+            )));
+        }
+    }
+
+    let mut adj: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); n];
+    let mut edges = 0usize;
+    let mut add =
+        |adj: &mut Vec<Vec<(usize, EdgeKind)>>, from: usize, to: usize, kind: EdgeKind| {
+            adj[from].push((to, kind));
+            edges += 1;
+        };
+
+    // po: per-core order of the stamped program-order indices.
+    let mut per_core: HashMap<u32, Vec<usize>> = HashMap::new();
+    for a in accesses {
+        per_core.entry(a.core).or_default().push(a.idx);
+    }
+    for list in per_core.values_mut() {
+        list.sort_by_key(|&i| accesses[i].po);
+        for pair in list.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if accesses[a].po == accesses[b].po {
+                return Err(CheckError::Malformed(format!(
+                    "core {} has two accesses with program-order index {}",
+                    accesses[a].core, accesses[a].po
+                )));
+            }
+            add(&mut adj, a, b, EdgeKind::Po);
+        }
+    }
+
+    // co: trace-stream order of writes per address (the stream is the
+    // global value store's write order). `co_rank[i]` is the position of
+    // write `i` within its address's write list.
+    let mut writes_at: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut co_rank: Vec<usize> = vec![usize::MAX; n];
+    for a in accesses {
+        if a.published().is_some() {
+            let list = writes_at.entry(a.addr).or_default();
+            co_rank[a.idx] = list.len();
+            list.push(a.idx);
+        }
+    }
+    for list in writes_at.values() {
+        for pair in list.windows(2) {
+            add(&mut adj, pair[0], pair[1], EdgeKind::Co);
+        }
+    }
+
+    // rf / fr: match observed values against published ones.
+    let mut writers_of: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+    for a in accesses {
+        if let Some(v) = a.published() {
+            writers_of.entry((a.addr, v)).or_default().push(a.idx);
+        }
+    }
+    let mut ambiguous_reads = 0usize;
+    for a in accesses {
+        let Some(v) = a.observed() else { continue };
+        let is_rmw = matches!(a.kind, AccessKind::Rmw { .. });
+        // An RMW whose new value equals its old one would otherwise list
+        // itself as a candidate source.
+        let candidates: Vec<usize> = writers_of
+            .get(&(a.addr, v))
+            .map(|c| c.iter().copied().filter(|&w| w != a.idx).collect())
+            .unwrap_or_default();
+        let from_init_possible = v == 0;
+        match (candidates.len(), from_init_possible) {
+            (0, false) => {
+                return Err(violation(
+                    accesses,
+                    lifecycle,
+                    ViolationKind::UnsourcedRead,
+                    vec![a.idx],
+                    Vec::new(),
+                    format!(
+                        "a read observed value {v} at 0x{:x}, but no write ever \
+                         published that value there (and memory starts at 0)",
+                        a.addr
+                    ),
+                ));
+            }
+            (0, true) => {
+                // Reads the virtual initial store: it precedes every
+                // write at this address.
+                let first = writes_at.get(&a.addr).and_then(|l| l.first().copied());
+                if is_rmw {
+                    // Atomicity: the RMW's own write must be the first
+                    // write in co.
+                    if first != Some(a.idx) {
+                        let mut set = vec![a.idx];
+                        if let Some(f) = first {
+                            set.insert(0, f);
+                        }
+                        return Err(violation(
+                            accesses,
+                            lifecycle,
+                            ViolationKind::TornRmw,
+                            set,
+                            Vec::new(),
+                            "a read-modify-write observed the initial value but \
+                             its own write is not first in coherence order: \
+                             another write intervened"
+                                .to_string(),
+                        ));
+                    }
+                } else if let Some(f) = first {
+                    add(&mut adj, a.idx, f, EdgeKind::Fr);
+                }
+            }
+            (1, false) => {
+                let w = candidates[0];
+                add(&mut adj, w, a.idx, EdgeKind::Rf);
+                if is_rmw && co_rank[a.idx] != co_rank[w] + 1 {
+                    return Err(violation(
+                        accesses,
+                        lifecycle,
+                        ViolationKind::TornRmw,
+                        vec![w, a.idx],
+                        Vec::new(),
+                        "a read-modify-write read from a write that is not its \
+                         immediate coherence-order predecessor: another write \
+                         intervened between its read and its write"
+                            .to_string(),
+                    ));
+                }
+                if let Some(succ) = writes_at[&a.addr].get(co_rank[w] + 1).copied() {
+                    if succ != a.idx {
+                        add(&mut adj, a.idx, succ, EdgeKind::Fr);
+                    }
+                }
+            }
+            _ => {
+                // Several possible sources (or a zero-writer competing
+                // with the initial value): skip this read's edges.
+                ambiguous_reads += 1;
+            }
+        }
+    }
+
+    // Kahn's algorithm over the union; leftovers mean a cycle.
+    let mut indeg = vec![0usize; n];
+    for out in &adj {
+        for &(to, _) in out {
+            indeg[to] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut witness = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        witness.push(u);
+        for &(v, _) in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if witness.len() < n {
+        let (cycle, kinds) = find_cycle(&adj, &indeg);
+        return Err(violation(
+            accesses,
+            lifecycle,
+            ViolationKind::Cycle,
+            cycle,
+            kinds,
+            "po ∪ rf ∪ co ∪ fr is cyclic: no sequentially consistent \
+             interleaving explains the observed values"
+                .to_string(),
+        ));
+    }
+
+    // Replay the witness as a cross-check: every unambiguous read must
+    // see exactly the value the edges promised.
+    let mut mem: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut amb: HashMap<(u64, u64), usize> = HashMap::new();
+    for (k, v) in &writers_of {
+        amb.insert(*k, v.len());
+    }
+    for &i in &witness {
+        let a = &accesses[i];
+        if let Some(v) = a.observed() {
+            let sources =
+                amb.get(&(a.addr, v)).copied().unwrap_or(0) - usize::from(a.published() == Some(v));
+            let unambiguous = (sources == 1 && v != 0) || (sources == 0 && v == 0);
+            let current = mem.get(&a.addr).copied().unwrap_or(0);
+            if unambiguous && current != v {
+                return Err(CheckError::Malformed(format!(
+                    "witness replay mismatch at access {i}: observed {v} at \
+                     0x{:x} but the witness memory holds {current} (oracle \
+                     invariant broken)",
+                    a.addr
+                )));
+            }
+        }
+        if let Some(v) = a.published() {
+            mem.insert(a.addr, v);
+        }
+    }
+
+    Ok(ScCertificate {
+        accesses: n,
+        edges,
+        ambiguous_reads,
+        witness,
+        final_memory: mem,
+    })
+}
+
+/// Extract a simple cycle from the leftover subgraph (`indeg[i] > 0`
+/// after Kahn). Prefers the shortest cycle through the lowest-indexed
+/// access that lies on one, so litmus-sized violations report the
+/// textbook minimal set.
+fn find_cycle(adj: &[Vec<(usize, EdgeKind)>], indeg: &[usize]) -> (Vec<usize>, Vec<EdgeKind>) {
+    let leftover: Vec<usize> = (0..adj.len()).filter(|&i| indeg[i] > 0).collect();
+    // BFS from each candidate start until one closes back on itself.
+    // Every leftover node has a predecessor among leftovers, so a cycle
+    // exists and the scan terminates at the first start that is on one.
+    for &s in &leftover {
+        let mut parent: HashMap<usize, (usize, EdgeKind)> = HashMap::new();
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, kind) in &adj[u] {
+                if indeg[v] == 0 {
+                    continue; // edge into the already-sorted region
+                }
+                if v == s {
+                    // Close the loop: walk parents back from u to s.
+                    let mut nodes = vec![u];
+                    let mut kinds = vec![kind];
+                    let mut cur = u;
+                    while cur != s {
+                        let (p, k) = parent[&cur];
+                        nodes.push(p);
+                        kinds.push(k);
+                        cur = p;
+                    }
+                    nodes.reverse();
+                    kinds.reverse();
+                    // kinds[i] now labels the edge nodes[i] -> nodes[i+1
+                    // mod len]: the parent-edge list reversed starts with
+                    // the edge out of s and ends with the edge back into
+                    // it, matching the reversed node order.
+                    return (nodes, kinds);
+                }
+                if !parent.contains_key(&v) && v != s {
+                    parent.insert(v, (u, kind));
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    unreachable!("leftover subgraph of a failed toposort always contains a cycle");
+}
+
+/// Build a violation with its rendered report.
+fn violation(
+    accesses: &[Access],
+    lifecycle: &[LifecycleEvent],
+    kind: ViolationKind,
+    set: Vec<usize>,
+    edge_kinds: Vec<EdgeKind>,
+    headline: String,
+) -> CheckError {
+    let offenders: Vec<Access> = set.iter().map(|&i| accesses[i]).collect();
+    let mut report = format!(
+        "SC violation ({}): {headline}\n",
+        match kind {
+            ViolationKind::Cycle => "cycle",
+            ViolationKind::UnsourcedRead => "unsourced read",
+            ViolationKind::TornRmw => "torn rmw",
+        }
+    );
+    for (i, a) in offenders.iter().enumerate() {
+        report.push_str(&format!("  [{i}] {}\n", a.describe()));
+        if let Some(k) = edge_kinds.get(i) {
+            let next = (i + 1) % offenders.len();
+            report.push_str(&format!("       --{}-> [{next}]\n", k.label()));
+        }
+    }
+
+    // Chunk-lifecycle context: what the offending cores were doing in a
+    // window around the offending accesses.
+    let lo = offenders
+        .iter()
+        .map(|a| a.retired_at.min(a.emitted_at))
+        .min()
+        .unwrap_or(0)
+        .saturating_sub(200);
+    let hi = offenders
+        .iter()
+        .map(|a| a.retired_at.max(a.emitted_at))
+        .max()
+        .unwrap_or(u64::MAX)
+        .saturating_add(200);
+    let cores: Vec<u32> = offenders.iter().map(|a| a.core).collect();
+    let context: Vec<&LifecycleEvent> = lifecycle
+        .iter()
+        .filter(|e| e.t >= lo && e.t <= hi && cores.contains(&e.core))
+        .collect();
+    if !context.is_empty() {
+        report.push_str(&format!(
+            "  chunk lifecycle on the offending cores, cycles {lo}..{hi}:\n"
+        ));
+        for e in context.iter().take(24) {
+            report.push_str(&format!(
+                "    @{} core{} {} seq={}\n",
+                e.t, e.core, e.what, e.seq
+            ));
+        }
+        if context.len() > 24 {
+            report.push_str(&format!("    ... and {} more\n", context.len() - 24));
+        }
+    }
+
+    CheckError::Violation(Box::new(ScViolation {
+        kind,
+        accesses: offenders,
+        edges: edge_kinds,
+        report,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shorthand access builder for tests.
+    fn acc(idx: usize, core: u32, po: u64, addr: u64, kind: AccessKind) -> Access {
+        Access {
+            idx,
+            core,
+            seq: 0,
+            po,
+            addr,
+            kind,
+            retired_at: 10 + idx as u64,
+            emitted_at: 20 + idx as u64,
+        }
+    }
+    fn ld(idx: usize, core: u32, po: u64, addr: u64, value: u64) -> Access {
+        acc(idx, core, po, addr, AccessKind::Load { value })
+    }
+    fn st(idx: usize, core: u32, po: u64, addr: u64, value: u64) -> Access {
+        acc(idx, core, po, addr, AccessKind::Store { value })
+    }
+
+    #[test]
+    fn empty_and_single_traces_certify() {
+        let cert = check(&[], &[]).expect("empty trace is SC");
+        assert_eq!(cert.accesses, 0);
+        let cert = check(&[st(0, 0, 0, 8, 1)], &[]).expect("one store is SC");
+        assert_eq!(cert.witness, vec![0]);
+        assert_eq!(cert.final_memory, BTreeMap::from([(8, 1)]));
+    }
+
+    #[test]
+    fn sequential_interleaving_certifies_with_full_edges() {
+        // core0: st a=1; ld b -> 2.  core1: st b=2; ld a -> 1.
+        // A valid SC outcome (both stores first).
+        let t = [
+            st(0, 0, 0, 0xa, 1),
+            st(1, 1, 0, 0xb, 2),
+            ld(2, 0, 1, 0xb, 2),
+            ld(3, 1, 1, 0xa, 1),
+        ];
+        let cert = check(&t, &[]).expect("valid SB outcome");
+        assert_eq!(cert.accesses, 4);
+        assert_eq!(cert.ambiguous_reads, 0);
+        // 2 po + 2 rf edges; no co (one write per address), no fr (reads
+        // saw the last write).
+        assert_eq!(cert.edges, 4);
+        let pos = |i: usize| cert.witness.iter().position(|&w| w == i).unwrap();
+        assert!(pos(0) < pos(2) && pos(1) < pos(3), "po respected");
+        assert_eq!(cert.final_memory, BTreeMap::from([(0xa, 1), (0xb, 2)]));
+    }
+
+    #[test]
+    fn store_buffering_outcome_is_a_cycle() {
+        // The forbidden SB outcome: both loads read 0 past the other
+        // core's store. po + fr forms a 4-cycle.
+        let t = [
+            st(0, 0, 0, 0xa, 1),
+            ld(1, 0, 1, 0xb, 0),
+            st(2, 1, 0, 0xb, 2),
+            ld(3, 1, 1, 0xa, 0),
+        ];
+        let err = check(&t, &[]).expect_err("forbidden SB outcome");
+        let CheckError::Violation(v) = err else {
+            panic!("expected a violation, got {err:?}");
+        };
+        assert_eq!(v.kind, ViolationKind::Cycle);
+        assert_eq!(v.accesses.len(), 4, "minimal SB cycle has 4 accesses");
+        assert_eq!(v.edges.len(), 4);
+        let mut kinds = v.edges.clone();
+        kinds.sort_by_key(|k| k.label());
+        assert_eq!(
+            kinds,
+            vec![EdgeKind::Fr, EdgeKind::Fr, EdgeKind::Po, EdgeKind::Po]
+        );
+        assert!(v.report.contains("po ∪ rf ∪ co ∪ fr"));
+        assert!(v.report.contains("load  0xb -> 0"));
+    }
+
+    #[test]
+    fn coherence_read_reordering_is_a_cycle() {
+        // CoRR: writer publishes 1 then 2; reader sees 2 then 1.
+        // rf + fr + po + co forms a cycle.
+        let t = [
+            st(0, 0, 0, 0xc, 1),
+            st(1, 0, 1, 0xc, 2),
+            ld(2, 1, 0, 0xc, 2),
+            ld(3, 1, 1, 0xc, 1),
+        ];
+        let err = check(&t, &[]).expect_err("CoRR violation");
+        let CheckError::Violation(v) = err else {
+            panic!("expected violation, got {err:?}");
+        };
+        assert_eq!(v.kind, ViolationKind::Cycle);
+        assert!(v.accesses.len() >= 2);
+    }
+
+    #[test]
+    fn violation_report_quotes_lifecycle_context() {
+        let t = [
+            st(0, 0, 0, 0xa, 1),
+            ld(1, 0, 1, 0xb, 0),
+            st(2, 1, 0, 0xb, 2),
+            ld(3, 1, 1, 0xa, 0),
+        ];
+        let life = [
+            LifecycleEvent {
+                t: 15,
+                core: 0,
+                seq: 2,
+                what: "commit_grant",
+            },
+            LifecycleEvent {
+                t: 16,
+                core: 1,
+                seq: 1,
+                what: "squash(alias)",
+            },
+            LifecycleEvent {
+                t: 9_999_999,
+                core: 0,
+                seq: 3,
+                what: "chunk_commit",
+            },
+            LifecycleEvent {
+                t: 17,
+                core: 7,
+                seq: 0,
+                what: "chunk_start",
+            },
+        ];
+        let err = check(&t, &life).expect_err("violation");
+        let report = err.to_string();
+        assert!(report.contains("commit_grant"));
+        assert!(report.contains("squash(alias)"));
+        assert!(!report.contains("9999999"), "far-away events filtered");
+        assert!(!report.contains("core7"), "unrelated cores filtered");
+    }
+
+    #[test]
+    fn unsourced_read_is_flagged() {
+        let t = [st(0, 0, 0, 0xa, 1), ld(1, 1, 0, 0xa, 7)];
+        let err = check(&t, &[]).expect_err("value 7 never written");
+        let CheckError::Violation(v) = err else {
+            panic!("expected violation, got {err:?}");
+        };
+        assert_eq!(v.kind, ViolationKind::UnsourcedRead);
+        assert_eq!(v.accesses.len(), 1);
+        assert!(v.report.contains("no write ever published"));
+    }
+
+    #[test]
+    fn ambiguous_values_skip_edges_but_still_certify() {
+        // Two stores publish the same value: the read's source cannot be
+        // pinned down, so its edges are skipped (no false violation).
+        let t = [
+            st(0, 0, 0, 0xa, 5),
+            st(1, 1, 0, 0xa, 5),
+            ld(2, 2, 0, 0xa, 5),
+        ];
+        let cert = check(&t, &[]).expect("ambiguity is not a violation");
+        assert_eq!(cert.ambiguous_reads, 1);
+        // A zero-writer competing with the initial value is ambiguous too.
+        let t = [st(0, 0, 0, 0xb, 0), ld(1, 1, 0, 0xb, 0)];
+        let cert = check(&t, &[]).expect("zero ambiguity tolerated");
+        assert_eq!(cert.ambiguous_reads, 1);
+    }
+
+    #[test]
+    fn rmw_chain_certifies_and_torn_rmw_is_flagged() {
+        // Two atomic increments compose: 0->1 then 1->2.
+        let t = [
+            acc(0, 0, 0, LOCK_ADDR, AccessKind::Rmw { old: 0, new: 1 }),
+            acc(1, 1, 0, LOCK_ADDR, AccessKind::Rmw { old: 1, new: 2 }),
+        ];
+        let cert = check(&t, &[]).expect("chained RMWs are SC");
+        assert_eq!(cert.final_memory, BTreeMap::from([(LOCK_ADDR, 2)]));
+
+        // Both observe 0: the second's write is not first in co.
+        let t = [
+            acc(0, 0, 0, LOCK_ADDR, AccessKind::Rmw { old: 0, new: 1 }),
+            acc(1, 1, 0, LOCK_ADDR, AccessKind::Rmw { old: 0, new: 2 }),
+        ];
+        let err = check(&t, &[]).expect_err("lost update");
+        let CheckError::Violation(v) = err else {
+            panic!("expected violation, got {err:?}");
+        };
+        assert_eq!(v.kind, ViolationKind::TornRmw);
+
+        // A store slipping between an RMW's read and write.
+        let t = [
+            st(0, 0, 0, LOCK_ADDR, 7),
+            st(1, 0, 1, LOCK_ADDR, 9),
+            acc(2, 1, 0, LOCK_ADDR, AccessKind::Rmw { old: 7, new: 8 }),
+        ];
+        let err = check(&t, &[]).expect_err("intervening store");
+        let CheckError::Violation(v) = err else {
+            panic!("expected violation, got {err:?}");
+        };
+        assert_eq!(v.kind, ViolationKind::TornRmw);
+        assert!(v.report.contains("immediate coherence-order predecessor"));
+    }
+
+    /// A test-local address distinct from the other tests' addresses.
+    const LOCK_ADDR: u64 = 0x40;
+
+    #[test]
+    fn duplicate_po_is_malformed() {
+        let t = [st(0, 0, 3, 0xa, 1), ld(1, 0, 3, 0xa, 1)];
+        let err = check(&t, &[]).expect_err("duplicate po");
+        assert!(matches!(err, CheckError::Malformed(_)));
+        assert!(err.to_string().contains("program-order index 3"));
+    }
+
+    #[test]
+    fn bad_idx_is_malformed() {
+        let mut a = st(0, 0, 0, 0xa, 1);
+        a.idx = 5;
+        assert!(matches!(check(&[a], &[]), Err(CheckError::Malformed(_))));
+    }
+
+    #[test]
+    fn witness_replay_covers_multi_location_history() {
+        // A longer interleaving with co chains, fr edges, and an init
+        // read, exercising every edge constructor on the success path.
+        let t = [
+            st(0, 0, 0, 0x10, 1),
+            ld(1, 1, 0, 0x10, 0), // init read: fr to the first write
+            st(2, 1, 1, 0x18, 3),
+            st(3, 0, 1, 0x10, 2), // co successor of idx 0
+            ld(4, 1, 2, 0x10, 1), // reads idx 0, fr to idx 3
+            ld(5, 0, 2, 0x18, 3), // reads idx 2
+        ];
+        let cert = check(&t, &[]).expect("consistent history");
+        assert_eq!(cert.ambiguous_reads, 0);
+        assert_eq!(cert.final_memory, BTreeMap::from([(0x10, 2), (0x18, 3)]));
+        let pos = |i: usize| cert.witness.iter().position(|&w| w == i).unwrap();
+        assert!(pos(1) < pos(0), "init read precedes the first write");
+        assert!(pos(4) < pos(3), "fr orders the read before the next write");
+    }
+}

@@ -1,0 +1,70 @@
+//! Scale test: the oracle must certify a million-access trace in well
+//! under ten seconds. The trace is synthesized directly (no simulator)
+//! as a legal sequential interleaving, so the cost measured here is pure
+//! checker: edge construction, topological sort, and witness replay.
+
+use std::time::Instant;
+
+use bulksc_check::{check, Access, AccessKind};
+
+#[test]
+fn a_million_access_trace_certifies_in_under_ten_seconds() {
+    const N: usize = 1_000_000;
+    const CORES: u32 = 8;
+    const WORDS: u64 = 64;
+
+    // Synthesize a legal interleaving: accesses happen in `idx` order
+    // against one atomic memory, so the trace is SC by construction.
+    // Stores publish unique values, so no read is ambiguous and every
+    // rf/fr edge is present — the checker's worst (densest) case.
+    let mut mem = [0u64; WORDS as usize];
+    let mut po = [0u64; CORES as usize];
+    let mut accesses = Vec::with_capacity(N);
+    for i in 0..N {
+        let core = (i % CORES as usize) as u32;
+        let addr = (i as u64).wrapping_mul(0x9e37_79b9) % WORDS;
+        let kind = match i % 5 {
+            0 | 1 => {
+                let value = i as u64 + 1; // unique, nonzero
+                mem[addr as usize] = value;
+                AccessKind::Store { value }
+            }
+            4 if i % 35 == 4 => {
+                let old = mem[addr as usize];
+                let new = i as u64 + 1;
+                mem[addr as usize] = new;
+                AccessKind::Rmw { old, new }
+            }
+            _ => AccessKind::Load {
+                value: mem[addr as usize],
+            },
+        };
+        accesses.push(Access {
+            idx: i,
+            core,
+            seq: (i / 1000) as u64,
+            po: po[core as usize],
+            addr,
+            kind,
+            retired_at: i as u64,
+            emitted_at: i as u64,
+        });
+        po[core as usize] += 1;
+    }
+
+    let t0 = Instant::now();
+    let cert = check(&accesses, &[]).expect("a sequential interleaving certifies");
+    let elapsed = t0.elapsed();
+
+    assert_eq!(cert.accesses, N);
+    assert_eq!(cert.ambiguous_reads, 0, "unique store values pin every rf");
+    assert_eq!(cert.witness.len(), N);
+    // The 10 s budget is the release-build contract; unoptimized builds
+    // get slack so debug `cargo test` stays reliable on slow machines.
+    let budget = if cfg!(debug_assertions) { 60.0 } else { 10.0 };
+    assert!(
+        elapsed.as_secs_f64() < budget,
+        "checking {N} accesses took {elapsed:?} (budget {budget} s)"
+    );
+    println!("checked {N} accesses in {elapsed:?} ({} edges)", cert.edges);
+}

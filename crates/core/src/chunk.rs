@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use bulksc_net::ChunkTag;
 use bulksc_sig::{Addr, LineAddr, SigMode, SignatureConfig, TrackedSig};
+use bulksc_trace::Event;
 use bulksc_workloads::{Instr, ThreadProgram};
 
 /// Lifecycle of a chunk. Chunks leave the core's active list when the
@@ -69,6 +70,11 @@ pub struct Chunk {
     /// Cycle the first commit-permission request was sent, if any
     /// (arbitration latency counts retries from this first attempt).
     pub t_first_request: Option<u64>,
+    /// Value-trace events buffered at retire (only while a tracer is
+    /// attached), emitted in one block when the commit is granted — so a
+    /// squash discards them along with the rest of the chunk and the
+    /// trace never shows speculative work.
+    pub accesses: Vec<Event>,
 }
 
 impl Chunk {
@@ -95,6 +101,7 @@ impl Chunk {
             read_displacements: 0,
             t_start: 0,
             t_first_request: None,
+            accesses: Vec::new(),
         }
     }
 

@@ -59,6 +59,13 @@ pub struct BulkConfig {
     /// Number of range arbiters (1 = the single-arbiter design; >1 =
     /// the distributed arbiter of §4.2.3 with a G-arbiter).
     pub num_arbiters: u32,
+    /// TEST-ONLY fault injection: a ready chunk self-grants its commit
+    /// without consulting the arbiter, so no W-signature broadcast reaches
+    /// the other cores and conflicting chunks are never disambiguated.
+    /// This deliberately breaks SC; it exists so the `bulksc-check` oracle
+    /// can be demonstrated to catch real reordering bugs. No preset or
+    /// builder sets it.
+    pub commit_without_arbitration: bool,
 }
 
 impl BulkConfig {
@@ -77,6 +84,7 @@ impl BulkConfig {
             prearb_after: 6,
             commit_retry: 30,
             num_arbiters: 1,
+            commit_without_arbitration: false,
         }
     }
 

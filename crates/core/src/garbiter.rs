@@ -91,11 +91,18 @@ impl GArbiter {
     }
 
     /// The range arbiters a chunk with signatures `w`, `r` must consult.
+    /// A chunk with no memory accesses at all (possible when a chunk
+    /// boundary falls inside a long compute stretch) conflicts with
+    /// nothing but still needs the commit handshake; it is routed to
+    /// range arbiter 0.
     pub fn arbiters_of(w: &TrackedSig, r: &TrackedSig, num_arbiters: u32) -> Vec<u32> {
         let mut set = w.decode_sets(num_arbiters);
         set.extend(r.decode_sets(num_arbiters));
         set.sort_unstable();
         set.dedup();
+        if set.is_empty() {
+            set.push(0);
+        }
         set
     }
 

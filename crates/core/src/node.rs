@@ -179,6 +179,11 @@ pub struct BulkNode {
     priv_buffer: PrivateBuffer,
     stats: BulkStats,
     trace: TraceHandle,
+    /// Program-order index of the next value-traced access (only advanced
+    /// while a tracer is attached). Re-executions after a squash get fresh,
+    /// larger indices; since chunks commit in order, the committed trace is
+    /// still monotone in program order per core.
+    po_next: u64,
 }
 
 impl BulkNode {
@@ -231,6 +236,7 @@ impl BulkNode {
             priv_buffer: PrivateBuffer::new(priv_cap),
             stats: BulkStats::default(),
             trace: TraceHandle::off(),
+            po_next: 0,
         };
         node.open_chunk(0);
         node
@@ -341,7 +347,7 @@ impl BulkNode {
             return;
         }
         self.pop_completions(now, values);
-        self.maybe_request_commit(now, fab);
+        self.maybe_request_commit(now, fab, values);
         self.retire(now, values, fab);
         self.issue(now);
         self.send_pending_misses(now, fab);
@@ -449,11 +455,23 @@ impl BulkNode {
                     self.finish_slot(head_id);
                     budget -= 1;
                 }
-                Instr::Load { consume, .. } => {
+                Instr::Load { addr, consume } => {
                     if head_state != SlotState::Done {
                         break;
                     }
                     let v = self.window.oldest().expect("head").value;
+                    if self.trace.enabled() {
+                        let core = self.core;
+                        let value = v.expect("completed load carries its value");
+                        self.buffer_access(head_id, |seq, po| Event::ValLoad {
+                            core,
+                            seq,
+                            po,
+                            addr: addr.0,
+                            value,
+                            retired_at: now,
+                        });
+                    }
                     if consume {
                         self.feed = v;
                         self.awaiting = None;
@@ -466,6 +484,17 @@ impl BulkNode {
                     // Wait-free store retirement (§6).
                     if !self.perform_spec_store(now, head_id, addr, value, fab) {
                         break; // set-overflow self-squash happened
+                    }
+                    if self.trace.enabled() {
+                        let core = self.core;
+                        self.buffer_access(head_id, |seq, po| Event::ValStore {
+                            core,
+                            seq,
+                            po,
+                            addr: addr.0,
+                            value,
+                            retired_at: now,
+                        });
                     }
                     self.note_retired(head_id, 1);
                     self.finish_slot(head_id);
@@ -484,6 +513,18 @@ impl BulkNode {
                     let new = op.apply(old);
                     if !self.perform_spec_store(now, head_id, addr, new, fab) {
                         break;
+                    }
+                    if self.trace.enabled() {
+                        let core = self.core;
+                        self.buffer_access(head_id, |seq, po| Event::ValRmw {
+                            core,
+                            seq,
+                            po,
+                            addr: addr.0,
+                            old,
+                            new,
+                            retired_at: now,
+                        });
                     }
                     self.feed = Some(old);
                     self.awaiting = None;
@@ -505,6 +546,18 @@ impl BulkNode {
                     budget -= 1;
                 }
             }
+        }
+    }
+
+    /// Buffer a value-trace event into the slot's chunk, assigning the
+    /// next per-core program-order index. Callers check
+    /// `trace.enabled()` first so untraced runs pay nothing.
+    fn buffer_access(&mut self, slot: SlotId, make: impl FnOnce(u64, u64) -> Event) {
+        let po = self.po_next;
+        self.po_next += 1;
+        let seq = *self.slot_chunks.get(&slot).expect("slot tagged");
+        if let Some(c) = self.chunks.iter_mut().find(|c| c.tag.seq == seq) {
+            c.accesses.push(make(seq, po));
         }
     }
 
@@ -836,7 +889,7 @@ impl BulkNode {
     // Commit.
     // ------------------------------------------------------------------
 
-    fn maybe_request_commit(&mut self, now: Cycle, fab: &mut Fabric) {
+    fn maybe_request_commit(&mut self, now: Cycle, fab: &mut Fabric, values: &mut ValueStore) {
         if now < self.commit_retry_at {
             return;
         }
@@ -852,6 +905,28 @@ impl BulkNode {
             return;
         }
         let tag = front.tag;
+        if self.bulk.commit_without_arbitration {
+            // TEST-ONLY fault (see `BulkConfig`): self-grant the commit.
+            // No arbiter serialization, no W-signature broadcast — other
+            // cores' conflicting chunks are never disambiguated, which is
+            // exactly the reordering bug the SC oracle must catch.
+            {
+                let front = self.chunks.front_mut().expect("checked");
+                front.state = ChunkState::Arbitrating;
+                if front.t_first_request.is_none() {
+                    front.t_first_request = Some(now);
+                    self.stats
+                        .lat_execute
+                        .record(now.saturating_sub(front.t_start));
+                }
+            }
+            self.commit_resp(now, tag, true, values, fab);
+            // No CommitComplete will ever arrive for a commit the
+            // directory never saw; drop the tracking entry so the run
+            // still terminates.
+            self.committing.remove(&tag);
+            return;
+        }
         let w = Box::new(front.w.clone());
         let r = Box::new(front.r.clone());
         let multi = self.bulk.num_arbiters > 1;
@@ -921,6 +996,13 @@ impl BulkNode {
         self.stats
             .lat_arbitration
             .record(now.saturating_sub(front.t_first_request.unwrap_or(now)));
+        // Publish the chunk's value trace as one atomic block at the grant
+        // cycle: the block's store subsequence is in `store_order` order,
+        // and no other core's events can interleave before the writes
+        // below land, so stream order equals coherence order.
+        for ev in front.accesses.drain(..) {
+            self.trace.emit(now, || ev);
+        }
         // The commit is granted: make the chunk's stores globally visible.
         for &(addr, value) in &front.store_order {
             values.write(addr, value);

@@ -199,8 +199,9 @@ impl System {
     pub fn set_tracer(&mut self, trace: TraceHandle) {
         self.fabric.set_tracer(trace.clone());
         for n in &mut self.nodes {
-            if let CoreNode::Bulk(b) = n {
-                b.set_tracer(trace.clone());
+            match n {
+                CoreNode::Bulk(b) => b.set_tracer(trace.clone()),
+                CoreNode::Baseline(b) => b.set_tracer(trace.clone()),
             }
         }
         for d in &mut self.dirs {
@@ -218,8 +219,15 @@ impl System {
     /// Record an [`bulksc_trace::IntervalSample`] every `every` cycles
     /// (clamped to at least 1). Idle fast-forwarded stretches collapse
     /// into the sample at the next boundary actually stepped.
+    ///
+    /// The series is primed with the *current* cycle and counter totals,
+    /// so enabling sampling mid-run yields a first sample covering only
+    /// the window since now — not deltas diluted over the whole untraced
+    /// prefix.
     pub fn enable_sampling(&mut self, every: Cycle) {
-        self.sampler = Some(IntervalSeries::new(every));
+        let mut series = IntervalSeries::new(every);
+        series.prime(self.now, &self.per_core_retired(), self.gauge_snapshot());
+        self.sampler = Some(series);
     }
 
     /// The interval samples collected so far (empty slice if sampling was
@@ -243,35 +251,30 @@ impl System {
             .collect()
     }
 
+    fn gauge_snapshot(&self) -> bulksc_trace::GaugeSnapshot {
+        bulksc_trace::GaugeSnapshot {
+            pending_w: self.arbiters.iter().map(|a| a.pending() as u64).sum(),
+            arb_queue: self.arbiters.iter().map(|a| a.queue_depth() as u64).sum(),
+            squashing_cores: self
+                .nodes
+                .iter()
+                .filter(|n| matches!(n, CoreNode::Bulk(b) if b.squashing()))
+                .count() as u64,
+            fabric_depth: self.fabric.in_flight() as u64,
+            traffic_bytes: self.fabric.traffic().total(),
+            messages: self.fabric.traffic().messages(),
+        }
+    }
+
     fn drive_sampler(&mut self) {
         let Some(s) = &self.sampler else { return };
         if !s.due(self.now) {
             return;
         }
         let retired = self.per_core_retired();
-        let pending_w: u64 = self.arbiters.iter().map(|a| a.pending() as u64).sum();
-        let arb_queue: u64 = self.arbiters.iter().map(|a| a.queue_depth() as u64).sum();
-        let squashing_cores = self
-            .nodes
-            .iter()
-            .filter(|n| matches!(n, CoreNode::Bulk(b) if b.squashing()))
-            .count() as u64;
-        let fabric_depth = self.fabric.in_flight() as u64;
-        let bytes = self.fabric.traffic().total();
-        let msgs = self.fabric.traffic().messages();
+        let gauges = self.gauge_snapshot();
         let s = self.sampler.as_mut().expect("checked above");
-        s.record(
-            self.now,
-            &retired,
-            bulksc_trace::GaugeSnapshot {
-                pending_w,
-                arb_queue,
-                squashing_cores,
-                fabric_depth,
-                traffic_bytes: bytes,
-                messages: msgs,
-            },
-        );
+        s.record(self.now, &retired, gauges);
     }
 
     /// Current simulation time.

@@ -29,6 +29,7 @@ use bulksc_mem::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
 use bulksc_net::{Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{Addr, LineAddr};
 use bulksc_stats::Histogram;
+use bulksc_trace::{Event, TraceHandle};
 use bulksc_workloads::{Instr, ThreadProgram};
 
 use crate::config::CoreConfig;
@@ -95,6 +96,11 @@ struct SbEntry {
     addr: Addr,
     value: u64,
     epoch: u64,
+    /// Program-order index assigned at retire (value tracing; the store's
+    /// event is emitted later, when the buffer drains it to memory).
+    po: u64,
+    /// Cycle the store retired into the buffer (value tracing).
+    retired_at: Cycle,
 }
 
 struct Epoch {
@@ -156,6 +162,10 @@ pub struct BaselineNode {
     epoch_squash_streak: u32,
 
     stats: CoreStats,
+    trace: TraceHandle,
+    /// Program-order index of the next value-traced access (only advanced
+    /// while value tracing is active).
+    po_next: u64,
 }
 
 impl BaselineNode {
@@ -196,6 +206,8 @@ impl BaselineNode {
             epoch_fetched: 0,
             epoch_squash_streak: 0,
             stats: CoreStats::default(),
+            trace: TraceHandle::off(),
+            po_next: 0,
         };
         if model == BaselineModel::Scpp {
             node.open_epoch();
@@ -206,6 +218,24 @@ impl BaselineNode {
     /// This node's network id.
     pub fn id(&self) -> NodeId {
         NodeId::Core(self.core)
+    }
+
+    /// Route this core's value-trace events to `trace`'s sinks.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// True when retired accesses should be value-traced. SC++ is
+    /// excluded: its epoch rollback retracts already-retired work, so a
+    /// committed-value trace cannot be emitted at retire time.
+    fn value_tracing(&self) -> bool {
+        self.model != BaselineModel::Scpp && self.trace.enabled()
+    }
+
+    fn next_po(&mut self) -> u64 {
+        let po = self.po_next;
+        self.po_next += 1;
+        po
     }
 
     /// The consistency model this node runs.
@@ -352,7 +382,7 @@ impl BaselineNode {
                         self.finish_slot(head_id);
                     }
                 }
-                Instr::Load { consume, .. } => {
+                Instr::Load { addr, consume } => {
                     if head_state != SlotState::Done {
                         break;
                     }
@@ -360,13 +390,24 @@ impl BaselineNode {
                         break;
                     }
                     let v = self.window.oldest().expect("head").value;
+                    if self.value_tracing() {
+                        let core = self.core;
+                        let po = self.next_po();
+                        let value = v.expect("completed load carries its value");
+                        self.trace.emit(now, || Event::ValLoad {
+                            core,
+                            seq: 0,
+                            po,
+                            addr: addr.0,
+                            value,
+                            retired_at: now,
+                        });
+                    }
                     if consume {
                         self.feed = v;
                         self.awaiting = None;
                     }
-                    if let Instr::Load { addr, .. } = head_instr {
-                        self.record_epoch_access(addr.line(), false);
-                    }
+                    self.record_epoch_access(addr.line(), false);
                     self.note_mem_retire(now);
                     self.finish_slot(head_id);
                     self.note_retired(1);
@@ -382,6 +423,18 @@ impl BaselineNode {
                             if !self.try_perform_store(now, addr, value, values) {
                                 break;
                             }
+                            if self.value_tracing() {
+                                let core = self.core;
+                                let po = self.next_po();
+                                self.trace.emit(now, || Event::ValStore {
+                                    core,
+                                    seq: 0,
+                                    po,
+                                    addr: addr.0,
+                                    value,
+                                    retired_at: now,
+                                });
+                            }
                             self.note_mem_retire(now);
                             self.finish_slot(head_id);
                             self.note_retired(1);
@@ -391,10 +444,17 @@ impl BaselineNode {
                             if self.store_buffer.len() >= self.cfg.store_buffer as usize {
                                 break;
                             }
+                            let po = if self.value_tracing() {
+                                self.next_po()
+                            } else {
+                                0
+                            };
                             self.store_buffer.push_back(SbEntry {
                                 addr,
                                 value,
                                 epoch: self.current_epoch,
+                                po,
+                                retired_at: now,
                             });
                             self.record_epoch_access(addr.line(), true);
                             self.finish_slot(head_id);
@@ -414,8 +474,22 @@ impl BaselineNode {
                         break;
                     }
                     let old = values.read(addr);
-                    values.write(addr, op.apply(old));
+                    let new = op.apply(old);
+                    values.write(addr, new);
                     self.l1.set_state(addr.line(), LineState::Dirty);
+                    if self.value_tracing() {
+                        let core = self.core;
+                        let po = self.next_po();
+                        self.trace.emit(now, || Event::ValRmw {
+                            core,
+                            seq: 0,
+                            po,
+                            addr: addr.0,
+                            old,
+                            new,
+                            retired_at: now,
+                        });
+                    }
                     self.record_epoch_access(addr.line(), true);
                     self.feed = Some(old);
                     self.awaiting = None;
@@ -539,6 +613,17 @@ impl BaselineNode {
             if self.line_owned(head.addr.line()) {
                 values.write(head.addr, head.value);
                 self.l1.set_state(head.addr.line(), LineState::Dirty);
+                if self.value_tracing() {
+                    let core = self.core;
+                    self.trace.emit(now, || Event::ValStore {
+                        core,
+                        seq: 0,
+                        po: head.po,
+                        addr: head.addr.0,
+                        value: head.value,
+                        retired_at: head.retired_at,
+                    });
+                }
                 self.store_buffer.pop_front();
             } else {
                 self.want_line(now, head.addr.line(), true, None);

@@ -185,7 +185,11 @@ impl Histogram {
 
     /// Rebuild a histogram from sparse `(index, count)` pairs plus the
     /// exact summary fields (the inverse of the JSON encoding). Returns
-    /// `None` if the pairs are inconsistent with `count`.
+    /// `None` if the parts are inconsistent: bucket counts that do not
+    /// sum to `count`, an out-of-range bucket index, `min > max`, or a
+    /// `min`/`max` that does not land in the first/last occupied bucket.
+    /// (An unvalidated `min > max` would poison [`Histogram::percentile`],
+    /// whose final clamp requires an ordered range.)
     pub fn from_parts(
         pairs: &[(usize, u64)],
         count: u64,
@@ -209,9 +213,21 @@ impl Histogram {
                 h.buckets.resize(idx + 1, 0);
             }
             h.buckets[idx] += c;
-            total += c;
+            total = total.checked_add(c)?;
         }
-        (total == count).then_some(h)
+        if total != count {
+            return None;
+        }
+        if count == 0 {
+            // An empty histogram has zeroed summary fields, nothing else.
+            return (sum == 0 && min == 0 && max == 0).then_some(h);
+        }
+        if min > max {
+            return None;
+        }
+        let first = h.buckets.iter().position(|&c| c > 0)?;
+        let last = h.buckets.iter().rposition(|&c| c > 0)?;
+        (bucket_index(min) == first && bucket_index(max) == last).then_some(h)
     }
 }
 
@@ -412,6 +428,107 @@ mod tests {
         }
         // Inconsistent count is rejected.
         assert!(Histogram::from_parts(&pairs, h.count() + 1, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn percentile_rank_on_a_bucket_boundary() {
+        // Two samples: p=50 has rank ceil(0.5·2)=1, landing exactly on
+        // the cumulative-count boundary of the first bucket — it must
+        // report the first sample, not fall through to the second.
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(40);
+        assert_eq!(h.percentile(50.0), 10);
+        assert_eq!(h.percentile(50.1), 40);
+        // Degenerate ranks clamp into 1..=count.
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(100.0), 40);
+        assert_eq!(h.percentile(-5.0), 10);
+        assert_eq!(h.percentile(250.0), 40);
+    }
+
+    #[test]
+    fn merge_shorter_into_longer_bucket_array() {
+        // merge() must also be correct when *self* has the longer bucket
+        // array (the resize branch is skipped and the zip must not drop
+        // self's tail).
+        let mut long = Histogram::new();
+        long.record(1 << 30);
+        long.record(3);
+        let mut short = Histogram::new();
+        short.record(5);
+        let mut both = Histogram::new();
+        for v in [1u64 << 30, 3, 5] {
+            both.record(v);
+        }
+        long.merge(&short);
+        assert_eq!(long, both);
+        assert_eq!(long.max(), 1 << 30);
+        assert_eq!(long.min(), 3);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_summaries() {
+        let mut h = Histogram::new();
+        for v in [10u64, 500, 9_999] {
+            h.record(v);
+        }
+        let pairs: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let (count, sum) = (h.count(), h.sum());
+        // min > max used to slip through and make percentile() panic on
+        // its min..max clamp.
+        assert!(Histogram::from_parts(&pairs, count, sum, 9_999, 10).is_none());
+        // min/max outside the occupied buckets.
+        assert!(Histogram::from_parts(&pairs, count, sum, 1, 9_999).is_none());
+        assert!(Histogram::from_parts(&pairs, count, sum, 10, 1 << 20).is_none());
+        // Non-empty pairs with count 0, and nonzero summaries on an
+        // empty histogram.
+        assert!(Histogram::from_parts(&pairs, 0, 0, 0, 0).is_none());
+        assert!(Histogram::from_parts(&[], 0, 1, 0, 0).is_none());
+        assert!(Histogram::from_parts(&[], 0, 0, 0, 0).is_some());
+        // Overflowing bucket counts must not wrap into a "consistent"
+        // total.
+        assert!(Histogram::from_parts(&[(1, u64::MAX), (2, 1)], 0, 0, 0, 0).is_none());
+        // The honest parts still round-trip.
+        let back =
+            Histogram::from_parts(&pairs, count, sum, h.min(), h.max()).expect("valid parts");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn percentiles_track_an_exact_sorted_vector() {
+        // Seeded property loop: histogram percentiles vs. the exact
+        // nearest-rank percentile of the raw samples. The histogram
+        // reports a bucket's upper edge, so it may only *over*-state, and
+        // by at most one sub-bucket width (1/32 relative, ~2.5
+        // significant figures).
+        let mut rng = crate::SplitMix64::new(0x5ca1_ab1e ^ 20070609);
+        for round in 0..20u64 {
+            let n = 100 + (rng.gen_range(0..900)) as usize;
+            let mut h = Histogram::new();
+            let mut exact: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Log-uniform magnitudes: every bucket regime gets hit.
+                let bits = rng.gen_range(1..34);
+                let v = rng.gen_range(0..(1u64 << bits)) + 1;
+                h.record(v);
+                exact.push(v);
+            }
+            exact.sort_unstable();
+            for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+                let rank = ((p / 100.0) * n as f64).ceil().clamp(1.0, n as f64) as usize;
+                let want = exact[rank - 1];
+                let got = h.percentile(p);
+                assert!(
+                    got >= want,
+                    "round {round} p{p}: histogram under-states {got} < {want}"
+                );
+                assert!(
+                    got as f64 <= want as f64 * (1.0 + 1.0 / 32.0),
+                    "round {round} p{p}: {got} overshoots exact {want}"
+                );
+            }
+        }
     }
 
     #[test]

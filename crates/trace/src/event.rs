@@ -140,6 +140,43 @@ pub enum Event {
     CacheDisplacement { core: u32, line: u64 },
     /// The Private Buffer supplied a dirty line instead of memory (§5.2).
     PrivSupply { core: u32, line: u64 },
+    /// Value trace: a retired load observed `value` at `addr` (emitted at
+    /// retire for baseline models; buffered per chunk and emitted at
+    /// commit for BulkSC, so squashed work never appears). `seq` is the
+    /// owning chunk (0 for baselines); `po` is the per-core program-order
+    /// index; `retired_at` is the retire cycle (the stamped `t` is the
+    /// emission cycle, which for BulkSC is the commit-grant cycle).
+    ValLoad {
+        core: u32,
+        seq: u64,
+        po: u64,
+        addr: u64,
+        value: u64,
+        retired_at: u64,
+    },
+    /// Value trace: a store of `value` to `addr` became globally visible.
+    /// Stream order of `val_store`/`val_rmw` events at one address *is*
+    /// the coherence order: every emission site sits next to the
+    /// `ValueStore::write` that publishes the value.
+    ValStore {
+        core: u32,
+        seq: u64,
+        po: u64,
+        addr: u64,
+        value: u64,
+        retired_at: u64,
+    },
+    /// Value trace: an atomic read-modify-write observed `old` and
+    /// published `new` at `addr`, indivisibly.
+    ValRmw {
+        core: u32,
+        seq: u64,
+        po: u64,
+        addr: u64,
+        old: u64,
+        new: u64,
+        retired_at: u64,
+    },
     /// A message entered the interconnect.
     NetSend {
         src: Endpoint,
@@ -170,6 +207,9 @@ impl Event {
             Event::DirDisplacement { .. } => "dir_displacement",
             Event::CacheDisplacement { .. } => "cache_displacement",
             Event::PrivSupply { .. } => "priv_supply",
+            Event::ValLoad { .. } => "val_load",
+            Event::ValStore { .. } => "val_store",
+            Event::ValRmw { .. } => "val_rmw",
             Event::NetSend { .. } => "net_send",
             Event::NetDeliver { .. } => "net_deliver",
         }
@@ -187,7 +227,10 @@ impl Event {
             | Event::ChunkAbandon { core, .. }
             | Event::Squash { core, .. }
             | Event::CacheDisplacement { core, .. }
-            | Event::PrivSupply { core, .. } => Endpoint::core(core),
+            | Event::PrivSupply { core, .. }
+            | Event::ValLoad { core, .. }
+            | Event::ValStore { core, .. }
+            | Event::ValRmw { core, .. } => Endpoint::core(core),
             Event::SigExpand { dir, .. } | Event::DirDisplacement { dir, .. } => Endpoint::dir(dir),
             Event::NetSend { src, .. } => src,
             Event::NetDeliver { dst, .. } => dst,
@@ -261,6 +304,46 @@ impl Event {
             Event::CacheDisplacement { core, line } | Event::PrivSupply { core, line } => {
                 vec![("core", core.into()), ("line", line.into())]
             }
+            Event::ValLoad {
+                core,
+                seq,
+                po,
+                addr,
+                value,
+                retired_at,
+            }
+            | Event::ValStore {
+                core,
+                seq,
+                po,
+                addr,
+                value,
+                retired_at,
+            } => vec![
+                ("core", core.into()),
+                ("seq", seq.into()),
+                ("po", po.into()),
+                ("addr", addr.into()),
+                ("value", value.into()),
+                ("retired_at", retired_at.into()),
+            ],
+            Event::ValRmw {
+                core,
+                seq,
+                po,
+                addr,
+                old,
+                new,
+                retired_at,
+            } => vec![
+                ("core", core.into()),
+                ("seq", seq.into()),
+                ("po", po.into()),
+                ("addr", addr.into()),
+                ("old", old.into()),
+                ("new", new.into()),
+                ("retired_at", retired_at.into()),
+            ],
             Event::NetSend {
                 src,
                 dst,
@@ -357,6 +440,31 @@ mod tests {
             Event::PrivSupply {
                 core: 2,
                 line: 0xcafe,
+            },
+            Event::ValLoad {
+                core: 1,
+                seq: 4,
+                po: 17,
+                addr: 0x1_0008,
+                value: 42,
+                retired_at: 99,
+            },
+            Event::ValStore {
+                core: 0,
+                seq: 2,
+                po: 3,
+                addr: 0x1_0000,
+                value: 1,
+                retired_at: 80,
+            },
+            Event::ValRmw {
+                core: 2,
+                seq: 0,
+                po: 9,
+                addr: 0x1_0010,
+                old: 0,
+                new: 1,
+                retired_at: 120,
             },
             Event::NetSend {
                 src: Endpoint::core(0),

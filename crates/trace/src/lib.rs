@@ -73,7 +73,7 @@ pub use sinks::{ChromeTracer, JsonlTracer, RingTracer};
 /// `results/*.json` RunLog. Bump it when an event's fields, an event
 /// name, or an artifact's layout changes incompatibly; `bulksc-analyze`
 /// refuses artifacts whose version it does not understand.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The first line of every JSONL event stream:
 /// `{"schema":"bulksc-trace","version":N}`.

@@ -118,6 +118,21 @@ impl IntervalSeries {
         now >= self.next_at
     }
 
+    /// Re-baseline the series at `now` with the current cumulative totals.
+    ///
+    /// A series created mid-run would otherwise compute its first sample's
+    /// deltas against cycle 0 and zero counters, averaging IPC and traffic
+    /// over the entire unsampled prefix. Priming makes the first sample
+    /// cover only the window since `now`; the next boundary is the first
+    /// multiple of `every` strictly after `now`.
+    pub fn prime(&mut self, now: u64, retired: &[u64], g: GaugeSnapshot) {
+        self.last_cycle = now;
+        self.last_retired = retired.to_vec();
+        self.last_bytes = g.traffic_bytes;
+        self.last_messages = g.messages;
+        self.next_at = (now / self.every + 1) * self.every;
+    }
+
     /// Record a snapshot from *cumulative* totals; deltas are computed
     /// against the previous sample.
     pub fn record(&mut self, now: u64, retired: &[u64], g: GaugeSnapshot) {
@@ -231,6 +246,37 @@ mod tests {
         assert_eq!(s.samples().len(), 1);
         assert!(!s.due(79));
         assert!(s.due(80));
+    }
+
+    #[test]
+    fn priming_rebases_first_sample() {
+        let mut s = IntervalSeries::new(100);
+        s.prime(
+            950,
+            &[9000],
+            GaugeSnapshot {
+                traffic_bytes: 5000,
+                messages: 50,
+                ..Default::default()
+            },
+        );
+        // Next boundary is strictly after the priming point.
+        assert!(!s.due(999));
+        assert!(s.due(1000));
+        s.record(
+            1000,
+            &[9010],
+            GaugeSnapshot {
+                traffic_bytes: 5100,
+                messages: 52,
+                ..Default::default()
+            },
+        );
+        let sample = &s.samples()[0];
+        assert_eq!(sample.retired_delta, vec![10]);
+        assert!((sample.ipc[0] - 10.0 / 50.0).abs() < 1e-12);
+        assert_eq!(sample.traffic_bytes_delta, 100);
+        assert_eq!(sample.messages_delta, 2);
     }
 
     #[test]

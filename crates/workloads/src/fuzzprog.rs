@@ -1,0 +1,159 @@
+//! Randomized programs for the differential SC fuzzer.
+//!
+//! The `bulksc-check` oracle pins a load's reads-from source by matching
+//! its observed value against the writes at that address, so the checking
+//! is airtight exactly when store values are unique. These generators
+//! build random straight-line programs whose every store publishes a
+//! globally unique value (`(thread+1) << 32 | serial`), over a small
+//! shared address pool (consecutive words, so lines are contended and
+//! BulkSC's squash/replay paths actually fire), using plain
+//! *non-consuming* loads — the kind the pipeline is free to reorder,
+//! unlike the serializing consuming loads litmus observers use.
+//!
+//! Programs are straight-line (no value-dependent control flow), which
+//! [`crate::refexec::run_in_order`] relies on to replay a witness
+//! schedule instruction-for-instruction.
+
+use bulksc_sig::Addr;
+use bulksc_stats::SplitMix64;
+
+use crate::isa::{Instr, RmwOp};
+use crate::program::{ScriptOp, ScriptProgram, ThreadProgram};
+
+/// Base word address of the fuzz address pool (clear of the litmus
+/// variables at `0x1_0000` and the synthetic apps' layout).
+pub const FUZZ_BASE: u64 = 0x2_0000;
+
+/// Shape of one randomized program set.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzSpec {
+    /// Number of threads (= cores).
+    pub threads: u32,
+    /// Memory operations per thread.
+    pub ops_per_thread: u32,
+    /// Size of the shared pool of word addresses (consecutive words from
+    /// [`FUZZ_BASE`], so several live in each cache line).
+    pub pool_words: u64,
+    /// Per-mille of operations that are atomic fetch-adds (their values
+    /// are not unique, so keep this low to keep ambiguity low).
+    pub rmw_permille: u32,
+}
+
+impl Default for FuzzSpec {
+    fn default() -> Self {
+        FuzzSpec {
+            threads: 4,
+            ops_per_thread: 150,
+            pool_words: 24,
+            rmw_permille: 30,
+        }
+    }
+}
+
+/// One thread's random script. Deterministic in `(spec, thread, seed)`.
+pub fn fuzz_script(spec: FuzzSpec, thread: u32, seed: u64) -> Vec<ScriptOp> {
+    let mut rng = SplitMix64::new(seed ^ (0xf02_2ced ^ (thread as u64) << 32));
+    let mut ops = Vec::with_capacity(spec.ops_per_thread as usize + 1);
+    let mut serial = 0u64;
+    for _ in 0..spec.ops_per_thread {
+        let addr = Addr(FUZZ_BASE + rng.gen_range(0..spec.pool_words));
+        let roll = rng.gen_range(0..1000);
+        let op = if roll < spec.rmw_permille as u64 {
+            Instr::Rmw {
+                addr,
+                op: RmwOp::FetchAdd(1),
+            }
+        } else if roll < 500 {
+            serial += 1;
+            Instr::Store {
+                addr,
+                value: ((thread as u64 + 1) << 32) | serial,
+            }
+        } else if roll < 930 {
+            Instr::Load {
+                addr,
+                consume: false,
+            }
+        } else {
+            Instr::Compute(rng.gen_range(1..12) as u32)
+        };
+        ops.push(ScriptOp::Op(op));
+    }
+    ops
+}
+
+/// The full program set for one fuzz case.
+pub fn fuzz_programs(spec: FuzzSpec, seed: u64) -> Vec<Box<dyn ThreadProgram>> {
+    (0..spec.threads)
+        .map(|t| Box::new(ScriptProgram::new(fuzz_script(spec, t, seed))) as Box<dyn ThreadProgram>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn scripts_are_deterministic_and_store_unique_values() {
+        let spec = FuzzSpec::default();
+        let a = fuzz_script(spec, 1, 42);
+        let b = fuzz_script(spec, 1, 42);
+        assert_eq!(a.len(), b.len());
+        let values = |s: &[ScriptOp]| -> Vec<u64> {
+            s.iter()
+                .filter_map(|op| match op {
+                    ScriptOp::Op(Instr::Store { value, .. }) => Some(*value),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(values(&a), values(&b), "same seed, same program");
+        assert_ne!(
+            values(&a),
+            values(&fuzz_script(spec, 1, 43)),
+            "different seed, different program"
+        );
+        // Uniqueness across all threads of one case.
+        let mut seen = HashSet::new();
+        for t in 0..spec.threads {
+            for v in values(&fuzz_script(spec, t, 42)) {
+                assert!(seen.insert(v), "duplicate store value {v:#x}");
+                assert_ne!(v, 0, "0 is the initial value, never stored");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn pool_stays_in_bounds_and_mix_is_reasonable() {
+        let spec = FuzzSpec {
+            threads: 2,
+            ops_per_thread: 600,
+            pool_words: 8,
+            rmw_permille: 50,
+        };
+        let (mut loads, mut stores, mut rmws) = (0, 0, 0);
+        for t in 0..spec.threads {
+            for op in fuzz_script(spec, t, 7) {
+                let ScriptOp::Op(i) = op else {
+                    panic!("fuzz scripts are straight-line Ops");
+                };
+                if let Some(a) = i.addr() {
+                    assert!((FUZZ_BASE..FUZZ_BASE + spec.pool_words).contains(&a.0));
+                }
+                match i {
+                    Instr::Load { consume, .. } => {
+                        assert!(!consume, "plain loads only: they can reorder");
+                        loads += 1;
+                    }
+                    Instr::Store { .. } => stores += 1,
+                    Instr::Rmw { .. } => rmws += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(loads > 200 && stores > 200, "loads={loads} stores={stores}");
+        assert!(rmws > 10, "rmws={rmws}");
+    }
+}

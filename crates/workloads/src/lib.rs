@@ -20,6 +20,7 @@
 //!   oracle and for fast unit tests.
 
 pub mod apps;
+pub mod fuzzprog;
 pub mod isa;
 pub mod layout;
 pub mod litmus;
@@ -27,8 +28,9 @@ pub mod program;
 pub mod refexec;
 
 pub use apps::{by_name, catalog, splash2, AppParams, SyntheticApp};
+pub use fuzzprog::{fuzz_programs, fuzz_script, FuzzSpec};
 pub use isa::{Instr, RmwOp};
 pub use layout::AddressMap;
 pub use litmus::Litmus;
 pub use program::{ScriptOp, ScriptProgram, ThreadProgram};
-pub use refexec::{run_interleaved, RefResult};
+pub use refexec::{run_in_order, run_interleaved, RefResult};

@@ -209,6 +209,72 @@ pub fn rmw_dekker() -> Litmus {
     }
 }
 
+/// Write-to-read causality (WRC): T1 observes T0's write before
+/// publishing its own flag; T2 must not see the flag without the data —
+/// the causality chain x=1 → (read x) → y=1 → (read y) forbids reading
+/// x as 0 afterwards.
+pub fn wrc() -> Litmus {
+    let (x, y) = (var(11), var(12));
+    Litmus {
+        name: "WRC",
+        scripts: vec![
+            warmed(&[x], vec![st(x, 1)]),
+            warmed(&[x, y], vec![ScriptOp::Record(x), st(y, 1)]),
+            warmed(&[y, x], vec![ScriptOp::Record(y), ScriptOp::Record(x)]),
+        ],
+        forbidden: |obs| obs[1] == [1] && obs[2] == [1, 0],
+    }
+}
+
+/// 2+2W: each thread writes both variables in opposite orders. SC forbids
+/// the final state x=1 ∧ y=1 (each thread's *first* store would have to
+/// be coherence-last, contradicting its own program order). The final
+/// state is observed after a two-thread barrier, so the reads race with
+/// nothing.
+pub fn two_plus_two_w() -> Litmus {
+    let (x, y) = (var(13), var(14));
+    let bar = ScriptOp::Barrier {
+        count: var(15),
+        gen: var(16),
+        n: 2,
+    };
+    let tail = |b: ScriptOp| vec![b, ScriptOp::Record(x), ScriptOp::Record(y)];
+    Litmus {
+        name: "2+2W",
+        scripts: vec![
+            warmed(
+                &[x, y],
+                [vec![st(x, 1), st(y, 2)], tail(bar.clone())].concat(),
+            ),
+            warmed(&[y, x], [vec![st(y, 1), st(x, 2)], tail(bar)].concat()),
+        ],
+        forbidden: |obs| obs[0] == [1, 1] || obs[1] == [1, 1],
+    }
+}
+
+/// S shape: T0 writes x=2 then y=1; T1 reads y and then writes x=1. If T1
+/// saw y=1, its write x=1 is coherence-after T0's x=2, so the final value
+/// of x must be 1 — observing y=1 and then a final x=2 is forbidden.
+pub fn s_shape() -> Litmus {
+    let (x, y) = (var(17), var(18));
+    let bar = ScriptOp::Barrier {
+        count: var(19),
+        gen: var(20),
+        n: 2,
+    };
+    Litmus {
+        name: "S",
+        scripts: vec![
+            warmed(&[x, y], vec![st(x, 2), st(y, 1), bar.clone()]),
+            warmed(
+                &[y, x],
+                vec![ScriptOp::Record(y), st(x, 1), bar, ScriptOp::Record(x)],
+            ),
+        ],
+        forbidden: |obs| obs[1] == [1, 2],
+    }
+}
+
 /// All litmus tests.
 pub fn catalog() -> Vec<Litmus> {
     vec![
@@ -219,6 +285,9 @@ pub fn catalog() -> Vec<Litmus> {
         corr(),
         cowr(),
         rmw_dekker(),
+        wrc(),
+        two_plus_two_w(),
+        s_shape(),
     ]
 }
 
@@ -278,7 +347,7 @@ mod tests {
 
     #[test]
     fn variables_do_not_share_lines() {
-        let lines: Vec<_> = (0..9).map(|i| var(i).line()).collect();
+        let lines: Vec<_> = (0..21).map(|i| var(i).line()).collect();
         let mut dedup = lines.clone();
         dedup.dedup();
         assert_eq!(lines, dedup);

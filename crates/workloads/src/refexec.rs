@@ -92,6 +92,110 @@ pub fn run_interleaved(
     }
 }
 
+/// Run `programs` under an *explicit* schedule of memory accesses: for
+/// each entry `c` of `order`, thread `c` executes instructions until it
+/// has performed exactly one memory access (loads, stores, and RMWs
+/// count; computes, fences, and I/O ride along for free). Any threads
+/// still unfinished afterwards run round-robin to completion.
+///
+/// This is the differential half of the SC oracle: the `bulksc-check`
+/// witness of a timing-simulator run, projected to its per-access core
+/// sequence, replayed here on the atomic reference machine, must
+/// reproduce the same observations and final memory. For the replay to
+/// track the witness access-for-access the programs must be
+/// straight-line given the values the witness promises — true for
+/// [`crate::fuzzprog`] programs (no value-dependent control flow at
+/// all), and for spin-free litmus threads.
+pub fn run_in_order(
+    mut programs: Vec<Box<dyn ThreadProgram>>,
+    order: &[u32],
+    max_steps: u64,
+) -> RefResult {
+    let mut memory: HashMap<Addr, u64> = HashMap::new();
+    let mut pending: Vec<Option<u64>> = vec![None; programs.len()];
+    let mut done: Vec<bool> = vec![false; programs.len()];
+    let mut steps = 0u64;
+
+    // One instruction of thread `t`; true if it was a memory access.
+    let step = |t: usize,
+                programs: &mut Vec<Box<dyn ThreadProgram>>,
+                memory: &mut HashMap<Addr, u64>,
+                pending: &mut Vec<Option<u64>>,
+                done: &mut Vec<bool>,
+                steps: &mut u64|
+     -> bool {
+        match programs[t].next(pending[t].take()) {
+            None => {
+                done[t] = true;
+                false
+            }
+            Some(instr) => {
+                *steps += instr.dynamic_count();
+                match instr {
+                    Instr::Compute(_) | Instr::Fence | Instr::Io => false,
+                    Instr::Load { addr, consume } => {
+                        let v = memory.get(&addr).copied().unwrap_or(0);
+                        if consume {
+                            pending[t] = Some(v);
+                        }
+                        true
+                    }
+                    Instr::Store { addr, value } => {
+                        memory.insert(addr, value);
+                        true
+                    }
+                    Instr::Rmw { addr, op } => {
+                        let old = memory.get(&addr).copied().unwrap_or(0);
+                        memory.insert(addr, op.apply(old));
+                        pending[t] = Some(old);
+                        true
+                    }
+                }
+            }
+        }
+    };
+
+    'schedule: for &c in order {
+        let t = c as usize;
+        while !done[t] {
+            if steps >= max_steps {
+                break 'schedule;
+            }
+            if step(
+                t,
+                &mut programs,
+                &mut memory,
+                &mut pending,
+                &mut done,
+                &mut steps,
+            ) {
+                break;
+            }
+        }
+    }
+    while steps < max_steps && done.iter().any(|d| !d) {
+        for t in 0..programs.len() {
+            if !done[t] {
+                step(
+                    t,
+                    &mut programs,
+                    &mut memory,
+                    &mut pending,
+                    &mut done,
+                    &mut steps,
+                );
+            }
+        }
+    }
+
+    RefResult {
+        memory,
+        observations: programs.iter().map(|p| p.observations()).collect(),
+        finished: done.iter().all(|&d| d),
+        steps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +346,47 @@ mod tests {
         let r = run_interleaved(vec![boxed(spin)], 0, 1000);
         assert!(!r.finished);
         assert!(r.steps >= 1000);
+    }
+
+    #[test]
+    fn run_in_order_follows_the_schedule() {
+        // T0: st x=1, st y=2.  T1: Record(y), Record(x).
+        let x = Addr(0);
+        let y = Addr(8);
+        let t0 = ScriptProgram::new(vec![
+            ScriptOp::Op(Instr::Store { addr: x, value: 1 }),
+            ScriptOp::Op(Instr::Compute(3)),
+            ScriptOp::Op(Instr::Store { addr: y, value: 2 }),
+        ]);
+        let t1 = ScriptProgram::new(vec![ScriptOp::Record(y), ScriptOp::Record(x)]);
+        // Schedule: x=1, Record(y) (sees 0), y=2, Record(x) (sees 1).
+        let r = run_in_order(vec![t0.clone_box(), t1.clone_box()], &[0, 1, 0, 1], 100_000);
+        assert!(r.finished);
+        assert_eq!(r.observations[1], vec![0, 1]);
+        assert_eq!(r.memory[&x], 1);
+        assert_eq!(r.memory[&y], 2);
+        // Schedule both stores first: the reader sees 2 then 1.
+        let r = run_in_order(vec![t0.clone_box(), t1.clone_box()], &[0, 0, 1, 1], 100_000);
+        assert_eq!(r.observations[1], vec![2, 1]);
+    }
+
+    #[test]
+    fn run_in_order_drains_unscheduled_tail() {
+        let t0 = ScriptProgram::new(vec![
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(0),
+                value: 1,
+            }),
+            ScriptOp::Op(Instr::Store {
+                addr: Addr(8),
+                value: 2,
+            }),
+        ]);
+        // Empty schedule: everything runs in the round-robin drain.
+        let r = run_in_order(vec![boxed(t0)], &[], 100_000);
+        assert!(r.finished);
+        assert_eq!(r.memory[&Addr(0)], 1);
+        assert_eq!(r.memory[&Addr(8)], 2);
     }
 
     #[test]

@@ -31,4 +31,13 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   diff results/fig9.json results/fig9.json > /dev/null
 
+# SC conformance gate: the demo's value trace must certify under the
+# bulksc-check oracle, and a time-boxed differential fuzz sweep (fixed
+# seed list so failures reproduce; the box only trims the tail on slow
+# machines) must find no violation across seeds × configurations.
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  check results/trace_demo.jsonl
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
+  --seeds 6 --time-box 60 > /dev/null
+
 echo "CI gate passed."

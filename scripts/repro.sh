@@ -37,4 +37,9 @@ done
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   timeline results/trace_demo.jsonl
 
+# The demo run was recorded with value tracing on, so its event stream
+# must also pass the SC conformance oracle.
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  check results/trace_demo.jsonl
+
 echo "results/ regenerated and validated."

@@ -9,21 +9,40 @@
 //! reordering — the checkers are not vacuous.
 
 use bulksc::{BulkConfig, Model, System, SystemConfig};
+use bulksc_check::CollectingTracer;
 use bulksc_cpu::BaselineModel;
+use bulksc_trace::TraceHandle;
 use bulksc_workloads::litmus;
 
-fn run_litmus(model: Model, test: &litmus::Litmus, skews: &[u32]) -> Vec<Vec<u64>> {
+/// Run one litmus test; returns the observations plus the `bulksc-check`
+/// oracle's verdict on the run's full value trace (`None` when the model
+/// does not emit value events, i.e. SC++).
+fn run_litmus(
+    model: Model,
+    test: &litmus::Litmus,
+    skews: &[u32],
+) -> (Vec<Vec<u64>>, Option<Result<(), String>>) {
     let mut cfg = SystemConfig::cmp8(model);
     cfg.cores = test.threads() as u32;
     cfg.budget = u64::MAX;
     let mut sys = System::new(cfg, test.programs(skews));
+    let tracer = CollectingTracer::shared();
+    let mut trace = TraceHandle::off();
+    trace.attach(tracer.clone());
+    sys.set_tracer(trace);
     assert!(
         sys.run(10_000_000),
         "{}: did not finish:\n{}",
         test.name,
         sys.debug_state()
     );
-    sys.observations()
+    let value_trace = tracer.borrow_mut().take();
+    let verdict = if value_trace.accesses.is_empty() {
+        None
+    } else {
+        Some(value_trace.verify().map(|_| ()).map_err(|e| e.to_string()))
+    };
+    (sys.observations(), verdict)
 }
 
 fn assert_sc(model: Model) {
@@ -32,13 +51,29 @@ fn assert_sc(model: Model) {
             let skews: Vec<u32> = (0..test.threads())
                 .map(|t| (round * 11 + t as u32 * 5) % 29)
                 .collect();
-            let obs = run_litmus(model.clone(), &test, &skews);
+            let (obs, verdict) = run_litmus(model.clone(), &test, &skews);
             assert!(
                 !(test.forbidden)(&obs),
                 "{} under {}: forbidden outcome {obs:?} (round {round})",
                 test.name,
                 model.name()
             );
+            // Every forbidden-outcome check also routes through the full
+            // SC oracle: the predicate watches a few registers, the
+            // oracle certifies every access of the run.
+            match verdict {
+                Some(Ok(())) => {}
+                Some(Err(e)) => panic!(
+                    "{} under {} (round {round}): oracle rejected the run:\n{e}",
+                    test.name,
+                    model.name()
+                ),
+                None => panic!(
+                    "{} under {}: no value trace — tracing unwired?",
+                    test.name,
+                    model.name()
+                ),
+            }
         }
     }
 }
@@ -80,11 +115,20 @@ fn sc_baseline_is_sequentially_consistent() {
 }
 
 #[test]
+fn bsc_with_tiny_chunks_under_arbiter_contention_is_sequentially_consistent() {
+    // 16-instruction chunks turn every litmus test into a stream of
+    // commit requests fighting over the same lines — the arbiter path
+    // under maximum pressure.
+    assert_sc(Model::Bulk(BulkConfig::bsc_base().with_chunk_size(16)));
+    assert_sc(Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(16)));
+}
+
+#[test]
 fn rc_is_weaker_so_the_checkers_are_not_vacuous() {
     let test = litmus::store_buffering();
     let mut seen = false;
     for round in 0..20u32 {
-        let obs = run_litmus(
+        let (obs, _) = run_litmus(
             Model::Baseline(BaselineModel::Rc),
             &test,
             &[round % 5, (round * 7) % 5],

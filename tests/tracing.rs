@@ -157,6 +157,39 @@ fn sample_series_carries_schema_and_gauges() {
 }
 
 #[test]
+fn mid_run_sampling_does_not_inflate_the_first_interval() {
+    // Regression test: `enable_sampling` used to start the series from a
+    // zero baseline, so when enabled mid-run the first interval absorbed
+    // the *entire* run-so-far retirement and its IPC was inflated by
+    // orders of magnitude. The series must prime from the current state.
+    let mut sys = build(3_000, 7);
+    assert!(!sys.run(2_000), "still mid-run at cycle 2000");
+    sys.enable_sampling(500);
+    assert!(sys.run(u64::MAX / 4));
+
+    let samples = sys.samples();
+    assert!(!samples.is_empty(), "sampling produced intervals");
+    let width = sys.config().core.retire_width as f64;
+    for s in samples {
+        for (core, &ipc) in s.ipc.iter().enumerate() {
+            assert!(
+                ipc <= width,
+                "cycle {}: core {core} IPC {ipc} exceeds the retire width \
+                 {width} — first-interval baseline not primed",
+                s.cycle
+            );
+        }
+        for (core, &delta) in s.retired_delta.iter().enumerate() {
+            assert!(
+                delta <= 500 * sys.config().core.retire_width as u64,
+                "cycle {}: core {core} retired {delta} in a 500-cycle interval",
+                s.cycle
+            );
+        }
+    }
+}
+
+#[test]
 fn timeline_reconstruction_matches_live_trace() {
     // End-to-end: a real traced run feeds `bulksc-analyze timeline` logic
     // and every chunk_start finds its commit, squash, or abandon.
