@@ -16,6 +16,9 @@
 //! Every entry point first checks the artifact's `schema`/`version` pair
 //! against [`bulksc_trace::SCHEMA_VERSION`] and refuses anything it does
 //! not understand, so stale artifacts fail loudly instead of mis-parsing.
+//! Entry points take an `origin` string (the file path, or `<stdin>`)
+//! purely for error messages: a schema mismatch names the offending file
+//! and both versions, so the fix is obvious from the message alone.
 
 use std::collections::BTreeMap;
 
@@ -31,20 +34,21 @@ const PHASES: [&str; 5] = [
     "l1_miss",
 ];
 
-/// Parse an artifact document and check its schema stamp.
-fn load_runlog(text: &str) -> Result<Json, String> {
-    let doc = Json::parse(text).ok_or_else(|| "artifact is not valid JSON".to_string())?;
+/// Parse an artifact document and check its schema stamp. `origin` is the
+/// file the text came from; every error names it.
+fn load_runlog(text: &str, origin: &str) -> Result<Json, String> {
+    let doc = Json::parse(text).ok_or_else(|| format!("{origin}: artifact is not valid JSON"))?;
     let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
     if schema != "bulksc-runlog" {
         return Err(format!(
-            "not a bulksc-runlog artifact (schema {schema:?}); \
-             regenerate it with a current binary"
+            "{origin}: not a bulksc-runlog artifact (schema {schema:?}, expected \
+             \"bulksc-runlog\"); regenerate it with a current binary"
         ));
     }
     let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
     if version != SCHEMA_VERSION {
         return Err(format!(
-            "artifact schema version {version} != supported {SCHEMA_VERSION}; \
+            "{origin}: artifact schema version {version} != expected {SCHEMA_VERSION}; \
              regenerate it with a current binary"
         ));
     }
@@ -70,8 +74,8 @@ fn hist_from_json(j: &Json) -> Option<Histogram> {
 /// For every recorded run: a per-phase latency table (count, p50, p90,
 /// p99, max, mean), the per-core cycle-loss attribution with its
 /// sums-to-cycles invariant checked, and the squash false-positive rate.
-pub fn report(text: &str) -> Result<String, String> {
-    let doc = load_runlog(text)?;
+pub fn report(text: &str, origin: &str) -> Result<String, String> {
+    let doc = load_runlog(text, origin)?;
     let experiment = doc.get("experiment").and_then(Json::as_str).unwrap_or("?");
     let runs = doc
         .get("runs")
@@ -222,6 +226,10 @@ pub struct Timeline {
     /// `chunk_start`s that never terminated (should be empty for a
     /// complete trace of a finished run).
     pub unmatched: Vec<String>,
+    /// Event lines parsed after the header. A header-only stream is valid
+    /// (a run with tracing attached but nothing emitted) — callers that
+    /// expected events should warn when this is zero, not fail.
+    pub events: u64,
 }
 
 impl Timeline {
@@ -247,17 +255,24 @@ impl Timeline {
 /// its whole speculative suffix). Spans become Chrome-trace duration
 /// events (`"ph":"X"`) laned per core; unmatched starts are collected for
 /// the caller to fail on.
-pub fn timeline(jsonl: &str) -> Result<Timeline, String> {
+pub fn timeline(jsonl: &str, origin: &str) -> Result<Timeline, String> {
     let mut lines = jsonl.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| "empty trace".to_string())?;
-    let h = Json::parse(header).ok_or_else(|| "trace header is not valid JSON".to_string())?;
-    if h.get("schema").and_then(Json::as_str) != Some("bulksc-trace") {
-        return Err("not a bulksc-trace stream (bad schema header)".to_string());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format!("{origin}: empty trace (not even a schema header)"))?;
+    let h =
+        Json::parse(header).ok_or_else(|| format!("{origin}: trace header is not valid JSON"))?;
+    let schema = h.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "bulksc-trace" {
+        return Err(format!(
+            "{origin}: not a bulksc-trace stream (schema {schema:?}, expected \
+             \"bulksc-trace\")"
+        ));
     }
     let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
     if version != SCHEMA_VERSION {
         return Err(format!(
-            "trace schema version {version} != supported {SCHEMA_VERSION}"
+            "{origin}: trace schema version {version} != expected {SCHEMA_VERSION}"
         ));
     }
 
@@ -283,14 +298,16 @@ pub fn timeline(jsonl: &str) -> Result<Timeline, String> {
         spans.push(entry.to_string());
     };
 
+    let mut events = 0u64;
     for (lineno, line) in lines {
         let ev = Json::parse(line)
-            .ok_or_else(|| format!("line {}: not valid JSON: {line}", lineno + 1))?;
+            .ok_or_else(|| format!("{origin}: line {}: not valid JSON: {line}", lineno + 1))?;
+        events += 1;
         let name = ev.get("ev").and_then(Json::as_str).unwrap_or("");
         let t = ev
             .get("t")
             .and_then(Json::as_u64)
-            .ok_or_else(|| format!("line {}: event without cycle stamp", lineno + 1))?;
+            .ok_or_else(|| format!("{origin}: line {}: event without cycle stamp", lineno + 1))?;
         let core_seq = || -> Option<(u64, u64)> {
             Some((
                 ev.get("core").and_then(Json::as_u64)?,
@@ -299,18 +316,24 @@ pub fn timeline(jsonl: &str) -> Result<Timeline, String> {
         };
         match name {
             "chunk_start" => {
-                let (core, seq) = core_seq()
-                    .ok_or_else(|| format!("line {}: chunk_start missing core/seq", lineno + 1))?;
+                let (core, seq) = core_seq().ok_or_else(|| {
+                    format!(
+                        "{origin}: line {}: chunk_start missing core/seq",
+                        lineno + 1
+                    )
+                })?;
                 if open.insert((core, seq), t).is_some() {
                     return Err(format!(
-                        "line {}: chunk core{core}#{seq} started twice without terminating",
+                        "{origin}: line {}: chunk core{core}#{seq} started twice \
+                         without terminating",
                         lineno + 1
                     ));
                 }
             }
             "chunk_commit" | "chunk_abandon" => {
-                let (core, seq) = core_seq()
-                    .ok_or_else(|| format!("line {}: {name} missing core/seq", lineno + 1))?;
+                let (core, seq) = core_seq().ok_or_else(|| {
+                    format!("{origin}: line {}: {name} missing core/seq", lineno + 1)
+                })?;
                 if let Some(start) = open.remove(&(core, seq)) {
                     let reason = if name == "chunk_commit" {
                         commits += 1;
@@ -327,8 +350,9 @@ pub fn timeline(jsonl: &str) -> Result<Timeline, String> {
                 }
             }
             "squash" => {
-                let (core, seq) = core_seq()
-                    .ok_or_else(|| format!("line {}: squash missing core/seq", lineno + 1))?;
+                let (core, seq) = core_seq().ok_or_else(|| {
+                    format!("{origin}: line {}: squash missing core/seq", lineno + 1)
+                })?;
                 // The squash discards the chunk and every younger one on
                 // the same core.
                 let doomed: Vec<(u64, u64)> = open
@@ -367,6 +391,7 @@ pub fn timeline(jsonl: &str) -> Result<Timeline, String> {
         abandons,
         orphan_ends,
         unmatched,
+        events,
     })
 }
 
@@ -436,9 +461,15 @@ impl Diff {
 /// Runs are matched by `(app, config)`. Histogram bucket arrays are
 /// skipped (summary fields and percentiles cover them at far less noise);
 /// every other numeric leaf of each run's report participates.
-pub fn diff(a_text: &str, b_text: &str, threshold_pct: f64) -> Result<Diff, String> {
-    let a = load_runlog(a_text)?;
-    let b = load_runlog(b_text)?;
+pub fn diff(
+    a_text: &str,
+    b_text: &str,
+    a_origin: &str,
+    b_origin: &str,
+    threshold_pct: f64,
+) -> Result<Diff, String> {
+    let a = load_runlog(a_text, a_origin)?;
+    let b = load_runlog(b_text, b_origin)?;
     let index = |doc: &Json| -> Result<BTreeMap<(String, String), Json>, String> {
         let mut map = BTreeMap::new();
         for run in doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
@@ -566,7 +597,7 @@ mod tests {
     #[test]
     fn report_summarizes_a_runlog() {
         let text = sample_runlog();
-        let out = report(&text).expect("report succeeds");
+        let out = report(&text, "results/analyze-test.json").expect("report succeeds");
         assert!(out.contains("analyze-test"));
         assert!(out.contains("lu / BSCdypvt"));
         assert!(out.contains("arbitration"), "phase table present: {out}");
@@ -576,15 +607,53 @@ mod tests {
 
     #[test]
     fn report_rejects_wrong_schema() {
-        assert!(report("{\"schema\":\"nope\"}").is_err());
-        assert!(report("{\"schema\":\"bulksc-runlog\",\"version\":1}").is_err());
-        assert!(report("not json").is_err());
+        assert!(report("{\"schema\":\"nope\"}", "x.json").is_err());
+        assert!(report("{\"schema\":\"bulksc-runlog\",\"version\":1}", "x.json").is_err());
+        assert!(report("not json", "x.json").is_err());
+    }
+
+    #[test]
+    fn schema_errors_name_the_file_and_both_versions() {
+        // Wrong schema string: the message carries the path and what was
+        // found vs expected.
+        let e = report("{\"schema\":\"nope\"}", "results/old.json").unwrap_err();
+        assert!(e.contains("results/old.json"), "{e}");
+        assert!(e.contains("nope") && e.contains("bulksc-runlog"), "{e}");
+        // Stale version: the message carries both version numbers.
+        let e = report(
+            "{\"schema\":\"bulksc-runlog\",\"version\":1}",
+            "results/stale.json",
+        )
+        .unwrap_err();
+        assert!(e.contains("results/stale.json"), "{e}");
+        assert!(
+            e.contains("version 1") && e.contains(&SCHEMA_VERSION.to_string()),
+            "{e}"
+        );
+        // Invalid JSON: still names the file.
+        let e = report("not json", "results/garbage.json").unwrap_err();
+        assert!(e.contains("results/garbage.json"), "{e}");
+        // Trace loader: same contract.
+        let e = timeline(
+            "{\"schema\":\"bulksc-trace\",\"version\":999}\n",
+            "run.trace.jsonl",
+        )
+        .unwrap_err();
+        assert!(e.contains("run.trace.jsonl"), "{e}");
+        assert!(
+            e.contains("999") && e.contains(&SCHEMA_VERSION.to_string()),
+            "{e}"
+        );
+        // Diff names whichever side is broken.
+        let good = sample_runlog();
+        let e = diff(&good, "not json", "a.json", "b.json", 0.0).unwrap_err();
+        assert!(e.contains("b.json") && !e.contains("a.json"), "{e}");
     }
 
     #[test]
     fn diff_of_identical_artifacts_is_clean() {
         let text = sample_runlog();
-        let d = diff(&text, &text, 0.0).expect("diff succeeds");
+        let d = diff(&text, &text, "a.json", "b.json", 0.0).expect("diff succeeds");
         assert!(d.clean(), "self-diff must be clean: {}", d.render());
         assert!(d.compared > 30, "compares many metrics: {}", d.compared);
     }
@@ -619,20 +688,22 @@ mod tests {
         };
         let one = artifact(BulkConfig::bsc_base(), 1);
         let four = artifact(BulkConfig::bsc_base().with_arbiters(4), 4);
-        let d = diff(&one, &four, 1.0).expect("diff succeeds");
+        let d = diff(&one, &four, "one.json", "four.json", 1.0).expect("diff succeeds");
         assert!(
             !d.clean(),
             "different arbiter configs must breach a 1% threshold"
         );
         // And the same artifact against itself stays clean at 0%.
-        assert!(diff(&one, &one, 0.0).unwrap().clean());
+        assert!(diff(&one, &one, "one.json", "one.json", 0.0)
+            .unwrap()
+            .clean());
     }
 
     #[test]
     fn diff_flags_changed_metrics() {
         let text = sample_runlog();
         let bumped = text.replace("\"cycles\":", "\"cycles\":9");
-        let d = diff(&text, &bumped, 1.0).expect("diff succeeds");
+        let d = diff(&text, &bumped, "a.json", "b.json", 1.0).expect("diff succeeds");
         assert!(!d.clean());
         assert!(d.breaches.iter().any(|b| b.path.contains("cycles")));
         let rendered = d.render();
@@ -652,7 +723,7 @@ mod tests {
              {{\"t\":20,\"ev\":\"chunk_start\",\"core\":0,\"seq\":1}}\n\
              {{\"t\":25,\"ev\":\"chunk_abandon\",\"core\":0,\"seq\":1}}\n"
         );
-        let tl = timeline(&trace).expect("timeline succeeds");
+        let tl = timeline(&trace, "mem").expect("timeline succeeds");
         assert_eq!(tl.commits, 1);
         assert_eq!(tl.squashes, 2, "squash closes seq 1 and the younger 2");
         assert_eq!(tl.abandons, 1);
@@ -666,14 +737,92 @@ mod tests {
     fn timeline_reports_unterminated_chunks() {
         let header = bulksc_trace::jsonl_header();
         let trace = format!("{header}\n{{\"t\":0,\"ev\":\"chunk_start\",\"core\":2,\"seq\":7}}\n");
-        let tl = timeline(&trace).expect("parse succeeds");
+        let tl = timeline(&trace, "mem").expect("parse succeeds");
         assert_eq!(tl.unmatched, vec!["core2#7 started at cycle 0"]);
     }
 
     #[test]
     fn timeline_rejects_bad_headers() {
-        assert!(timeline("").is_err());
-        assert!(timeline("{\"schema\":\"bulksc-trace\",\"version\":999}\n").is_err());
-        assert!(timeline("{\"schema\":\"other\"}\n").is_err());
+        assert!(timeline("", "mem").is_err());
+        assert!(timeline("{\"schema\":\"bulksc-trace\",\"version\":999}\n", "mem").is_err());
+        assert!(timeline("{\"schema\":\"other\"}\n", "mem").is_err());
+    }
+
+    #[test]
+    fn timeline_accepts_header_only_trace() {
+        // A valid stream with zero events (tracer attached, nothing
+        // emitted) is not an error: zero spans, zero events, and a chrome
+        // trace that still parses.
+        let header = bulksc_trace::jsonl_header();
+        for text in [header.clone(), format!("{header}\n")] {
+            let tl = timeline(&text, "empty.trace.jsonl").expect("header-only trace is valid");
+            assert_eq!(tl.events, 0);
+            assert_eq!(tl.commits + tl.squashes + tl.abandons, 0);
+            assert!(tl.unmatched.is_empty());
+            assert!(bulksc_trace::json::is_valid(&tl.chrome_trace));
+        }
+    }
+
+    /// Satellite check for every Chrome trace we emit: parses with the
+    /// in-repo reader, has a traceEvents array, and each lane's `ts`
+    /// values are monotonically non-decreasing with sane `dur`.
+    fn assert_chrome_sane(text: &str) {
+        let doc = Json::parse(text).expect("chrome trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let mut last_ts: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            let ts = ev.get("ts").and_then(Json::as_u64).expect("ts is u64");
+            let _dur = ev.get("dur").and_then(Json::as_u64).expect("dur is u64");
+            let tid = ev
+                .get("tid")
+                .and_then(Json::as_str)
+                .expect("tid labels the lane")
+                .to_string();
+            if let Some(prev) = last_ts.get(&tid) {
+                assert!(ts >= *prev, "lane {tid}: ts {ts} < previous {prev}");
+            }
+            last_ts.insert(tid, ts);
+        }
+    }
+
+    #[test]
+    fn chrome_traces_are_valid_and_monotonic() {
+        // Timeline chrome trace from a real traced run.
+        use bulksc::{BulkConfig, Model, System, SystemConfig};
+        use bulksc_trace::{JsonlTracer, TraceHandle};
+        use bulksc_workloads::{SyntheticApp, ThreadProgram};
+        let app = bulksc_workloads::by_name("lu").unwrap();
+        let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+        cfg.budget = 1_000;
+        let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+            .map(|t| {
+                Box::new(SyntheticApp::new(app, t, cfg.cores, crate::SEED))
+                    as Box<dyn ThreadProgram>
+            })
+            .collect();
+        let mut sys = System::new(cfg, programs);
+        let sink = JsonlTracer::shared();
+        let mut handle = TraceHandle::off();
+        handle.attach(sink.clone());
+        sys.set_tracer(handle);
+        assert!(sys.run(u64::MAX / 4));
+        let jsonl = sink.borrow().contents().to_string();
+        let tl = timeline(&jsonl, "mem").expect("timeline succeeds");
+        assert!(tl.events > 0, "traced run emits events");
+        assert_chrome_sane(&tl.chrome_trace);
+
+        // Profiler chrome trace from a real perf scenario.
+        let cell = crate::perf::matrix()
+            .into_iter()
+            .find(|s| s.name == "bsc8")
+            .unwrap();
+        let r = crate::perf::run_scenario(&cell, 800, 0, 1);
+        let doc = crate::perf::perf_json(&[r], "chrome-test", 800, 0, 1).to_string();
+        let chrome = crate::perf::prof_chrome(&doc, "mem").expect("prof chrome renders");
+        assert_chrome_sane(&chrome);
     }
 }

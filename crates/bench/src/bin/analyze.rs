@@ -1,10 +1,12 @@
 //! `bulksc-analyze`: post-process run artifacts and event traces.
 //!
 //! ```text
-//! bulksc-analyze report   <results.json>...
-//! bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]
-//! bulksc-analyze diff     <a.json> <b.json> [--threshold <pct>]
-//! bulksc-analyze check    <trace.jsonl>...
+//! bulksc-analyze report    <results.json>...
+//! bulksc-analyze timeline  <trace.jsonl> [--out <chrome.json>]
+//! bulksc-analyze diff      <a.json> <b.json> [--threshold <pct>]
+//! bulksc-analyze check     <trace.jsonl>...
+//! bulksc-analyze prof      <perf.json> [--chrome <out.json>] [--max-trace-overhead <x>]
+//! bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]
 //! ```
 //!
 //! * `report` prints per-phase commit-latency percentiles, the per-core
@@ -21,11 +23,19 @@
 //!   prints the certificate summary on success, the full violation
 //!   report — offending accesses, edge kinds, surrounding chunk
 //!   lifecycle — on failure.
+//! * `prof` renders a `bulksc-perf` artifact's per-phase host-time
+//!   breakdown; `--chrome` also writes it as a Chrome trace
+//!   (flame-chart of where host time went), and `--max-trace-overhead`
+//!   fails if the tracing slowdown (bsc8 / bsc8_trace KIPS) exceeds the
+//!   given factor.
+//! * `perf-diff` compares two `bulksc-perf` artifacts scenario-by-
+//!   scenario and fails on any median-KIPS drop beyond the threshold
+//!   (default 10%) — the host-throughput regression gate for CI.
 //!
 //! Exit codes: 0 success, 1 validation/regression failure, 2 usage or
 //! unreadable/unsupported input.
 
-use bulksc_bench::analyze;
+use bulksc_bench::{analyze, perf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -33,7 +43,10 @@ fn usage() -> ExitCode {
         "usage: bulksc-analyze report <results.json>...\n\
          \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
          \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
-         \x20      bulksc-analyze check <trace.jsonl>..."
+         \x20      bulksc-analyze check <trace.jsonl>...\n\
+         \x20      bulksc-analyze prof <perf.json> [--chrome <out.json>] \
+         [--max-trace-overhead <x>]\n\
+         \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]"
     );
     ExitCode::from(2)
 }
@@ -57,7 +70,7 @@ fn main() -> ExitCode {
                     Ok(t) => t,
                     Err(code) => return code,
                 };
-                match analyze::report(&text) {
+                match analyze::report(&text, path) {
                     Ok(out) => {
                         println!("# {path}");
                         print!("{out}");
@@ -81,14 +94,19 @@ fn main() -> ExitCode {
                 Ok(t) => t,
                 Err(code) => return code,
             };
-            let tl = match analyze::timeline(&text) {
+            let tl = match analyze::timeline(&text, path) {
                 Ok(tl) => tl,
                 Err(e) => {
-                    eprintln!("bulksc-analyze: {path}: {e}");
+                    eprintln!("bulksc-analyze: {e}");
                     return ExitCode::from(2);
                 }
             };
             println!("{path}: {}", tl.summary());
+            if tl.events == 0 {
+                // Valid but empty (tracer attached, nothing emitted):
+                // warn, still succeed — an empty run is not a broken one.
+                eprintln!("bulksc-analyze: warning: {path}: trace has a header but no events");
+            }
             if let Some(out) = out_path {
                 if let Err(e) = std::fs::write(&out, &tl.chrome_trace) {
                     eprintln!("bulksc-analyze: cannot write {out}: {e}");
@@ -118,7 +136,7 @@ fn main() -> ExitCode {
                 (Ok(a), Ok(b)) => (a, b),
                 (Err(code), _) | (_, Err(code)) => return code,
             };
-            match analyze::diff(&a, &b, threshold) {
+            match analyze::diff(&a, &b, &rest[0], &rest[1], threshold) {
                 Ok(d) => {
                     print!("{}", d.render());
                     if d.clean() {
@@ -169,6 +187,95 @@ fn main() -> ExitCode {
                 }
             }
             worst
+        }
+        ("prof", rest) if !rest.is_empty() => {
+            let path = &rest[0];
+            let mut chrome_out: Option<String> = None;
+            let mut max_overhead: Option<f64> = None;
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                match (flag.as_str(), it.next()) {
+                    ("--chrome", Some(p)) => chrome_out = Some(p.clone()),
+                    ("--max-trace-overhead", Some(v)) => match v.parse::<f64>() {
+                        Ok(x) if x > 0.0 => max_overhead = Some(x),
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match perf::prof_report_text(&text, path) {
+                Ok(out) => print!("{out}"),
+                Err(e) => {
+                    eprintln!("bulksc-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if let Some(out) = chrome_out {
+                let chrome = match perf::prof_chrome(&text, path) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                if let Err(e) = std::fs::write(&out, chrome) {
+                    eprintln!("bulksc-analyze: cannot write {out}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("wrote {out}");
+            }
+            if let Some(bound) = max_overhead {
+                match perf::trace_overhead(&text, path) {
+                    Ok(ratio) => {
+                        println!(
+                            "tracing overhead (bsc8 / bsc8_trace): {ratio:.2}x (bound {bound:.2}x)"
+                        );
+                        if ratio > bound {
+                            eprintln!(
+                                "bulksc-analyze: tracing overhead {ratio:.2}x exceeds bound {bound:.2}x"
+                            );
+                            return ExitCode::from(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("perf-diff", rest) if rest.len() >= 2 => {
+            let threshold = match rest[2..] {
+                [] => 10.0,
+                [ref flag, ref v] if flag == "--threshold" => match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => t,
+                    _ => return usage(),
+                },
+                _ => return usage(),
+            };
+            let (a, b) = match (read(&rest[0]), read(&rest[1])) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            match perf::perf_diff(&a, &b, &rest[0], &rest[1], threshold) {
+                Ok(d) => {
+                    print!("{}", d.render(threshold));
+                    if d.clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bulksc-analyze: {e}");
+                    ExitCode::from(2)
+                }
+            }
         }
         _ => usage(),
     }

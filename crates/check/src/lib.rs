@@ -224,6 +224,7 @@ impl ValueTrace {
     /// value trace. Validates the schema header; unknown event names are
     /// ignored so the oracle stays compatible with richer streams.
     pub fn from_jsonl(text: &str) -> Result<ValueTrace, String> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Oracle);
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or_else(|| "empty trace".to_string())?;
         let h = Json::parse(header).ok_or_else(|| "trace header is not valid JSON".to_string())?;
@@ -316,6 +317,7 @@ impl ValueTrace {
 
     /// Run the oracle on this trace.
     pub fn verify(&self) -> Result<ScCertificate, CheckError> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Oracle);
         check(&self.accesses, &self.lifecycle)
     }
 }

@@ -167,6 +167,7 @@ impl Arbiter {
     ///
     /// Panics on messages an arbiter can never receive.
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Arbiter);
         match env.msg {
             Message::CommitReq { chunk, w, r } => self.commit_req(now, env.src, chunk, w, r, fab),
             Message::RSigResp { chunk, r } => self.rsig_resp(now, env.src, chunk, r, fab),

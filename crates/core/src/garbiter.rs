@@ -112,6 +112,7 @@ impl GArbiter {
     ///
     /// Panics on messages the G-arbiter can never receive.
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Arbiter);
         match env.msg {
             Message::CommitReq { chunk, w, r } => self.commit_req(now, env.src, chunk, w, r, fab),
             Message::ArbCheckResp { chunk, ok } => self.check_resp(now, chunk, ok, fab),

@@ -342,6 +342,7 @@ impl BulkNode {
 
     /// Advance this core by one cycle.
     pub fn tick(&mut self, now: Cycle, fab: &mut Fabric, values: &mut ValueStore) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Execute);
         self.answer_deferred_fetches(now, fab);
         if self.finished() {
             return;
@@ -1173,6 +1174,7 @@ impl BulkNode {
     ///
     /// Panics on baseline-only messages (`Inv`, `UpgradeAck`).
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &mut ValueStore) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Execute);
         match env.msg {
             Message::Data {
                 line,

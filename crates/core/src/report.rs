@@ -147,6 +147,7 @@ pub fn cycle_loss_json(l: &CycleLoss) -> Json {
 impl SimReport {
     /// Collapse a run into its metrics.
     pub fn collect(sys: &System) -> SimReport {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Collect);
         let model = sys.config().model.name();
         let mut retired = 0u64;
         let mut squashed = 0u64;

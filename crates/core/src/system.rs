@@ -112,6 +112,7 @@ impl System {
     /// distributed-arbiter configuration does not pair arbiters with
     /// directories one-to-one.
     pub fn new(cfg: SystemConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Setup);
         assert_eq!(programs.len() as u32, cfg.cores, "one program per core");
         let map = AddressMap::new(cfg.cores);
         let num_dirs = cfg.dirs;
@@ -268,6 +269,7 @@ impl System {
 
     fn drive_sampler(&mut self) {
         let Some(s) = &self.sampler else { return };
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Sampler);
         if !s.due(self.now) {
             return;
         }
@@ -367,6 +369,7 @@ impl System {
     /// if the machine finished. Idle stretches are skipped, so wall-clock
     /// cost tracks useful simulation work.
     pub fn run(&mut self, max_cycles: Cycle) -> bool {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Run);
         while self.now < max_cycles {
             if self.finished() {
                 return true;

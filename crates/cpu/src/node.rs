@@ -282,6 +282,7 @@ impl BaselineNode {
 
     /// Advance this core by one cycle.
     pub fn tick(&mut self, now: Cycle, fab: &mut Fabric, values: &mut ValueStore) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Execute);
         // Protocol obligations outlive the program: a finished core must
         // still answer fetches deferred behind its last fills.
         self.answer_deferred_fetches(now, fab);
@@ -930,6 +931,7 @@ impl BaselineNode {
     ///
     /// Panics on BulkSC-only messages (this is a baseline node).
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &mut ValueStore) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Execute);
         match env.msg {
             Message::Data {
                 line,

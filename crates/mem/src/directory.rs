@@ -234,6 +234,7 @@ impl Directory {
     /// Panics on messages a directory can never receive (they indicate a
     /// routing bug in the surrounding system).
     pub fn handle(&mut self, now: Cycle, env: Envelope, fab: &mut Fabric, values: &ValueStore) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Directory);
         match env.msg {
             Message::ReadShared { line } => {
                 self.demand_read(now, env.src, line, false, fab, values)

@@ -128,6 +128,7 @@ impl Fabric {
         dst: NodeId,
         msg: Message,
     ) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Fabric);
         msg.account(&mut self.traffic);
         self.trace.emit(now, || Event::NetSend {
             src: src.into(),
@@ -148,6 +149,7 @@ impl Fabric {
     /// Pop every message whose delivery time is `<= now`, in deterministic
     /// (time, send-order) order.
     pub fn deliver_due(&mut self, now: Cycle) -> Vec<Envelope> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Fabric);
         let mut out = Vec::new();
         while let Some(Reverse(head)) = self.queue.peek() {
             if head.at > now {

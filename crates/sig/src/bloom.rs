@@ -262,6 +262,7 @@ impl Signature {
 
     /// In-place union (`∪` of Figure 2(b)): bit-wise OR.
     pub fn union_with(&mut self, other: &Signature) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         self.assert_compatible(other);
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
@@ -271,6 +272,7 @@ impl Signature {
     /// Intersection (`∩` of Figure 2(b)): bit-wise AND, returning a new
     /// signature.
     pub fn intersect(&self, other: &Signature) -> Signature {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         self.assert_compatible(other);
         let mut out = self.clone();
         for (a, b) in out.bits.iter_mut().zip(&other.bits) {
@@ -286,6 +288,7 @@ impl Signature {
     /// The emptiness rule of [`Signature::is_empty`] applies: the default
     /// hardware declares a collision on any surviving bit.
     pub fn intersects(&self, other: &Signature) -> bool {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         self.assert_compatible(other);
         if self.banked_empty {
             self.bank_words()
@@ -308,6 +311,7 @@ impl Signature {
     ///
     /// Panics if `num_sets` is zero or not a power of two.
     pub fn decode_sets(&self, num_sets: u32) -> Vec<u32> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         assert!(
             num_sets.is_power_of_two(),
             "num_sets must be a power of two"

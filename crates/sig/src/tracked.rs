@@ -108,6 +108,7 @@ impl TrackedSig {
 
     /// In-place union of both encodings.
     pub fn union_with(&mut self, other: &TrackedSig) {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         self.bloom.union_with(&other.bloom);
         self.exact.union_with(&other.exact);
     }
@@ -115,6 +116,7 @@ impl TrackedSig {
     /// Collision test as the machine sees it (mode-dependent). The caller's
     /// mode decides; the operand's encodings are consulted accordingly.
     pub fn intersects(&self, other: &TrackedSig) -> bool {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         match self.mode {
             SigMode::Bloom => self.bloom.intersects(&other.bloom),
             SigMode::Exact => self.exact.intersects(&other.exact),
@@ -124,12 +126,14 @@ impl TrackedSig {
     /// Collision test against the exact shadows only: "would an alias-free
     /// machine have collided?" Used to classify squashes as true or aliased.
     pub fn intersects_exact(&self, other: &TrackedSig) -> bool {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         self.exact.intersects(&other.exact)
     }
 
     /// δ as the machine sees it: candidate set indices in a structure with
     /// `num_sets` sets.
     pub fn decode_sets(&self, num_sets: u32) -> Vec<u32> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
         match self.mode {
             SigMode::Bloom => self.bloom.decode_sets(num_sets),
             SigMode::Exact => self.exact.decode_sets(num_sets),

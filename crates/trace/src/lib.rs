@@ -148,6 +148,7 @@ impl TraceHandle {
         if self.sinks.is_empty() {
             return;
         }
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::TraceEmit);
         let event = make();
         for sink in &self.sinks {
             sink.borrow_mut().record(cycle, &event);

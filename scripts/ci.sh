@@ -40,4 +40,29 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
   --seeds 6 --time-box 60 > /dev/null
 
+# Host-performance smoke: a fast pass over the perf matrix (small budget,
+# 2 reps — seconds, not minutes). `prof` re-reads the artifact and fails
+# if the tracing tax (bsc8 KIPS over bsc8_trace KIPS) exceeds 3x — the
+# zero-cost-when-off contract for the event-trace layer, with headroom
+# for host noise at smoke budgets. `perf-diff` against the committed
+# baseline uses a deliberately loose 90% threshold: absolute KIPS varies
+# wildly across hosts, so this only catches order-of-magnitude collapses
+# and scenario-matrix drift, while the self-diff must always be clean.
+# results/ is a gitignored run output, so on a fresh checkout the
+# baseline is seeded from a fast pass first (repro.sh replaces it with a
+# full-budget one).
+if [ ! -f results/perf.json ]; then
+  run cargo run -q --release --offline -p bulksc-bench --bin bulksc-perf -- \
+    --fast --out results/perf.json --no-trajectory > /dev/null
+fi
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-perf -- \
+  --fast --out results/perf.ci.json --no-trajectory > /dev/null
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  prof results/perf.ci.json --max-trace-overhead 3.0 > /dev/null
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  perf-diff results/perf.json results/perf.ci.json --threshold 90 > /dev/null
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  perf-diff results/perf.ci.json results/perf.ci.json --threshold 0 > /dev/null
+rm -f results/perf.ci.json
+
 echo "CI gate passed."

@@ -1,0 +1,89 @@
+//! The self-profiler must observe without perturbing: a same-seed run
+//! with `bulksc-prof` enabled emits byte-identical traces and reports to
+//! one with it disabled. Host-time measurement lives entirely outside the
+//! simulated machine, so nothing it does may leak into simulated state.
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_prof as prof;
+use bulksc_trace::{JsonlTracer, TraceHandle};
+use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+
+fn build(budget: u64, seed: u64) -> System {
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+    cfg.budget = budget;
+    let app = by_name("ocean").expect("catalog app");
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| Box::new(SyntheticApp::new(app, t, cfg.cores, seed)) as Box<dyn ThreadProgram>)
+        .collect();
+    System::new(cfg, programs)
+}
+
+/// One traced run; with `profiled`, the whole run executes inside a
+/// profiler enable→disable window (the `bulksc-perf` measurement setup).
+fn traced_run(
+    profiled: bool,
+    budget: u64,
+    seed: u64,
+) -> (String, String, Option<prof::ProfReport>) {
+    if profiled {
+        prof::enable();
+    }
+    let mut sys = build(budget, seed);
+    let jsonl = JsonlTracer::shared();
+    let mut trace = TraceHandle::off();
+    trace.attach(jsonl.clone());
+    sys.set_tracer(trace);
+    assert!(sys.run(u64::MAX / 4), "run finishes");
+    let report = SimReport::collect(&sys).to_json().to_string();
+    let text = jsonl.borrow().contents().to_string();
+    let prof_report = profiled.then(prof::disable);
+    (text, report, prof_report)
+}
+
+#[test]
+fn profiler_does_not_perturb_traces_or_reports() {
+    let (trace_off, report_off, none) = traced_run(false, 3_000, 7);
+    let (trace_on, report_on, pr) = traced_run(true, 3_000, 7);
+    assert!(none.is_none());
+
+    // The profiler really measured something...
+    let pr = pr.expect("profiled run returns a report");
+    assert!(pr.wall_ns > 0);
+    assert!(pr.phase(prof::Phase::Run).is_some(), "step loop profiled");
+    assert!(
+        pr.phase(prof::Phase::TraceEmit).is_some(),
+        "trace emission profiled"
+    );
+
+    // ...and none of it reached the simulated machine: the JSONL event
+    // stream is byte-identical and so is the full serialized SimReport.
+    assert_eq!(
+        trace_off, trace_on,
+        "profiler must not perturb the event stream"
+    );
+    assert_eq!(
+        report_off, report_on,
+        "profiler must not perturb the report"
+    );
+}
+
+#[test]
+fn disabled_profiler_collects_nothing_across_a_run() {
+    assert!(!prof::is_enabled());
+    let (_, _, _) = traced_run(false, 1_000, 3);
+    // Scopes hit during the run were no-ops; enabling afterwards starts
+    // from a clean slate rather than inheriting stale counts.
+    prof::enable();
+    let report = prof::disable();
+    assert!(report.phases.is_empty(), "no residue from unprofiled runs");
+}
+
+#[test]
+fn profiled_rerun_is_deterministic_too() {
+    // Two profiled same-seed runs agree with each other (the profiler
+    // adds no run-to-run wobble to the simulated side either).
+    let (t1, r1, _) = traced_run(true, 2_000, 11);
+    let (t2, r2, _) = traced_run(true, 2_000, 11);
+    assert_eq!(t1, t2);
+    assert_eq!(r1, r2);
+}
