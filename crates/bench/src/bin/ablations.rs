@@ -3,144 +3,14 @@
 //! unexplored design space"), Private Buffer capacity (§5.2), and chunk
 //! slots per core (§4.1.2).
 //!
-//! `cargo run --release -p bulksc-bench --bin ablations [-- fast]`
+//! `cargo run --release -p bulksc-bench --bin ablations [-- fast] [--jobs N]`
 
-use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
-use bulksc_bench::artifact::RunLog;
-use bulksc_bench::{budget_from_env, run_app, SEED};
-use bulksc_sig::SignatureConfig;
-use bulksc_stats::Table;
-use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
-
-/// Run with full control over the system configuration.
-fn run_custom(mut cfg: SystemConfig, app: &str, budget: u64) -> SimReport {
-    cfg.budget = budget;
-    let params = by_name(app).expect("catalog app");
-    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
-        .map(|t| Box::new(SyntheticApp::new(params, t, cfg.cores, SEED)) as Box<dyn ThreadProgram>)
-        .collect();
-    let mut sys = System::new(cfg, programs);
-    assert!(sys.run(u64::MAX / 4), "run finished");
-    SimReport::collect(&sys)
-}
+use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 5_000 } else { budget_from_env() };
-    let mut log = RunLog::new("ablations", budget);
-    let apps = ["ocean", "radix", "raytrace"];
-
-    // ------------------------------------------------------------------
-    println!("Ablation 1 — signature size (BSCdypvt, radix is the aliasing-sensitive app)\n");
-    let mut t = Table::new(vec![
-        "App".into(),
-        "512b Sq%".into(),
-        "1Kb Sq%".into(),
-        "2Kb Sq%".into(),
-        "4Kb Sq%".into(),
-        "exact Sq%".into(),
-    ]);
-    for app in apps {
-        let mut cells = vec![app.to_string()];
-        for bits in [512u32, 1024, 2048, 4096] {
-            let mut b = BulkConfig::bsc_dypvt();
-            b.sig = SignatureConfig::with_total_bits(bits);
-            let r = run_app(Model::Bulk(b), &by_name(app).unwrap(), budget);
-            cells.push(format!("{:.2}", r.squashed_pct));
-            log.record(app, &format!("sig-{bits}b"), &r);
-        }
-        let r = run_app(
-            Model::Bulk(BulkConfig::bsc_exact()),
-            &by_name(app).unwrap(),
-            budget,
-        );
-        cells.push(format!("{:.2}", r.squashed_pct));
-        log.record(app, "sig-exact", &r);
-        t.row(cells);
-        eprintln!("  sig-size {app} done");
-    }
-    println!("{t}");
-
-    // ------------------------------------------------------------------
-    println!("Ablation 2 — Private Buffer capacity (BSCdypvt)\n");
-    let mut t = Table::new(vec![
-        "App".into(),
-        "cap4 W-set".into(),
-        "cap12 W-set".into(),
-        "cap24 W-set".into(),
-        "cap48 W-set".into(),
-    ]);
-    for app in apps {
-        let mut cells = vec![app.to_string()];
-        for cap in [4u32, 12, 24, 48] {
-            let mut b = BulkConfig::bsc_dypvt();
-            b.private_buffer = cap;
-            let r = run_app(Model::Bulk(b), &by_name(app).unwrap(), budget);
-            cells.push(format!("{:.2}", r.write_set));
-            log.record(app, &format!("privbuf-{cap}"), &r);
-        }
-        t.row(cells);
-        eprintln!("  priv-buffer {app} done");
-    }
-    println!("{t}");
-    println!("(A too-small buffer overflows into W: the write set grows back.)\n");
-
-    // ------------------------------------------------------------------
-    println!("Ablation 3 — chunk slots per core (BSCdypvt; 1 disables chunk overlap)\n");
-    let mut t = Table::new(vec![
-        "App".into(),
-        "1 slot".into(),
-        "2 slots".into(),
-        "4 slots".into(),
-    ]);
-    for app in apps {
-        let mut cells = vec![app.to_string()];
-        let mut base_cycles = 0u64;
-        for slots in [1u32, 2, 4] {
-            let mut b = BulkConfig::bsc_dypvt();
-            b.chunks_per_core = slots;
-            let r = run_app(Model::Bulk(b), &by_name(app).unwrap(), budget);
-            if slots == 1 {
-                base_cycles = r.cycles;
-            }
-            cells.push(format!("{:.3}", base_cycles as f64 / r.cycles as f64));
-            log.record(app, &format!("slots-{slots}"), &r);
-        }
-        t.row(cells);
-        eprintln!("  chunk-slots {app} done");
-    }
-    println!("{t}");
-    println!("(Speedup over the 1-slot machine: overlapping execution with commit helps.)\n");
-
-    // ------------------------------------------------------------------
-    println!("Ablation 4 — distributed arbiter (§4.2.3): 1 arbiter vs 4 arbiters + G-arbiter\n");
-    let mut t = Table::new(vec![
-        "App".into(),
-        "1-arb cycles".into(),
-        "4-arb cycles".into(),
-        "ratio".into(),
-    ]);
-    for app in apps {
-        let single = run_custom(
-            SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt())),
-            app,
-            budget,
-        );
-        let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt().with_arbiters(4)));
-        cfg.dirs = 4;
-        let multi = run_custom(cfg, app, budget);
-        log.record(app, "arb-1", &single);
-        log.record(app, "arb-4", &multi);
-        t.row(vec![
-            app.to_string(),
-            single.cycles.to_string(),
-            multi.cycles.to_string(),
-            format!("{:.3}", single.cycles as f64 / multi.cycles as f64),
-        ]);
-        eprintln!("  arbiters {app} done");
-    }
-    println!("{t}");
-    println!("(On an 8-core CMP the single arbiter is not a bottleneck — the paper's claim;");
-    println!(" the distributed design exists for larger machines.)");
-    log.write_if_requested();
+    let out = figures::ablations(budget, pool::jobs_from_cli());
+    print!("{}", out.text);
+    out.log.write_if_requested();
 }

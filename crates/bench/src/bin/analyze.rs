@@ -4,7 +4,7 @@
 //! bulksc-analyze report    <results.json>...
 //! bulksc-analyze timeline  <trace.jsonl> [--out <chrome.json>]
 //! bulksc-analyze diff      <a.json> <b.json> [--threshold <pct>]
-//! bulksc-analyze check     <trace.jsonl>...
+//! bulksc-analyze check     <trace.jsonl>... [--jobs N]
 //! bulksc-analyze prof      <perf.json> [--chrome <out.json>] [--max-trace-overhead <x>]
 //! bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]
 //! ```
@@ -22,7 +22,10 @@
 //!   value-traced event stream (a run recorded with value tracing on):
 //!   prints the certificate summary on success, the full violation
 //!   report — offending accesses, edge kinds, surrounding chunk
-//!   lifecycle — on failure.
+//!   lifecycle — on failure. Multiple traces are verified concurrently
+//!   on the `bulksc_bench::pool` worker pool (`--jobs N`, default
+//!   `BULKSC_JOBS`/available parallelism); results print in argument
+//!   order, so output is identical at any width.
 //! * `prof` renders a `bulksc-perf` artifact's per-phase host-time
 //!   breakdown; `--chrome` also writes it as a Chrome trace
 //!   (flame-chart of where host time went), and `--max-trace-overhead`
@@ -43,7 +46,7 @@ fn usage() -> ExitCode {
         "usage: bulksc-analyze report <results.json>...\n\
          \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
          \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
-         \x20      bulksc-analyze check <trace.jsonl>...\n\
+         \x20      bulksc-analyze check <trace.jsonl>... [--jobs N]\n\
          \x20      bulksc-analyze prof <perf.json> [--chrome <out.json>] \
          [--max-trace-overhead <x>]\n\
          \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]"
@@ -151,37 +154,99 @@ fn main() -> ExitCode {
                 }
             }
         }
-        ("check", paths) if !paths.is_empty() => {
+        ("check", rest) if !rest.is_empty() => {
+            use bulksc_bench::pool::{self, Job};
             use bulksc_check::{CheckError, ValueTrace};
-            let mut worst = ExitCode::SUCCESS;
-            for path in paths {
-                let text = match read(path) {
-                    Ok(t) => t,
-                    Err(code) => return code,
-                };
-                let trace = match ValueTrace::from_jsonl(&text) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("bulksc-analyze: {path}: {e}");
-                        return ExitCode::from(2);
+
+            // Split `--jobs` off the path list (paths keep their order).
+            let mut paths: Vec<&String> = Vec::new();
+            let mut jobs: Option<usize> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let value = if arg == "--jobs" {
+                    match it.next() {
+                        Some(v) => v.clone(),
+                        None => return usage(),
                     }
+                } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                    v.to_string()
+                } else {
+                    paths.push(arg);
+                    continue;
                 };
-                if trace.accesses.is_empty() {
-                    eprintln!(
-                        "bulksc-analyze: {path}: no value events — was the run \
-                         recorded with value tracing on?"
-                    );
-                    return ExitCode::from(2);
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => return usage(),
                 }
-                match trace.verify() {
-                    Ok(cert) => println!("{path}: {}", cert.summary()),
-                    Err(CheckError::Violation(v)) => {
-                        println!("{path}: SC VIOLATION");
-                        print!("{}", v.report);
+            }
+            if paths.is_empty() {
+                return usage();
+            }
+
+            /// One trace's verdict, rendered inside its pool job.
+            enum CheckOut {
+                Certified(String),
+                Violation(String),
+                /// Unreadable / unparseable input: stderr line, exit 2,
+                /// later paths are not reported (matching the serial
+                /// early-return).
+                Fatal(String),
+            }
+
+            let results: Vec<CheckOut> = pool::run_all(
+                jobs.unwrap_or_else(pool::default_width),
+                paths
+                    .iter()
+                    .map(|path| {
+                        let path = path.as_str();
+                        Job::new(format!("check {path}"), move || {
+                            let text = match std::fs::read_to_string(path) {
+                                Ok(t) => t,
+                                Err(e) => {
+                                    return CheckOut::Fatal(format!(
+                                        "bulksc-analyze: cannot read {path}: {e}"
+                                    ))
+                                }
+                            };
+                            let trace = match ValueTrace::from_jsonl(&text) {
+                                Ok(t) => t,
+                                Err(e) => {
+                                    return CheckOut::Fatal(format!("bulksc-analyze: {path}: {e}"))
+                                }
+                            };
+                            if trace.accesses.is_empty() {
+                                return CheckOut::Fatal(format!(
+                                    "bulksc-analyze: {path}: no value events — was the run \
+                                     recorded with value tracing on?"
+                                ));
+                            }
+                            match trace.verify() {
+                                Ok(cert) => {
+                                    CheckOut::Certified(format!("{path}: {}", cert.summary()))
+                                }
+                                Err(CheckError::Violation(v)) => CheckOut::Violation(format!(
+                                    "{path}: SC VIOLATION\n{}",
+                                    v.report
+                                )),
+                                Err(CheckError::Malformed(m)) => CheckOut::Fatal(format!(
+                                    "bulksc-analyze: {path}: malformed trace: {m}"
+                                )),
+                            }
+                        })
+                    })
+                    .collect(),
+            );
+
+            let mut worst = ExitCode::SUCCESS;
+            for result in results {
+                match result {
+                    CheckOut::Certified(line) => println!("{line}"),
+                    CheckOut::Violation(text) => {
+                        print!("{text}");
                         worst = ExitCode::from(1);
                     }
-                    Err(CheckError::Malformed(m)) => {
-                        eprintln!("bulksc-analyze: {path}: malformed trace: {m}");
+                    CheckOut::Fatal(msg) => {
+                        eprintln!("{msg}");
                         return ExitCode::from(2);
                     }
                 }

@@ -1,73 +1,14 @@
 //! Figure 10: BSCdypvt performance with chunks of 1000 / 2000 / 4000
 //! instructions, plus 4000-exact, normalized to RC.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig10 [-- fast]`
+//! `cargo run --release -p bulksc-bench --bin fig10 [-- fast] [--jobs N]`
 
-use bulksc::{BulkConfig, Model};
-use bulksc_bench::artifact::RunLog;
-use bulksc_bench::{budget_from_env, geomean, run_app};
-use bulksc_cpu::BaselineModel;
-use bulksc_stats::Table;
-use bulksc_trace::Json;
-use bulksc_workloads::catalog;
+use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
-    let mut log = RunLog::new("fig10", budget);
-    let configs: Vec<(String, Model)> = vec![
-        (
-            "1000".into(),
-            Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(1000)),
-        ),
-        (
-            "2000".into(),
-            Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(2000)),
-        ),
-        (
-            "4000".into(),
-            Model::Bulk(BulkConfig::bsc_dypvt().with_chunk_size(4000)),
-        ),
-        (
-            "4000-exact".into(),
-            Model::Bulk(BulkConfig::bsc_exact().with_chunk_size(4000)),
-        ),
-    ];
-
-    println!(
-        "Figure 10 — BSCdypvt chunk-size sweep, speedup over RC ({budget} instructions/core)\n"
-    );
-    let mut headers = vec!["App".to_string(), "RC".to_string()];
-    headers.extend(configs.iter().map(|(n, _)| n.clone()));
-    let mut table = Table::new(headers);
-    let mut splash: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-
-    for app in catalog() {
-        let rc = run_app(Model::Baseline(BaselineModel::Rc), &app, budget);
-        log.record(app.name, "RC", &rc);
-        let mut cells = vec![app.name.to_string(), "1.000".to_string()];
-        for (i, (label, m)) in configs.iter().enumerate() {
-            let r = run_app(m.clone(), &app, budget);
-            let speedup = rc.cycles as f64 / r.cycles as f64;
-            if app.name != "sjbb2k" && app.name != "sweb2005" {
-                splash[i].push(speedup);
-            }
-            cells.push(format!("{speedup:.3}"));
-            log.record(app.name, label, &r);
-        }
-        table.row(cells);
-        eprintln!("  {} done", app.name);
-    }
-    let mut gm = vec!["SP2-G.M.".to_string(), "1.000".to_string()];
-    let mut gm_json = Json::obj([]);
-    for (i, s) in splash.iter().enumerate() {
-        gm.push(format!("{:.3}", geomean(s)));
-        gm_json.push(&configs[i].0, geomean(s).into());
-    }
-    table.row(gm);
-    println!("{table}");
-    log.extra("splash2_geomean_speedup_over_rc", gm_json);
-    log.write_if_requested();
-    println!("Paper shape: larger chunks degrade slightly; 4000-exact recovers most of it,");
-    println!("showing the degradation is signature aliasing, not real sharing.");
+    let out = figures::fig10(budget, pool::jobs_from_cli());
+    print!("{}", out.text);
+    out.log.write_if_requested();
 }

@@ -3,70 +3,14 @@
 //! R = RC, E = BSCexact, N = BSCdypvt without the RSig optimization, and
 //! B = BSCdypvt.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig11 [-- fast]`
+//! `cargo run --release -p bulksc-bench --bin fig11 [-- fast] [--jobs N]`
 
-use bulksc::{BulkConfig, Model, SimReport};
-use bulksc_bench::artifact::RunLog;
-use bulksc_bench::{budget_from_env, run_app};
-use bulksc_cpu::BaselineModel;
-use bulksc_net::TrafficClass;
-use bulksc_stats::Table;
-use bulksc_workloads::catalog;
-
-fn breakdown(r: &SimReport, rc_total: u64) -> Vec<String> {
-    let mut cells: Vec<String> = TrafficClass::ALL
-        .iter()
-        .map(|&c| format!("{:.3}", r.traffic.bytes(c) as f64 / rc_total as f64))
-        .collect();
-    cells.push(format!("{:.3}", r.traffic.total() as f64 / rc_total as f64));
-    cells
-}
+use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
-    let mut log = RunLog::new("fig11", budget);
-    let configs: Vec<(&str, Model)> = vec![
-        ("R", Model::Baseline(BaselineModel::Rc)),
-        ("E", Model::Bulk(BulkConfig::bsc_exact())),
-        ("N", Model::Bulk(BulkConfig::bsc_dypvt().without_rsig())),
-        ("B", Model::Bulk(BulkConfig::bsc_dypvt())),
-    ];
-
-    println!("Figure 11 — Traffic normalized to RC ({budget} instructions/core)");
-    println!("Bars: R=RC  E=BSCexact  N=BSCdypvt w/o RSig opt  B=BSCdypvt\n");
-    let mut headers = vec!["App/Bar".to_string()];
-    headers.extend(TrafficClass::ALL.iter().map(|c| c.label().to_string()));
-    headers.push("Total".to_string());
-    let mut table = Table::new(headers);
-
-    let mut dypvt_overheads = Vec::new();
-    for app in catalog() {
-        let rc = run_app(Model::Baseline(BaselineModel::Rc), &app, budget);
-        let rc_total = rc.traffic.total().max(1);
-        for (bar, m) in &configs {
-            let r = if *bar == "R" {
-                rc.clone()
-            } else {
-                run_app(m.clone(), &app, budget)
-            };
-            let mut cells = vec![format!("{} {bar}", app.name)];
-            cells.extend(breakdown(&r, rc_total));
-            if *bar == "B" {
-                dypvt_overheads.push(r.traffic.total() as f64 / rc_total as f64 - 1.0);
-            }
-            log.record(app.name, bar, &r);
-            table.row(cells);
-        }
-        eprintln!("  {} done", app.name);
-    }
-    println!("{table}");
-    let avg = dypvt_overheads.iter().sum::<f64>() / dypvt_overheads.len() as f64;
-    println!(
-        "BSCdypvt average traffic overhead over RC: {:.1}% (paper: 5–13%)",
-        avg * 100.0
-    );
-    println!("Paper shape: RdSig nearly vanishes from B vs N (the RSig optimization).");
-    log.extra("dypvt_avg_traffic_overhead_over_rc", avg.into());
-    log.write_if_requested();
+    let out = figures::fig11(budget, pool::jobs_from_cli());
+    print!("{}", out.text);
+    out.log.write_if_requested();
 }

@@ -1,68 +1,16 @@
 //! Figure 9: performance of SC, RC, SC++, BSCbase, BSCdypvt, BSCexact,
 //! BSCstpvt across the paper's 13 applications, normalized to RC.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig9 [-- fast]`
-//! (`BULKSC_BUDGET=N` scales run length.)
+//! `cargo run --release -p bulksc-bench --bin fig9 [-- fast] [--jobs N]`
+//! (`BULKSC_BUDGET=N` scales run length; `BULKSC_JOBS` sets the default
+//! worker count. Output is byte-identical at any `--jobs` value.)
 
-use bulksc::{BulkConfig, Model};
-use bulksc_bench::artifact::RunLog;
-use bulksc_bench::{budget_from_env, geomean, run_app};
-use bulksc_cpu::BaselineModel;
-use bulksc_stats::Table;
-use bulksc_trace::Json;
-use bulksc_workloads::catalog;
+use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
-    let mut log = RunLog::new("fig9", budget);
-    let configs: Vec<Model> = vec![
-        Model::Baseline(BaselineModel::Sc),
-        Model::Baseline(BaselineModel::Rc),
-        Model::Baseline(BaselineModel::Scpp),
-        Model::Bulk(BulkConfig::bsc_base()),
-        Model::Bulk(BulkConfig::bsc_dypvt()),
-        Model::Bulk(BulkConfig::bsc_exact()),
-        Model::Bulk(BulkConfig::bsc_stpvt()),
-    ];
-
-    println!("Figure 9 — Speedup over RC ({budget} instructions/core, 8 cores)\n");
-    let mut headers = vec!["App".to_string()];
-    headers.extend(configs.iter().map(|m| m.name()));
-    let mut table = Table::new(headers);
-
-    // Per-config speedups for SPLASH-2 geometric mean.
-    let mut splash_speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-
-    for app in catalog() {
-        let rc = run_app(Model::Baseline(BaselineModel::Rc), &app, budget);
-        let mut cells = vec![app.name.to_string()];
-        for (i, m) in configs.iter().enumerate() {
-            let r = if matches!(m, Model::Baseline(BaselineModel::Rc)) {
-                rc.clone()
-            } else {
-                run_app(m.clone(), &app, budget)
-            };
-            let speedup = rc.cycles as f64 / r.cycles as f64;
-            if app.name != "sjbb2k" && app.name != "sweb2005" {
-                splash_speedups[i].push(speedup);
-            }
-            cells.push(format!("{speedup:.3}"));
-            log.record(app.name, &m.name(), &r);
-        }
-        table.row(cells);
-        eprintln!("  {} done", app.name);
-    }
-
-    let mut gm = vec!["SP2-G.M.".to_string()];
-    let mut gm_json = Json::obj([]);
-    for (i, s) in splash_speedups.iter().enumerate() {
-        gm.push(format!("{:.3}", geomean(s)));
-        gm_json.push(configs[i].name(), geomean(s).into());
-    }
-    table.row(gm);
-    println!("{table}");
-    println!("Paper shape: BSCdypvt ≈ RC ≈ SC++; SC below; radix the BSCdypvt outlier (aliasing).");
-    log.extra("splash2_geomean_speedup_over_rc", gm_json);
-    log.write_if_requested();
+    let out = figures::fig9(budget, pool::jobs_from_cli());
+    print!("{}", out.text);
+    out.log.write_if_requested();
 }

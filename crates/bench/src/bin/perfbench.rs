@@ -7,20 +7,23 @@
 //!
 //! ```text
 //! bulksc-perf [--label NAME] [--reps N] [--warmup N] [--budget N]
-//!             [--out PATH] [--fast] [--no-trajectory]
+//!             [--out PATH] [--fast] [--no-trajectory] [--jobs N]
 //! ```
 //!
-//! `--fast` is the CI smoke setting: small budget, 2 reps. Exit code 0 on
-//! success, 2 on usage errors.
+//! `--fast` is the CI smoke setting: small budget, 2 reps. `--jobs N`
+//! runs scenarios on N host worker threads (reps stay serial within each
+//! scenario; concurrent scenarios share host cores, so prefer `--jobs 1`
+//! for undisturbed absolute numbers). Exit code 0 on success, 2 on usage
+//! errors.
 
-use bulksc_bench::perf::{matrix, perf_json, prof_report_text, render_summary, run_scenario};
-use bulksc_bench::{budget_from_env, perf};
+use bulksc_bench::perf::{matrix, perf_json, prof_report_text, render_summary, run_suite};
+use bulksc_bench::{budget_from_env, perf, pool};
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("bulksc-perf: {msg}");
     eprintln!(
         "usage: bulksc-perf [--label NAME] [--reps N] [--warmup N] [--budget N] \
-         [--out PATH] [--fast] [--no-trajectory]"
+         [--out PATH] [--fast] [--no-trajectory] [--jobs N]"
     );
     std::process::exit(2);
 }
@@ -32,6 +35,7 @@ fn main() {
     let mut budget: u64 = budget_from_env().min(10_000);
     let mut out = "results/perf.json".to_string();
     let mut trajectory = true;
+    let mut jobs: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,32 +67,25 @@ fn main() {
                 warmup = 1;
             }
             "--no-trajectory" => trajectory = false,
+            "--jobs" => match value("--jobs").parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = Some(n),
+                _ => fail_usage("--jobs needs a positive integer"),
+            },
             other => fail_usage(&format!("unknown argument {other:?}")),
         }
     }
     if reps == 0 {
         fail_usage("--reps must be at least 1");
     }
+    let jobs = jobs.unwrap_or_else(pool::default_width);
 
     let cells = matrix();
     println!(
         "bulksc-perf: {} scenarios, budget {budget} instructions/core, \
-         {warmup} warmup + {reps} measured reps each",
+         {warmup} warmup + {reps} measured reps each, {jobs} host job(s)",
         cells.len()
     );
-    let mut results = Vec::with_capacity(cells.len());
-    for s in &cells {
-        print!("  {} ...", s.name);
-        use std::io::Write as _;
-        let _ = std::io::stdout().flush();
-        let r = run_scenario(s, budget, warmup, reps);
-        println!(
-            " median {:.1} KIPS ({:.1}% profiled)",
-            r.median_kips(),
-            r.coverage_pct()
-        );
-        results.push(r);
-    }
+    let results = run_suite(&cells, budget, warmup, reps, jobs);
 
     println!("\n{}", render_summary(&results));
     let doc = perf_json(&results, &label, budget, warmup, reps);

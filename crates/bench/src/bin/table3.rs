@@ -3,57 +3,14 @@
 //! displacements, Private Buffer supplies, and aliasing-caused extra cache
 //! invalidations.
 //!
-//! `cargo run --release -p bulksc-bench --bin table3 [-- fast]`
+//! `cargo run --release -p bulksc-bench --bin table3 [-- fast] [--jobs N]`
 
-use bulksc::{BulkConfig, Model};
-use bulksc_bench::artifact::RunLog;
-use bulksc_bench::{budget_from_env, run_app};
-use bulksc_stats::Table;
-use bulksc_workloads::catalog;
+use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
-    let mut log = RunLog::new("table3", budget);
-
-    println!("Table 3 — Characterization of BulkSC ({budget} instructions/core)");
-    println!("(unless marked, data is for BSCdypvt, as in the paper)\n");
-    let mut table = Table::new(vec![
-        "App".into(),
-        "Sq%exact".into(),
-        "Sq%dypvt".into(),
-        "Sq%base".into(),
-        "Read".into(),
-        "Write".into(),
-        "PrivW".into(),
-        "RdDisp/100k".into(),
-        "PrivBuf/1k".into(),
-        "ExtraInv/1k".into(),
-    ]);
-
-    for app in catalog() {
-        let exact = run_app(Model::Bulk(BulkConfig::bsc_exact()), &app, budget);
-        let dypvt = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, budget);
-        let base = run_app(Model::Bulk(BulkConfig::bsc_base()), &app, budget);
-        log.record(app.name, "BSCexact", &exact);
-        log.record(app.name, "BSCdypvt", &dypvt);
-        log.record(app.name, "BSCbase", &base);
-        table.row(vec![
-            app.name.to_string(),
-            format!("{:.2}", exact.squashed_pct),
-            format!("{:.2}", dypvt.squashed_pct),
-            format!("{:.2}", base.squashed_pct),
-            format!("{:.1}", dypvt.read_set),
-            format!("{:.1}", dypvt.write_set),
-            format!("{:.1}", dypvt.priv_write_set),
-            format!("{:.1}", dypvt.read_displacements_per_100k),
-            format!("{:.1}", dypvt.priv_supplies_per_1k),
-            format!("{:.1}", dypvt.extra_invs_per_1k),
-        ]);
-        eprintln!("  {} done", app.name);
-    }
-    println!("{table}");
-    println!("Paper shape: Sq%base >> Sq%dypvt ≈ Sq%exact (aliasing dominates BSCbase);");
-    println!("PrivW >> Write; read-set displacements are harmless (no squashes).");
-    log.write_if_requested();
+    let out = figures::table3(budget, pool::jobs_from_cli());
+    print!("{}", out.text);
+    out.log.write_if_requested();
 }

@@ -4,51 +4,14 @@
 //! (pending W signatures, W-list occupancy, RSig fallbacks, empty-W
 //! commits).
 //!
-//! `cargo run --release -p bulksc-bench --bin table4 [-- fast]`
+//! `cargo run --release -p bulksc-bench --bin table4 [-- fast] [--jobs N]`
 
-use bulksc::{BulkConfig, Model};
-use bulksc_bench::artifact::RunLog;
-use bulksc_bench::{budget_from_env, run_app};
-use bulksc_stats::Table;
-use bulksc_workloads::catalog;
+use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
-    let mut log = RunLog::new("table4", budget);
-
-    println!("Table 4 — Commit process and coherence operations in BSCdypvt");
-    println!("({budget} instructions/core)\n");
-    let mut table = Table::new(vec![
-        "App".into(),
-        "Lookups/Commit".into(),
-        "UnnecLkup%".into(),
-        "UnnecUpd%".into(),
-        "Nodes/WSig".into(),
-        "PendWSigs".into(),
-        "NonEmptyW%".into(),
-        "RSigReq%".into(),
-        "EmptyW%".into(),
-    ]);
-
-    for app in catalog() {
-        let r = run_app(Model::Bulk(BulkConfig::bsc_dypvt()), &app, budget);
-        log.record(app.name, "BSCdypvt", &r);
-        table.row(vec![
-            app.name.to_string(),
-            format!("{:.1}", r.lookups_per_commit),
-            format!("{:.1}", r.unnecessary_lookups_pct),
-            format!("{:.1}", r.unnecessary_updates_pct),
-            format!("{:.2}", r.nodes_per_wsig),
-            format!("{:.2}", r.pending_w_sigs),
-            format!("{:.1}", r.nonempty_w_pct),
-            format!("{:.1}", r.rsig_required_pct),
-            format!("{:.1}", r.empty_w_pct),
-        ]);
-        eprintln!("  {} done", app.name);
-    }
-    println!("{table}");
-    println!("Paper shape: few lookups per commit; unnecessary updates ≈ 0; the arbiter");
-    println!("is mostly idle; most SPLASH commits have an empty W; RSig rarely needed.");
-    log.write_if_requested();
+    let out = figures::table4(budget, pool::jobs_from_cli());
+    print!("{}", out.text);
+    out.log.write_if_requested();
 }

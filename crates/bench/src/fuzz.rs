@@ -18,9 +18,19 @@
 //! a tiny L1 (cache-displacement pressure on speculative lines), and the
 //! distributed arbiter. RC is intentionally absent — it is not SC and
 //! the oracle would (correctly) flag it.
+//!
+//! Cases are independent, so the seed×config matrix runs on the
+//! [`crate::pool`] worker pool (`--jobs N` / `BULKSC_JOBS`). Each case
+//! builds its own `System` and `TraceHandle` inside its job and renders
+//! its verdict line there; lines are printed post-join in sweep order, so
+//! stdout is byte-identical at any job count (as long as no `--time-box`
+//! cuts the sweep short — the time box is checked at job start, and which
+//! cases it skips depends on wall-clock timing).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::pool::{self, Job};
 use bulksc::{BulkConfig, Model, System, SystemConfig};
 use bulksc_check::{CheckError, CollectingTracer, ScCertificate, ValueTrace};
 use bulksc_cpu::BaselineModel;
@@ -201,115 +211,256 @@ pub struct FuzzOutcome {
     pub failures: Vec<String>,
     /// True if the time box expired before the seed list was exhausted.
     pub timed_out: bool,
+    /// Per-case verdict lines (ok/FAIL), in sweep order — exactly what a
+    /// serial sweep would have printed as it went.
+    pub lines: Vec<String>,
 }
 
-/// Sweep `seeds` × [`sweep()`] with `spec`-shaped programs, stopping
-/// early (cleanly, between cases) once `time_box` elapses.
-pub fn run_sweep(seeds: &[u64], spec: FuzzSpec, time_box: Option<Duration>) -> FuzzOutcome {
+impl FuzzOutcome {
+    /// The one-line sweep summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "fuzz: {} runs, {} accesses certified, {} failures{}",
+            self.runs,
+            self.accesses,
+            self.failures.len(),
+            if self.timed_out {
+                " (time box hit)"
+            } else {
+                ""
+            }
+        )
+    }
+
+    /// The full sweep stdout: every verdict line plus the summary. This
+    /// is the byte-determinism surface `tests/pool_determinism.rs` pins.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+}
+
+/// One case's result, as computed inside a pool job.
+enum CaseResult {
+    Ok {
+        line: String,
+        accesses: usize,
+    },
+    Fail {
+        line: String,
+        report: String,
+    },
+    /// Skipped: the time box had expired when the job started.
+    TimedOut,
+}
+
+/// Sweep `seeds` × `entries` with `spec`-shaped programs on `jobs` worker
+/// threads. The `time_box` is checked as each case *starts*: cases that
+/// begin after it expires are skipped and the outcome marked timed-out.
+pub fn run_sweep_on(
+    entries: &[SweepEntry],
+    seeds: &[u64],
+    spec: FuzzSpec,
+    time_box: Option<Duration>,
+    jobs: usize,
+) -> FuzzOutcome {
     let start = Instant::now();
-    let entries = sweep();
+    let expired = AtomicBool::new(false);
+    let cases: Vec<(u64, &SweepEntry)> = seeds
+        .iter()
+        .flat_map(|&seed| entries.iter().map(move |e| (seed, e)))
+        .collect();
+
+    let results: Vec<CaseResult> = pool::run_all(
+        jobs,
+        cases
+            .iter()
+            .map(|&(seed, entry)| {
+                let expired = &expired;
+                Job::new(format!("{} seed {seed}", entry.name), move || {
+                    if let Some(limit) = time_box {
+                        if expired.load(Ordering::SeqCst) || start.elapsed() >= limit {
+                            expired.store(true, Ordering::SeqCst);
+                            return CaseResult::TimedOut;
+                        }
+                    }
+                    match certify_case(entry, spec, seed) {
+                        Ok(stats) => CaseResult::Ok {
+                            line: format!(
+                                "ok   {:<18} seed {:>4}  {:>5} accesses, {} ambiguous, \
+                                 {} lifecycle events",
+                                entry.name, seed, stats.accesses, stats.ambiguous, stats.lifecycle
+                            ),
+                            accesses: stats.accesses,
+                        },
+                        Err(report) => CaseResult::Fail {
+                            line: format!("FAIL {:<18} seed {:>4}\n{report}", entry.name, seed),
+                            report,
+                        },
+                    }
+                })
+            })
+            .collect(),
+    );
+
     let mut out = FuzzOutcome {
         runs: 0,
         accesses: 0,
         failures: Vec::new(),
         timed_out: false,
+        lines: Vec::new(),
     };
-    'outer: for &seed in seeds {
-        for entry in &entries {
-            if let Some(limit) = time_box {
-                if start.elapsed() >= limit {
-                    out.timed_out = true;
-                    break 'outer;
-                }
+    for result in results {
+        match result {
+            CaseResult::Ok { line, accesses } => {
+                out.runs += 1;
+                out.accesses += accesses;
+                out.lines.push(line);
             }
-            match certify_case(entry, spec, seed) {
-                Ok(stats) => {
-                    out.runs += 1;
-                    out.accesses += stats.accesses;
-                    println!(
-                        "ok   {:<18} seed {:>4}  {:>5} accesses, {} ambiguous, {} lifecycle events",
-                        entry.name, seed, stats.accesses, stats.ambiguous, stats.lifecycle
-                    );
-                }
-                Err(report) => {
-                    out.runs += 1;
-                    println!("FAIL {:<18} seed {:>4}", entry.name, seed);
-                    println!("{report}");
-                    out.failures.push(report);
-                }
+            CaseResult::Fail { line, report } => {
+                out.runs += 1;
+                out.lines.push(line);
+                out.failures.push(report);
             }
+            CaseResult::TimedOut => out.timed_out = true,
         }
     }
     out
 }
 
-fn usage() -> i32 {
-    eprintln!(
-        "usage: bulksc-fuzz [SEED...] [--seeds N] [--time-box SECS] [--ops N] [--threads N]\n\
-         \n\
-         Runs random programs under every BulkSC configuration and the SC\n\
-         baseline, certifying each execution with the bulksc-check oracle\n\
-         and cross-checking final memory against a reference replay of the\n\
-         SC witness. Default: seeds 0..8.\n\
-         \n\
-         exit status: 0 all certified, 1 violation found, 2 bad usage"
-    );
-    2
+/// Sweep `seeds` × [`sweep()`] — the CLI's sweep.
+pub fn run_sweep(
+    seeds: &[u64],
+    spec: FuzzSpec,
+    time_box: Option<Duration>,
+    jobs: usize,
+) -> FuzzOutcome {
+    run_sweep_on(&sweep(), seeds, spec, time_box, jobs)
 }
 
-/// CLI entry point (`bulksc-fuzz`). Returns the process exit code.
-pub fn main() -> i32 {
+/// Parsed `bulksc-fuzz` command line.
+pub struct FuzzArgs {
+    /// Seeds to sweep (defaults to 0..8 when none given).
+    pub seeds: Vec<u64>,
+    /// Program shape.
+    pub spec: FuzzSpec,
+    /// Wall-clock budget for the whole sweep.
+    pub time_box: Option<Duration>,
+    /// Host worker threads (`--jobs`); `None` = pool default.
+    pub jobs: Option<usize>,
+    /// True if the deprecated `--threads` spelling of `--cores` was used
+    /// (the CLI prints a warning).
+    pub threads_alias_used: bool,
+}
+
+/// What the argument list asked for.
+pub enum FuzzCli {
+    /// Run the sweep with these settings.
+    Run(FuzzArgs),
+    /// `--help`: print usage, exit 0.
+    Help,
+}
+
+/// Parse `bulksc-fuzz` arguments (everything after the program name).
+///
+/// The guest-core count is `--cores N`; `--threads N` is a deprecated
+/// alias kept for compatibility with pre-`--jobs` scripts (it names the
+/// same guest-side knob, but reads like the host-side `--jobs`, hence the
+/// rename). `Err` carries a usage message.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, String> {
     let mut seeds: Vec<u64> = Vec::new();
     let mut spec = FuzzSpec::default();
     let mut time_box: Option<Duration> = None;
-    let mut args = std::env::args().skip(1);
+    let mut jobs: Option<usize> = None;
+    let mut threads_alias_used = false;
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        let num = |args: &mut dyn Iterator<Item = String>| -> Option<u64> {
-            args.next().and_then(|v| v.parse().ok())
+        let mut num = |name: &str| -> Result<u64, String> {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} needs an integer value"))
         };
         match arg.as_str() {
-            "--seeds" => match num(&mut args) {
-                Some(n) => seeds.extend(0..n),
-                None => return usage(),
-            },
-            "--time-box" => match num(&mut args) {
-                Some(secs) => time_box = Some(Duration::from_secs(secs)),
-                None => return usage(),
-            },
-            "--ops" => match num(&mut args) {
-                Some(n) => spec.ops_per_thread = n as u32,
-                None => return usage(),
-            },
-            "--threads" => match num(&mut args) {
-                Some(n) => spec.threads = n as u32,
-                None => return usage(),
-            },
-            "--help" | "-h" => {
-                usage();
-                return 0;
+            "--seeds" => seeds.extend(0..num("--seeds")?),
+            "--time-box" => time_box = Some(Duration::from_secs(num("--time-box")?)),
+            "--ops" => spec.ops_per_thread = num("--ops")? as u32,
+            "--cores" => spec.threads = num("--cores")? as u32,
+            "--threads" => {
+                spec.threads = num("--threads")? as u32;
+                threads_alias_used = true;
             }
+            "--jobs" => match num("--jobs")? {
+                n if n >= 1 => jobs = Some(n as usize),
+                _ => return Err("--jobs wants a positive integer".to_string()),
+            },
+            "--help" | "-h" => return Ok(FuzzCli::Help),
             s => match s.parse() {
                 Ok(seed) => seeds.push(seed),
-                Err(_) => return usage(),
+                Err(_) => return Err(format!("unrecognized argument {s:?}")),
             },
         }
     }
     if seeds.is_empty() {
         seeds.extend(0..8);
     }
+    Ok(FuzzCli::Run(FuzzArgs {
+        seeds,
+        spec,
+        time_box,
+        jobs,
+        threads_alias_used,
+    }))
+}
 
-    let outcome = run_sweep(&seeds, spec, time_box);
-    println!(
-        "fuzz: {} runs, {} accesses certified, {} failures{}",
-        outcome.runs,
-        outcome.accesses,
-        outcome.failures.len(),
-        if outcome.timed_out {
-            " (time box hit)"
-        } else {
-            ""
-        }
+fn usage() {
+    eprintln!(
+        "usage: bulksc-fuzz [SEED...] [--seeds N] [--time-box SECS] [--ops N] [--cores N] \
+         [--jobs N]\n\
+         \n\
+         Runs random programs under every BulkSC configuration and the SC\n\
+         baseline, certifying each execution with the bulksc-check oracle\n\
+         and cross-checking final memory against a reference replay of the\n\
+         SC witness. Default: seeds 0..8.\n\
+         \n\
+         --cores N   guest cores running the fuzz program (default 4)\n\
+         --jobs N    host worker threads for the sweep (default:\n\
+         \x20           BULKSC_JOBS or the available parallelism)\n\
+         --threads N deprecated alias for --cores\n\
+         \n\
+         exit status: 0 all certified, 1 violation found, 2 bad usage"
     );
+}
+
+/// CLI entry point (`bulksc-fuzz`). Returns the process exit code.
+pub fn main() -> i32 {
+    let parsed = match parse_args(std::env::args().skip(1)) {
+        Ok(FuzzCli::Help) => {
+            usage();
+            return 0;
+        }
+        Ok(FuzzCli::Run(a)) => a,
+        Err(msg) => {
+            eprintln!("bulksc-fuzz: {msg}");
+            usage();
+            return 2;
+        }
+    };
+    if parsed.threads_alias_used {
+        eprintln!(
+            "bulksc-fuzz: warning: --threads is deprecated (it sets *guest* cores); \
+             use --cores. Host-side parallelism is --jobs."
+        );
+    }
+    let jobs = parsed.jobs.unwrap_or_else(pool::default_width);
+
+    let outcome = run_sweep(&parsed.seeds, parsed.spec, parsed.time_box, jobs);
+    print!("{}", outcome.render());
     if outcome.failures.is_empty() {
         0
     } else {
@@ -320,6 +471,18 @@ pub fn main() -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_of(cli: Result<FuzzCli, String>) -> FuzzArgs {
+        match cli {
+            Ok(FuzzCli::Run(a)) => a,
+            Ok(FuzzCli::Help) => panic!("expected a run, got help"),
+            Err(e) => panic!("expected a run, got error: {e}"),
+        }
+    }
 
     #[test]
     fn a_quick_case_certifies_under_bulk_and_sc() {
@@ -338,5 +501,67 @@ mod tests {
             });
             assert!(stats.accesses > 0);
         }
+    }
+
+    #[test]
+    fn cores_flag_sets_guest_cores() {
+        let a = run_of(parse_args(args(&["--cores", "2", "--ops", "50", "3"])));
+        assert_eq!(a.spec.threads, 2);
+        assert_eq!(a.spec.ops_per_thread, 50);
+        assert_eq!(a.seeds, vec![3]);
+        assert!(!a.threads_alias_used);
+        assert!(a.jobs.is_none());
+    }
+
+    #[test]
+    fn threads_is_a_deprecated_alias_for_cores() {
+        let a = run_of(parse_args(args(&["--threads", "6"])));
+        assert_eq!(a.spec.threads, 6);
+        assert!(
+            a.threads_alias_used,
+            "alias use must be flagged for warning"
+        );
+        // Both spellings land in the same knob.
+        let b = run_of(parse_args(args(&["--cores", "6"])));
+        assert_eq!(a.spec.threads, b.spec.threads);
+    }
+
+    #[test]
+    fn jobs_flag_is_host_side_and_separate_from_cores() {
+        let a = run_of(parse_args(args(&["--jobs", "4", "--cores", "2"])));
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.spec.threads, 2);
+        assert!(parse_args(args(&["--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn default_seeds_and_bad_args() {
+        let a = run_of(parse_args(args(&[])));
+        assert_eq!(a.seeds, (0..8).collect::<Vec<u64>>());
+        assert!(matches!(parse_args(args(&["--help"])), Ok(FuzzCli::Help)));
+        assert!(parse_args(args(&["--cores"])).is_err());
+        assert!(parse_args(args(&["--bogus"])).is_err());
+        assert!(parse_args(args(&["--seeds", "x"])).is_err());
+    }
+
+    #[test]
+    fn sweep_lines_render_in_order() {
+        let spec = FuzzSpec {
+            threads: 2,
+            ops_per_thread: 30,
+            pool_words: 8,
+            rmw_permille: 30,
+        };
+        let entries = sweep();
+        let two = &entries[..2]; // SC, BSCbase
+        let out = run_sweep_on(two, &[1, 2], spec, None, 2);
+        assert_eq!(out.runs, 4);
+        assert!(out.failures.is_empty());
+        assert_eq!(out.lines.len(), 4);
+        // Sweep order: seed-major, entry-minor.
+        assert!(out.lines[0].contains("SC") && out.lines[0].contains("seed    1"));
+        assert!(out.lines[1].contains("BSCbase"));
+        assert!(out.lines[2].contains("seed    2"));
+        assert!(out.render().ends_with("0 failures\n"));
     }
 }

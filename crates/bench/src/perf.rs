@@ -290,6 +290,46 @@ pub fn run_scenario(s: &Scenario, budget: u64, warmup: u32, reps: u32) -> Scenar
     out
 }
 
+/// Run a whole scenario matrix on the [`crate::pool`] worker pool: one
+/// job per scenario, `jobs` host threads. Warmup and measured reps stay
+/// *serial inside each job* so medians are computed over the same rep
+/// structure as a serial suite; the profiler is per-thread
+/// (`bulksc-prof` keeps thread-local state), so each worker's
+/// enable/disable brackets see only its own scenario's phases. Results
+/// come back in matrix order regardless of completion order.
+///
+/// Note: running scenarios concurrently makes them compete for host
+/// cores, which can depress absolute KIPS. Simulated results are
+/// width-independent; host timings never were deterministic (see module
+/// docs). Use `--jobs 1` when an undisturbed absolute measurement
+/// matters more than suite wall-clock.
+pub fn run_suite(
+    cells: &[Scenario],
+    budget: u64,
+    warmup: u32,
+    reps: u32,
+    jobs: usize,
+) -> Vec<ScenarioResult> {
+    crate::pool::run_all(
+        jobs,
+        cells
+            .iter()
+            .map(|s| {
+                crate::pool::Job::new(format!("perf {}", s.name), move || {
+                    let r = run_scenario(s, budget, warmup, reps);
+                    eprintln!(
+                        "  {} done: median {:.1} KIPS ({:.1}% profiled)",
+                        r.name,
+                        r.median_kips(),
+                        r.coverage_pct()
+                    );
+                    r
+                })
+            })
+            .collect(),
+    )
+}
+
 /// The `results/perf.json` document.
 pub fn perf_json(
     results: &[ScenarioResult],

@@ -427,4 +427,121 @@ mod tests {
         assert!(LineState::Exclusive.is_exclusive());
         assert!(!LineState::Shared.is_exclusive());
     }
+
+    #[test]
+    fn touch_and_set_state_miss_on_absent_lines() {
+        let mut c = tiny();
+        assert!(!c.touch(LineAddr(0)));
+        assert!(!c.set_state(LineAddr(0), LineState::Dirty));
+        c.insert(LineAddr(0), LineState::Shared, |_| false);
+        assert!(c.touch(LineAddr(0)));
+        assert!(c.set_state(LineAddr(0), LineState::Exclusive));
+        assert_eq!(c.state(LineAddr(0)), Some(LineState::Exclusive));
+        // Same set, different line: still a miss.
+        assert!(!c.touch(LineAddr(2)));
+        assert!(!c.set_state(LineAddr(2), LineState::Dirty));
+    }
+
+    #[test]
+    fn reinsert_into_a_full_set_displaces_nothing() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineState::Shared, |_| false);
+        c.insert(LineAddr(2), LineState::Shared, |_| false);
+        // Set 0 is full; re-inserting a resident line must hit in place
+        // even when every way (including its own) is vetoed.
+        assert_eq!(
+            c.insert(LineAddr(0), LineState::Dirty, |_| true),
+            InsertOutcome::Placed
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.state(LineAddr(0)), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn invalidate_frees_the_way_for_the_next_insert() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineState::Dirty, |_| false);
+        c.insert(LineAddr(2), LineState::Shared, |_| false);
+        assert_eq!(c.invalidate(LineAddr(0)), Some(LineState::Dirty));
+        // The freed way absorbs the next insert without a displacement.
+        assert_eq!(
+            c.insert(LineAddr(4), LineState::Shared, |_| false),
+            InsertOutcome::Placed
+        );
+        assert!(c.contains(LineAddr(2)) && c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn touch_refreshes_lru_order() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineState::Shared, |_| false);
+        c.insert(LineAddr(2), LineState::Shared, |_| false);
+        // Without the touch, 0 would be the LRU victim.
+        c.touch(LineAddr(0));
+        c.touch(LineAddr(2));
+        c.touch(LineAddr(0));
+        match c.insert(LineAddr(4), LineState::Shared, |_| false) {
+            InsertOutcome::Evicted { line, .. } => assert_eq!(line, LineAddr(2)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn veto_picks_oldest_among_the_unvetoed() {
+        // 1 set x 4 ways: victim must be the LRU of the non-vetoed subset,
+        // not the global LRU and not an arbitrary unvetoed way.
+        let mut c = SetAssocCache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 4,
+        });
+        for l in [0u64, 1, 2, 3] {
+            c.insert(LineAddr(l), LineState::Shared, |_| false);
+        }
+        // Age order now 0 < 1 < 2 < 3; veto the two globally oldest.
+        let veto = |l: LineAddr| l == LineAddr(0) || l == LineAddr(1);
+        match c.insert(LineAddr(4), LineState::Shared, veto) {
+            InsertOutcome::Evicted { line, .. } => assert_eq!(line, LineAddr(2)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(LineAddr(0)) && c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn would_overflow_needs_a_full_set() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineState::Dirty, |_| false);
+        // One free way left: a universal veto still cannot overflow.
+        assert!(!c.would_overflow(LineAddr(2), |_| true));
+        assert_eq!(
+            c.insert(LineAddr(2), LineState::Shared, |_| true),
+            InsertOutcome::Placed
+        );
+        // Now the set is full of vetoed lines: overflow, and the
+        // predicate agrees with the insert outcome.
+        assert!(c.would_overflow(LineAddr(4), |_| true));
+        assert_eq!(
+            c.insert(LineAddr(4), LineState::Shared, |_| true),
+            InsertOutcome::SetOverflow
+        );
+    }
+
+    #[test]
+    fn failed_insert_leaves_lru_order_intact() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineState::Dirty, |_| false);
+        c.insert(LineAddr(2), LineState::Dirty, |_| false);
+        // A SetOverflow must not disturb the set: lifting the veto
+        // afterwards evicts the line that was LRU all along.
+        assert_eq!(
+            c.insert(LineAddr(4), LineState::Shared, |_| true),
+            InsertOutcome::SetOverflow
+        );
+        match c.insert(LineAddr(4), LineState::Shared, |_| false) {
+            InsertOutcome::Evicted { line, state } => {
+                assert_eq!(line, LineAddr(0));
+                assert_eq!(state, LineState::Dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
 }

@@ -151,4 +151,71 @@ mod tests {
         assert_eq!(TrafficClass::ReadWrite.label(), "Rd/Wr");
         assert_eq!(TrafficClass::RdSig.to_string(), "RdSig");
     }
+
+    #[test]
+    fn new_is_all_zero() {
+        let t = TrafficStats::new();
+        for &c in &TrafficClass::ALL {
+            assert_eq!(t.bytes(c), 0, "{c}");
+        }
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.messages(), 0);
+        assert_eq!(t, TrafficStats::default());
+    }
+
+    #[test]
+    fn zero_byte_add_counts_nothing() {
+        // A header-only message is accounted with count_message + a
+        // zero-byte add; neither must disturb the byte totals.
+        let mut t = TrafficStats::new();
+        t.add(TrafficClass::Other, 0);
+        t.count_message();
+        assert_eq!(t.bytes(TrafficClass::Other), 0);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.messages(), 1);
+    }
+
+    #[test]
+    fn one_message_can_feed_several_classes() {
+        // A commit request: control header is Other, the carried W
+        // signature is WrSig — one message, two categories.
+        let mut t = TrafficStats::new();
+        t.count_message();
+        t.add(TrafficClass::Other, 8);
+        t.add(TrafficClass::WrSig, 44);
+        assert_eq!(t.messages(), 1);
+        assert_eq!(t.bytes(TrafficClass::Other), 8);
+        assert_eq!(t.bytes(TrafficClass::WrSig), 44);
+        assert_eq!(t.total(), 52);
+    }
+
+    #[test]
+    fn all_covers_every_class_once() {
+        // total() iterates ALL; if a variant were missing (or repeated)
+        // there, per-class sums would disagree with total().
+        let mut t = TrafficStats::new();
+        let mut sum = 0u64;
+        for (i, &c) in TrafficClass::ALL.iter().enumerate() {
+            let bytes = 1u64 << (8 * i as u32 % 32);
+            t.add(c, bytes);
+            sum += bytes;
+        }
+        assert_eq!(t.total(), sum);
+        let mut labels: Vec<&str> = TrafficClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5, "labels must be distinct");
+    }
+
+    #[test]
+    fn accumulation_is_additive_per_class() {
+        let mut t = TrafficStats::new();
+        t.add(TrafficClass::RdSig, 44);
+        t.add(TrafficClass::RdSig, 44);
+        t.add(TrafficClass::Inv, 8);
+        assert_eq!(t.bytes(TrafficClass::RdSig), 88);
+        assert_eq!(t.bytes(TrafficClass::Inv), 8);
+        assert_eq!(t.bytes(TrafficClass::ReadWrite), 0);
+        assert_eq!(t.total(), 96);
+    }
 }

@@ -19,7 +19,11 @@
 //!   change a single simulated cycle, event, or report byte (enforced by
 //!   `tests/prof_determinism.rs` at the workspace root).
 //! * **Single-threaded, like the simulator.** All state is thread-local;
-//!   each test thread profiles independently.
+//!   each test thread profiles independently. That is exactly what the
+//!   host-parallel sweep engine (`bulksc_bench::pool`) needs: each worker
+//!   thread brackets its own run with [`enable`]/[`disable`], no worker
+//!   sees another's scopes, and the per-run [`ProfReport`]s — plain
+//!   `Send` data — are combined after the join with [`ProfReport::merge`].
 //! * **Nest-aware.** Scopes form a stack. A closing scope charges its
 //!   elapsed time to its phase's *total*, its elapsed-minus-children time
 //!   to its phase's *self*, and adds itself to its parent's children — so

@@ -35,6 +35,25 @@
 //! * [`ChromeTracer`] — Chrome trace-event JSON loadable in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
+//! # Thread confinement
+//!
+//! A [`TraceHandle`] shares its sinks through `Rc<RefCell<...>>`, which
+//! makes it deliberately `!Send`: a handle — and therefore the `System`
+//! holding it — is confined to the thread that built it. That is the
+//! type-level guarantee the host-parallel sweep engine
+//! (`bulksc_bench::pool`) leans on: each worker constructs its own
+//! `System` + `TraceHandle` + sinks, the compiler rejects any attempt to
+//! smuggle a handle across the scope boundary, and there is no locking on
+//! the per-event hot path. Only the *rendered* results (strings,
+//! [`Json`] values, reports) cross threads — those are plain data and
+//! `Send`.
+//!
+//! ```compile_fail
+//! // A TraceHandle cannot move to another thread (Rc<RefCell<...>> sinks).
+//! let handle = bulksc_trace::TraceHandle::off();
+//! std::thread::spawn(move || drop(handle));
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -202,6 +221,18 @@ mod tests {
         trace.emit(5, || Event::CommitGrant { core: 2, seq: 3 });
         assert_eq!(ring.borrow().seen(), 1);
         assert_eq!(jsonl.borrow().lines(), 1);
+    }
+
+    #[test]
+    fn rendered_outputs_are_send_even_though_handles_are_not() {
+        // The pool-based sweep engine moves finished results between
+        // threads; events and JSON values must stay plain data. (The
+        // matching negative — TraceHandle is !Send — is the compile_fail
+        // doctest in the crate docs.)
+        fn assert_send<T: Send>() {}
+        assert_send::<Event>();
+        assert_send::<Json>();
+        assert_send::<String>();
     }
 
     #[test]

@@ -17,6 +17,12 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo test --workspace -q --offline
 
+# The regression layer, named explicitly so a failure is unmissable in
+# the log: golden figures must match their committed fixtures
+# (re-bless intentional changes with BULKSC_BLESS=1), and every artifact
+# must be byte-identical at any --jobs width.
+run cargo test -q --offline --test golden_figures --test pool_determinism
+
 # Analyze smoke test: trace a short run, then make sure the analysis
 # tooling accepts the artifacts this tree produces. `timeline` exits
 # nonzero if any chunk_start never reached a commit, squash, or abandon;
@@ -36,9 +42,9 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
 # seed list so failures reproduce; the box only trims the tail on slow
 # machines) must find no violation across seeds × configurations.
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
-  check results/trace_demo.jsonl
+  check results/trace_demo.jsonl --jobs 2
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
-  --seeds 6 --time-box 60 > /dev/null
+  --seeds 6 --time-box 60 --jobs 2 > /dev/null
 
 # Host-performance smoke: a fast pass over the perf matrix (small budget,
 # 2 reps — seconds, not minutes). `prof` re-reads the artifact and fails
@@ -53,10 +59,10 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
 # full-budget one).
 if [ ! -f results/perf.json ]; then
   run cargo run -q --release --offline -p bulksc-bench --bin bulksc-perf -- \
-    --fast --out results/perf.json --no-trajectory > /dev/null
+    --fast --out results/perf.json --no-trajectory --jobs 2 > /dev/null
 fi
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-perf -- \
-  --fast --out results/perf.ci.json --no-trajectory > /dev/null
+  --fast --out results/perf.ci.json --no-trajectory --jobs 2 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   prof results/perf.ci.json --max-trace-overhead 3.0 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \

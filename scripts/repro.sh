@@ -6,6 +6,11 @@
 #
 #   scripts/repro.sh                # default budget (~minutes)
 #   BULKSC_BUDGET=5000 scripts/repro.sh   # faster, coarser
+#
+# Every sweep runs on the bulksc_bench::pool host worker pool; set
+# BULKSC_JOBS=N to pick the width (default: available parallelism).
+# The artifacts are byte-identical at any width, so this only changes
+# wall-clock time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
