@@ -46,10 +46,11 @@ fn load_runlog(text: &str, origin: &str) -> Result<Json, String> {
         ));
     }
     let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
-    if version != SCHEMA_VERSION {
+    if !bulksc_trace::schema_supported(version) {
         return Err(format!(
-            "{origin}: artifact schema version {version} != expected {SCHEMA_VERSION}; \
-             regenerate it with a current binary"
+            "{origin}: artifact schema version {version} outside supported range \
+             {}..={SCHEMA_VERSION}; regenerate it with a current binary",
+            bulksc_trace::MIN_SCHEMA_VERSION
         ));
     }
     Ok(doc)
@@ -270,9 +271,10 @@ pub fn timeline(jsonl: &str, origin: &str) -> Result<Timeline, String> {
         ));
     }
     let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
-    if version != SCHEMA_VERSION {
+    if !bulksc_trace::schema_supported(version) {
         return Err(format!(
-            "{origin}: trace schema version {version} != expected {SCHEMA_VERSION}"
+            "{origin}: trace schema version {version} outside supported range {}..={SCHEMA_VERSION}",
+            bulksc_trace::MIN_SCHEMA_VERSION
         ));
     }
 
@@ -577,12 +579,289 @@ fn numeric_leaves(j: &Json, path: String, out: &mut Vec<(String, f64)>) {
     }
 }
 
+/// One parsed snapshot row of a `*.metrics.jsonl` heartbeat stream.
+struct MetricsSnapRow {
+    wall_ns: u64,
+    done: u64,
+    total: u64,
+    in_flight: u64,
+    queue_depth: u64,
+    queue_peak: u64,
+    panicked: u64,
+    eta_s: f64,
+    is_final: bool,
+}
+
+/// Summarize a `results/<name>.metrics.jsonl` heartbeat stream: one table
+/// row per snapshot plus the per-interval completion rate (jobs/s between
+/// consecutive snapshots, from the monotonic `wall_ns` stamps).
+pub fn metrics_report(text: &str, origin: &str) -> Result<String, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format!("{origin}: empty metrics stream"))?;
+    let h =
+        Json::parse(header).ok_or_else(|| format!("{origin}: metrics header is not valid JSON"))?;
+    let schema = h.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "bulksc-metrics" {
+        return Err(format!(
+            "{origin}: not a bulksc-metrics stream (schema {schema:?}, expected \
+             \"bulksc-metrics\"); record one with --metrics"
+        ));
+    }
+    let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if !bulksc_trace::schema_supported(version) {
+        return Err(format!(
+            "{origin}: metrics schema version {version} outside supported range \
+             {}..={SCHEMA_VERSION}",
+            bulksc_trace::MIN_SCHEMA_VERSION
+        ));
+    }
+    let name = h.get("name").and_then(Json::as_str).unwrap_or("?");
+    let every_ms = h.get("every_ms").and_then(Json::as_u64).unwrap_or(0);
+
+    let mut snaps: Vec<MetricsSnapRow> = Vec::new();
+    for (lineno, line) in lines {
+        let j = Json::parse(line)
+            .ok_or_else(|| format!("{origin}:{}: snapshot is not valid JSON", lineno + 1))?;
+        let u = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+        snaps.push(MetricsSnapRow {
+            wall_ns: u("wall_ns"),
+            done: u("done"),
+            total: u("total"),
+            in_flight: u("in_flight"),
+            queue_depth: u("queue_depth"),
+            queue_peak: u("queue_peak"),
+            panicked: u("panicked"),
+            eta_s: j.get("eta_s").and_then(Json::as_f64).unwrap_or(0.0),
+            is_final: j.get("final").and_then(Json::as_bool).unwrap_or(false),
+        });
+    }
+
+    let mut out = format!(
+        "metrics stream {name:?} ({origin}): {} snapshots, every {every_ms} ms\n",
+        snaps.len()
+    );
+    if snaps.is_empty() {
+        out.push_str("  (no snapshots — the sweep finished inside the first interval)\n");
+        return Ok(out);
+    }
+    let mut t = Table::new(
+        [
+            "t +s",
+            "done",
+            "total",
+            "in flight",
+            "queue",
+            "peak",
+            "panicked",
+            "eta s",
+            "jobs/s",
+        ]
+        .map(str::to_string)
+        .to_vec(),
+    );
+    let t0 = snaps[0].wall_ns;
+    let mut prev: Option<&MetricsSnapRow> = None;
+    for s in &snaps {
+        // Per-interval completion rate against the previous snapshot.
+        let rate = match prev {
+            Some(p) if s.wall_ns > p.wall_ns => {
+                let dt = (s.wall_ns - p.wall_ns) as f64 / 1e9;
+                format!("{:.1}", s.done.saturating_sub(p.done) as f64 / dt)
+            }
+            _ => "-".to_string(),
+        };
+        t.row(vec![
+            format!(
+                "{:.2}{}",
+                s.wall_ns.saturating_sub(t0) as f64 / 1e9,
+                if s.is_final { " (final)" } else { "" }
+            ),
+            s.done.to_string(),
+            s.total.to_string(),
+            s.in_flight.to_string(),
+            s.queue_depth.to_string(),
+            s.queue_peak.to_string(),
+            s.panicked.to_string(),
+            format!("{:.1}", s.eta_s),
+            rate,
+        ]);
+        prev = Some(s);
+    }
+    out.push_str(&t.to_string());
+    let last = snaps.last().unwrap();
+    out.push_str(&format!(
+        "{}/{} jobs done, peak queue {}, {} panicked\n",
+        last.done, last.total, last.queue_peak, last.panicked
+    ));
+    Ok(out)
+}
+
+/// Tabulate a `BENCH_<label>.json` trajectory: per-scenario median KIPS
+/// across every recorded entry, with the relative delta between the last
+/// two entries — throughput history at a glance.
+pub fn trend_report(text: &str, origin: &str) -> Result<String, String> {
+    let doc = Json::parse(text).ok_or_else(|| format!("{origin}: artifact is not valid JSON"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "bulksc-bench-trajectory" {
+        return Err(format!(
+            "{origin}: not a bulksc-bench-trajectory artifact (schema {schema:?}); \
+             `bulksc-perf` appends one as BENCH_<label>.json"
+        ));
+    }
+    let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if !bulksc_trace::schema_supported(version) {
+        return Err(format!(
+            "{origin}: trajectory schema version {version} outside supported range \
+             {}..={SCHEMA_VERSION}",
+            bulksc_trace::MIN_SCHEMA_VERSION
+        ));
+    }
+    let entries = doc.get("entries").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut out = format!("trajectory {origin}: {} entries\n", entries.len());
+    if entries.is_empty() {
+        return Ok(out);
+    }
+
+    // Entry legend, then one column per entry in the table.
+    let mut per_entry: Vec<BTreeMap<String, f64>> = Vec::new();
+    let mut scenario_order: Vec<String> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let label = e.get("label").and_then(Json::as_str).unwrap_or("?");
+        let budget = e.get("budget").and_then(Json::as_u64).unwrap_or(0);
+        let reps = e.get("reps").and_then(Json::as_u64).unwrap_or(0);
+        let unix = e.get("unix_secs").and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "  e{i}: label {label:?}, budget {budget}, reps {reps}, unix_secs {unix}\n"
+        ));
+        let mut kips = BTreeMap::new();
+        for s in e.get("scenarios").and_then(Json::as_arr).unwrap_or(&[]) {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            if !scenario_order.contains(&name) {
+                scenario_order.push(name.clone());
+            }
+            kips.insert(
+                name,
+                s.get("median_kips").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+        per_entry.push(kips);
+    }
+
+    let mut headers: Vec<String> = vec!["scenario".to_string()];
+    headers.extend((0..entries.len()).map(|i| format!("e{i} KIPS")));
+    headers.push("last Δ%".to_string());
+    let mut t = Table::new(headers);
+    for name in &scenario_order {
+        let mut row = vec![name.clone()];
+        for kips in &per_entry {
+            row.push(match kips.get(name) {
+                Some(k) => format!("{k:.1}"),
+                None => "-".to_string(),
+            });
+        }
+        // Delta between the last two entries that actually carry this
+        // scenario (a freshly-added cell has no history yet).
+        let present: Vec<f64> = per_entry
+            .iter()
+            .filter_map(|k| k.get(name))
+            .copied()
+            .collect();
+        row.push(match present.as_slice() {
+            [.., prev, last] if *prev != 0.0 => {
+                format!("{:+.1}", 100.0 * (last - prev) / prev)
+            }
+            _ => "-".to_string(),
+        });
+        t.row(row);
+    }
+    out.push_str(&t.to_string());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::artifact::RunLog;
     use crate::run_app;
     use bulksc::{BulkConfig, Model};
+
+    #[test]
+    fn metrics_report_renders_snapshots_and_rates() {
+        let stream = "\
+{\"schema\":\"bulksc-metrics\",\"version\":4,\"name\":\"fig9\",\"every_ms\":100}
+{\"wall_ns\":1000000000,\"done\":2,\"total\":13,\"in_flight\":2,\"queue_depth\":9,\"queue_peak\":13,\"panicked\":0,\"eta_s\":5.5,\"final\":false}
+{\"wall_ns\":2000000000,\"done\":6,\"total\":13,\"in_flight\":2,\"queue_depth\":5,\"queue_peak\":13,\"panicked\":0,\"eta_s\":2.3,\"final\":false}
+{\"wall_ns\":3000000000,\"done\":13,\"total\":13,\"in_flight\":0,\"queue_depth\":0,\"queue_peak\":13,\"panicked\":0,\"eta_s\":0.0,\"final\":true}
+";
+        let out = metrics_report(stream, "results/fig9.metrics.jsonl").unwrap();
+        assert!(out.contains("\"fig9\""), "{out}");
+        assert!(out.contains("3 snapshots"), "{out}");
+        // Interval rates: (6-2)/1s = 4.0 and (13-6)/1s = 7.0 jobs/s.
+        assert!(out.contains("4.0"), "{out}");
+        assert!(out.contains("7.0"), "{out}");
+        assert!(out.contains("(final)"), "{out}");
+        assert!(out.contains("13/13 jobs done, peak queue 13"), "{out}");
+
+        // Header-only stream (sweep beat the first interval) still renders.
+        let empty =
+            "{\"schema\":\"bulksc-metrics\",\"version\":4,\"name\":\"t\",\"every_ms\":100}\n";
+        let out = metrics_report(empty, "x").unwrap();
+        assert!(out.contains("0 snapshots"), "{out}");
+
+        // Wrong schema / unsupported version are refused with names.
+        let e = metrics_report("{\"schema\":\"nope\"}", "bad.jsonl").unwrap_err();
+        assert!(
+            e.contains("bad.jsonl") && e.contains("bulksc-metrics"),
+            "{e}"
+        );
+        let e = metrics_report("{\"schema\":\"bulksc-metrics\",\"version\":1}", "old.jsonl")
+            .unwrap_err();
+        assert!(e.contains("version 1"), "{e}");
+    }
+
+    #[test]
+    fn trend_report_tabulates_trajectory_deltas() {
+        let doc = crate::perf::trajectory_append(
+            None,
+            &Json::parse(
+                "{\"schema\":\"bulksc-perf\",\"version\":4,\"label\":\"seed\",\"budget\":1000,\
+                 \"reps\":2,\"scenarios\":[{\"name\":\"bsc8\",\"median_kips\":100.0},\
+                 {\"name\":\"sc8\",\"median_kips\":50.0}]}",
+            )
+            .unwrap(),
+            1_000,
+        )
+        .unwrap();
+        let doc = crate::perf::trajectory_append(
+            Some(&doc),
+            &Json::parse(
+                "{\"schema\":\"bulksc-perf\",\"version\":4,\"label\":\"seed\",\"budget\":1000,\
+                 \"reps\":2,\"scenarios\":[{\"name\":\"bsc8\",\"median_kips\":110.0},\
+                 {\"name\":\"sc8\",\"median_kips\":45.0}]}",
+            )
+            .unwrap(),
+            2_000,
+        )
+        .unwrap();
+        let out = trend_report(&doc, "BENCH_seed.json").unwrap();
+        assert!(out.contains("2 entries"), "{out}");
+        assert!(out.contains("e0") && out.contains("e1"), "{out}");
+        assert!(out.contains("bsc8") && out.contains("sc8"), "{out}");
+        assert!(out.contains("+10.0"), "bsc8 sped up 10%: {out}");
+        assert!(out.contains("-10.0"), "sc8 slowed 10%: {out}");
+
+        let e = trend_report("{\"schema\":\"nope\"}", "BENCH_x.json").unwrap_err();
+        assert!(e.contains("BENCH_x.json"), "{e}");
+    }
 
     fn sample_runlog() -> String {
         let app = bulksc_workloads::by_name("lu").unwrap();

@@ -3,14 +3,19 @@
 //! unexplored design space"), Private Buffer capacity (§5.2), and chunk
 //! slots per core (§4.1.2).
 //!
-//! `cargo run --release -p bulksc-bench --bin ablations [-- fast] [--jobs N]`
+//! `cargo run --release -p bulksc-bench --bin ablations [-- fast] [--jobs N] [--metrics[=MS]]`
 
+use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 5_000 } else { budget_from_env() };
+    let heartbeat = Heartbeat::maybe_start("ablations");
     let out = figures::ablations(budget, pool::jobs_from_cli());
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
     print!("{}", out.text);
     out.log.write_if_requested();
 }

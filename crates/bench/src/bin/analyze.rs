@@ -4,9 +4,12 @@
 //! bulksc-analyze report    <results.json>...
 //! bulksc-analyze timeline  <trace.jsonl> [--out <chrome.json>]
 //! bulksc-analyze diff      <a.json> <b.json> [--threshold <pct>]
-//! bulksc-analyze check     <trace.jsonl>... [--jobs N]
+//! bulksc-analyze check     <trace.jsonl>... [--jobs N] [--metrics[=MS]]
 //! bulksc-analyze prof      <perf.json> [--chrome <out.json>] [--max-trace-overhead <x>]
+//!                          [--max-metrics-overhead <x>]
 //! bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]
+//! bulksc-analyze metrics   <name.metrics.jsonl>...
+//! bulksc-analyze trend     <BENCH_label.json>...
 //! ```
 //!
 //! * `report` prints per-phase commit-latency percentiles, the per-core
@@ -34,6 +37,11 @@
 //! * `perf-diff` compares two `bulksc-perf` artifacts scenario-by-
 //!   scenario and fails on any median-KIPS drop beyond the threshold
 //!   (default 10%) — the host-throughput regression gate for CI.
+//! * `metrics` renders a `--metrics` heartbeat stream
+//!   (`results/<name>.metrics.jsonl`): one row per snapshot plus
+//!   per-interval completion rates from the monotonic wall stamps.
+//! * `trend` tabulates a `BENCH_<label>.json` trajectory: per-scenario
+//!   median KIPS across every recorded suite run with last-entry deltas.
 //!
 //! Exit codes: 0 success, 1 validation/regression failure, 2 usage or
 //! unreadable/unsupported input.
@@ -46,10 +54,12 @@ fn usage() -> ExitCode {
         "usage: bulksc-analyze report <results.json>...\n\
          \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
          \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
-         \x20      bulksc-analyze check <trace.jsonl>... [--jobs N]\n\
+         \x20      bulksc-analyze check <trace.jsonl>... [--jobs N] [--metrics[=MS]]\n\
          \x20      bulksc-analyze prof <perf.json> [--chrome <out.json>] \
-         [--max-trace-overhead <x>]\n\
-         \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]"
+         [--max-trace-overhead <x>] [--max-metrics-overhead <x>]\n\
+         \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]\n\
+         \x20      bulksc-analyze metrics <name.metrics.jsonl>...\n\
+         \x20      bulksc-analyze trend <BENCH_label.json>..."
     );
     ExitCode::from(2)
 }
@@ -158,7 +168,8 @@ fn main() -> ExitCode {
             use bulksc_bench::pool::{self, Job};
             use bulksc_check::{CheckError, ValueTrace};
 
-            // Split `--jobs` off the path list (paths keep their order).
+            // Split `--jobs` and `--metrics` off the path list (paths keep
+            // their order).
             let mut paths: Vec<&String> = Vec::new();
             let mut jobs: Option<usize> = None;
             let mut it = rest.iter();
@@ -170,6 +181,9 @@ fn main() -> ExitCode {
                     }
                 } else if let Some(v) = arg.strip_prefix("--jobs=") {
                     v.to_string()
+                } else if *arg == "--metrics" || arg.starts_with("--metrics=") {
+                    // Validated (and re-read) by Heartbeat::maybe_start.
+                    continue;
                 } else {
                     paths.push(arg);
                     continue;
@@ -193,6 +207,7 @@ fn main() -> ExitCode {
                 Fatal(String),
             }
 
+            let heartbeat = bulksc_bench::heartbeat::Heartbeat::maybe_start("check");
             let results: Vec<CheckOut> = pool::run_all(
                 jobs.unwrap_or_else(pool::default_width),
                 paths
@@ -236,6 +251,9 @@ fn main() -> ExitCode {
                     })
                     .collect(),
             );
+            if let Some(hb) = heartbeat {
+                hb.finish();
+            }
 
             let mut worst = ExitCode::SUCCESS;
             for result in results {
@@ -257,12 +275,17 @@ fn main() -> ExitCode {
             let path = &rest[0];
             let mut chrome_out: Option<String> = None;
             let mut max_overhead: Option<f64> = None;
+            let mut max_metrics_overhead: Option<f64> = None;
             let mut it = rest[1..].iter();
             while let Some(flag) = it.next() {
                 match (flag.as_str(), it.next()) {
                     ("--chrome", Some(p)) => chrome_out = Some(p.clone()),
                     ("--max-trace-overhead", Some(v)) => match v.parse::<f64>() {
                         Ok(x) if x > 0.0 => max_overhead = Some(x),
+                        _ => return usage(),
+                    },
+                    ("--max-metrics-overhead", Some(v)) => match v.parse::<f64>() {
+                        Ok(x) if x > 0.0 => max_metrics_overhead = Some(x),
                         _ => return usage(),
                     },
                     _ => return usage(),
@@ -306,6 +329,57 @@ fn main() -> ExitCode {
                             return ExitCode::from(1);
                         }
                     }
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Some(bound) = max_metrics_overhead {
+                match perf::metrics_overhead(&text, path) {
+                    Ok(ratio) => {
+                        println!(
+                            "metrics overhead (bsc8 / bsc8_metrics): {ratio:.2}x (bound {bound:.2}x)"
+                        );
+                        if ratio > bound {
+                            eprintln!(
+                                "bulksc-analyze: metrics overhead {ratio:.2}x exceeds bound {bound:.2}x"
+                            );
+                            return ExitCode::from(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("metrics", paths) if !paths.is_empty() => {
+            for path in paths {
+                let text = match read(path) {
+                    Ok(t) => t,
+                    Err(code) => return code,
+                };
+                match analyze::metrics_report(&text, path) {
+                    Ok(out) => print!("{out}"),
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("trend", paths) if !paths.is_empty() => {
+            for path in paths {
+                let text = match read(path) {
+                    Ok(t) => t,
+                    Err(code) => return code,
+                };
+                match analyze::trend_report(&text, path) {
+                    Ok(out) => print!("{out}"),
                     Err(e) => {
                         eprintln!("bulksc-analyze: {e}");
                         return ExitCode::from(2);

@@ -1,14 +1,19 @@
 //! Figure 10: BSCdypvt performance with chunks of 1000 / 2000 / 4000
 //! instructions, plus 4000-exact, normalized to RC.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig10 [-- fast] [--jobs N]`
+//! `cargo run --release -p bulksc-bench --bin fig10 [-- fast] [--jobs N] [--metrics[=MS]]`
 
+use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let heartbeat = Heartbeat::maybe_start("fig10");
     let out = figures::fig10(budget, pool::jobs_from_cli());
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
     print!("{}", out.text);
     out.log.write_if_requested();
 }

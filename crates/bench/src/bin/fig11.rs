@@ -3,14 +3,19 @@
 //! R = RC, E = BSCexact, N = BSCdypvt without the RSig optimization, and
 //! B = BSCdypvt.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig11 [-- fast] [--jobs N]`
+//! `cargo run --release -p bulksc-bench --bin fig11 [-- fast] [--jobs N] [--metrics[=MS]]`
 
+use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let heartbeat = Heartbeat::maybe_start("fig11");
     let out = figures::fig11(budget, pool::jobs_from_cli());
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
     print!("{}", out.text);
     out.log.write_if_requested();
 }

@@ -1,16 +1,21 @@
 //! Figure 9: performance of SC, RC, SC++, BSCbase, BSCdypvt, BSCexact,
 //! BSCstpvt across the paper's 13 applications, normalized to RC.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig9 [-- fast] [--jobs N]`
+//! `cargo run --release -p bulksc-bench --bin fig9 [-- fast] [--jobs N] [--metrics[=MS]]`
 //! (`BULKSC_BUDGET=N` scales run length; `BULKSC_JOBS` sets the default
 //! worker count. Output is byte-identical at any `--jobs` value.)
 
+use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let heartbeat = Heartbeat::maybe_start("fig9");
     let out = figures::fig9(budget, pool::jobs_from_cli());
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
     print!("{}", out.text);
     out.log.write_if_requested();
 }

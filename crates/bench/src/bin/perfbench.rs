@@ -8,6 +8,7 @@
 //! ```text
 //! bulksc-perf [--label NAME] [--reps N] [--warmup N] [--budget N]
 //!             [--out PATH] [--fast] [--no-trajectory] [--jobs N]
+//!             [--metrics[=MS]]
 //! ```
 //!
 //! `--fast` is the CI smoke setting: small budget, 2 reps. `--jobs N`
@@ -16,6 +17,7 @@
 //! for undisturbed absolute numbers). Exit code 0 on success, 2 on usage
 //! errors.
 
+use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::perf::{matrix, perf_json, prof_report_text, render_summary, run_suite};
 use bulksc_bench::{budget_from_env, perf, pool};
 
@@ -23,7 +25,7 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("bulksc-perf: {msg}");
     eprintln!(
         "usage: bulksc-perf [--label NAME] [--reps N] [--warmup N] [--budget N] \
-         [--out PATH] [--fast] [--no-trajectory] [--jobs N]"
+         [--out PATH] [--fast] [--no-trajectory] [--jobs N] [--metrics[=MS]]"
     );
     std::process::exit(2);
 }
@@ -71,6 +73,8 @@ fn main() {
                 Ok(n) if n >= 1 => jobs = Some(n),
                 _ => fail_usage("--jobs needs a positive integer"),
             },
+            // Validated (and re-read) by Heartbeat::maybe_start below.
+            s if s == "--metrics" || s.starts_with("--metrics=") => {}
             other => fail_usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -85,7 +89,11 @@ fn main() {
          {warmup} warmup + {reps} measured reps each, {jobs} host job(s)",
         cells.len()
     );
+    let heartbeat = Heartbeat::maybe_start("perf");
     let results = run_suite(&cells, budget, warmup, reps, jobs);
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
 
     println!("\n{}", render_summary(&results));
     let doc = perf_json(&results, &label, budget, warmup, reps);
@@ -96,6 +104,10 @@ fn main() {
     }
     match perf::trace_overhead(&text, "<memory>") {
         Ok(ratio) => println!("tracing overhead (bsc8 / bsc8_trace): {ratio:.2}x"),
+        Err(e) => eprintln!("bulksc-perf: {e}"),
+    }
+    match perf::metrics_overhead(&text, "<memory>") {
+        Ok(ratio) => println!("metrics overhead (bsc8 / bsc8_metrics): {ratio:.2}x"),
         Err(e) => eprintln!("bulksc-perf: {e}"),
     }
 

@@ -4,14 +4,19 @@
 //! (pending W signatures, W-list occupancy, RSig fallbacks, empty-W
 //! commits).
 //!
-//! `cargo run --release -p bulksc-bench --bin table4 [-- fast] [--jobs N]`
+//! `cargo run --release -p bulksc-bench --bin table4 [-- fast] [--jobs N] [--metrics[=MS]]`
 
+use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
     let budget = if fast { 6_000 } else { budget_from_env() };
+    let heartbeat = Heartbeat::maybe_start("table4");
     let out = figures::table4(budget, pool::jobs_from_cli());
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
     print!("{}", out.text);
     out.log.write_if_requested();
 }

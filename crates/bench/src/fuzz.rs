@@ -354,9 +354,9 @@ pub struct FuzzArgs {
     pub time_box: Option<Duration>,
     /// Host worker threads (`--jobs`); `None` = pool default.
     pub jobs: Option<usize>,
-    /// True if the deprecated `--threads` spelling of `--cores` was used
-    /// (the CLI prints a warning).
-    pub threads_alias_used: bool,
+    /// Heartbeat interval in milliseconds (`--metrics[=MS]`); `None` =
+    /// metrics off.
+    pub metrics: Option<u64>,
 }
 
 /// What the argument list asked for.
@@ -369,16 +369,15 @@ pub enum FuzzCli {
 
 /// Parse `bulksc-fuzz` arguments (everything after the program name).
 ///
-/// The guest-core count is `--cores N`; `--threads N` is a deprecated
-/// alias kept for compatibility with pre-`--jobs` scripts (it names the
-/// same guest-side knob, but reads like the host-side `--jobs`, hence the
-/// rename). `Err` carries a usage message.
+/// The guest-core count is `--cores N`. The pre-PR-5 `--threads` alias
+/// was removed after its deprecation window; it now errors with a pointer
+/// to `--cores`. `Err` carries a usage message.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, String> {
     let mut seeds: Vec<u64> = Vec::new();
     let mut spec = FuzzSpec::default();
     let mut time_box: Option<Duration> = None;
     let mut jobs: Option<usize> = None;
-    let mut threads_alias_used = false;
+    let mut metrics: Option<u64> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> Result<u64, String> {
@@ -392,13 +391,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, St
             "--ops" => spec.ops_per_thread = num("--ops")? as u32,
             "--cores" => spec.threads = num("--cores")? as u32,
             "--threads" => {
-                spec.threads = num("--threads")? as u32;
-                threads_alias_used = true;
+                return Err("--threads was removed: it set *guest* cores, use --cores; \
+                     host-side parallelism is --jobs"
+                    .to_string())
             }
             "--jobs" => match num("--jobs")? {
                 n if n >= 1 => jobs = Some(n as usize),
                 _ => return Err("--jobs wants a positive integer".to_string()),
             },
+            s if s == "--metrics" || s.starts_with("--metrics=") => {
+                metrics = crate::heartbeat::parse_metrics_flag(std::iter::once(s.to_string()))?;
+            }
             "--help" | "-h" => return Ok(FuzzCli::Help),
             s => match s.parse() {
                 Ok(seed) => seeds.push(seed),
@@ -414,24 +417,25 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, St
         spec,
         time_box,
         jobs,
-        threads_alias_used,
+        metrics,
     }))
 }
 
 fn usage() {
     eprintln!(
         "usage: bulksc-fuzz [SEED...] [--seeds N] [--time-box SECS] [--ops N] [--cores N] \
-         [--jobs N]\n\
+         [--jobs N] [--metrics[=MS]]\n\
          \n\
          Runs random programs under every BulkSC configuration and the SC\n\
          baseline, certifying each execution with the bulksc-check oracle\n\
          and cross-checking final memory against a reference replay of the\n\
          SC witness. Default: seeds 0..8.\n\
          \n\
-         --cores N   guest cores running the fuzz program (default 4)\n\
-         --jobs N    host worker threads for the sweep (default:\n\
-         \x20           BULKSC_JOBS or the available parallelism)\n\
-         --threads N deprecated alias for --cores\n\
+         --cores N      guest cores running the fuzz program (default 4)\n\
+         --jobs N       host worker threads for the sweep (default:\n\
+         \x20              BULKSC_JOBS or the available parallelism)\n\
+         --metrics[=MS] heartbeat progress on stderr every MS milliseconds\n\
+         \x20              (default 1000) + results/fuzz.metrics.{{jsonl,prom}}\n\
          \n\
          exit status: 0 all certified, 1 violation found, 2 bad usage"
     );
@@ -451,15 +455,15 @@ pub fn main() -> i32 {
             return 2;
         }
     };
-    if parsed.threads_alias_used {
-        eprintln!(
-            "bulksc-fuzz: warning: --threads is deprecated (it sets *guest* cores); \
-             use --cores. Host-side parallelism is --jobs."
-        );
-    }
     let jobs = parsed.jobs.unwrap_or_else(pool::default_width);
 
+    let heartbeat = parsed
+        .metrics
+        .map(|ms| crate::heartbeat::Heartbeat::start("fuzz", ms));
     let outcome = run_sweep(&parsed.seeds, parsed.spec, parsed.time_box, jobs);
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
     print!("{}", outcome.render());
     if outcome.failures.is_empty() {
         0
@@ -509,21 +513,32 @@ mod tests {
         assert_eq!(a.spec.threads, 2);
         assert_eq!(a.spec.ops_per_thread, 50);
         assert_eq!(a.seeds, vec![3]);
-        assert!(!a.threads_alias_used);
         assert!(a.jobs.is_none());
+        assert!(a.metrics.is_none());
     }
 
     #[test]
-    fn threads_is_a_deprecated_alias_for_cores() {
-        let a = run_of(parse_args(args(&["--threads", "6"])));
-        assert_eq!(a.spec.threads, 6);
+    fn threads_flag_is_gone_and_the_error_names_cores() {
+        let err = match parse_args(args(&["--threads", "6"])) {
+            Err(e) => e,
+            Ok(_) => panic!("--threads must be rejected"),
+        };
+        assert!(err.contains("--threads was removed"), "{err}");
         assert!(
-            a.threads_alias_used,
-            "alias use must be flagged for warning"
+            err.contains("--cores"),
+            "error must point at --cores: {err}"
         );
-        // Both spellings land in the same knob.
-        let b = run_of(parse_args(args(&["--cores", "6"])));
-        assert_eq!(a.spec.threads, b.spec.threads);
+    }
+
+    #[test]
+    fn metrics_flag_parses_and_rejects_garbage() {
+        let a = run_of(parse_args(args(&["--metrics", "3"])));
+        assert_eq!(a.metrics, Some(crate::heartbeat::DEFAULT_EVERY_MS));
+        // Bare `--metrics` must not eat the positional seed.
+        assert_eq!(a.seeds, vec![3]);
+        let b = run_of(parse_args(args(&["--metrics=250"])));
+        assert_eq!(b.metrics, Some(250));
+        assert!(parse_args(args(&["--metrics=junk"])).is_err());
     }
 
     #[test]

@@ -42,9 +42,12 @@ pub struct Scenario {
     /// Run the `bulksc-check` SC oracle over the captured value trace
     /// (implies `tracing`).
     pub oracle: bool,
+    /// Enable the `bulksc-metrics` registry for every measured rep (the
+    /// metrics-tax cell; see [`metrics_overhead`]).
+    pub metrics: bool,
 }
 
-/// The pinned scenario matrix (~8 cells). Every run in every cell uses
+/// The pinned scenario matrix (~9 cells). Every run in every cell uses
 /// the workspace-wide [`SEED`], so the simulated side is byte-identical
 /// across hosts and reps — only host time varies.
 pub fn matrix() -> Vec<Scenario> {
@@ -57,6 +60,7 @@ pub fn matrix() -> Vec<Scenario> {
         tracing,
         sampling,
         oracle,
+        metrics: false,
     };
     use bulksc::BulkConfig;
     use bulksc_cpu::BaselineModel;
@@ -125,6 +129,18 @@ pub fn matrix() -> Vec<Scenario> {
             false,
             true,
         ),
+        {
+            let mut m = cell(
+                "bsc8_metrics",
+                Model::Bulk(BulkConfig::bsc_dypvt()),
+                1,
+                false,
+                false,
+                false,
+            );
+            m.metrics = true;
+            m
+        },
     ]
 }
 
@@ -244,6 +260,13 @@ pub fn run_scenario(s: &Scenario, budget: u64, warmup: u32, reps: u32) -> Scenar
         prof: ProfReport::default(),
     };
     for _ in 0..reps {
+        // Metrics bracket with a nested-enable guard: if the caller (a
+        // `--metrics` sweep) already holds this thread's shard, reuse it
+        // rather than clobbering it with a disable().
+        let outer_metrics = bulksc_metrics::is_enabled();
+        if s.metrics && !outer_metrics {
+            bulksc_metrics::enable();
+        }
         prof::enable();
         let (mut sys, jsonl) = {
             let _setup = prof::scope(Phase::Setup);
@@ -276,6 +299,9 @@ pub fn run_scenario(s: &Scenario, budget: u64, warmup: u32, reps: u32) -> Scenar
             trace.verify().expect("perf run is SC");
         }
         let pr = prof::disable();
+        if s.metrics && !outer_metrics {
+            bulksc_metrics::publish(bulksc_metrics::disable());
+        }
         let secs = pr.wall_ns as f64 / 1e9;
         out.reps.push(Rep {
             wall_ns: pr.wall_ns,
@@ -431,10 +457,11 @@ pub fn load_perf(text: &str, origin: &str) -> Result<Json, String> {
         ));
     }
     let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
-    if version != SCHEMA_VERSION {
+    if !bulksc_trace::schema_supported(version) {
         return Err(format!(
-            "{origin}: schema version {version} != expected {SCHEMA_VERSION}; \
-             regenerate it with a current `bulksc-perf`"
+            "{origin}: schema version {version} outside supported range \
+             {}..={SCHEMA_VERSION}; regenerate it with a current `bulksc-perf`",
+            bulksc_trace::MIN_SCHEMA_VERSION
         ));
     }
     Ok(doc)
@@ -676,6 +703,26 @@ pub fn trace_overhead(text: &str, origin: &str) -> Result<f64, String> {
     Ok(base / traced)
 }
 
+/// The metrics tax: `bsc8` median KIPS over `bsc8_metrics` median KIPS
+/// (>1 means the enabled registry slows the simulator down by that
+/// factor; the CI gate holds it under 2%).
+pub fn metrics_overhead(text: &str, origin: &str) -> Result<f64, String> {
+    let doc = load_perf(text, origin)?;
+    let kips = scenario_kips(&doc);
+    let get = |name: &str| -> Result<f64, String> {
+        kips.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, k)| *k)
+            .ok_or_else(|| format!("{origin}: no scenario {name:?} to compute metrics overhead"))
+    };
+    let base = get("bsc8")?;
+    let metered = get("bsc8_metrics")?;
+    if metered <= 0.0 {
+        return Err(format!("{origin}: bsc8_metrics has no measured throughput"));
+    }
+    Ok(base / metered)
+}
+
 /// Append this suite's summary to a `BENCH_<label>.json` trajectory
 /// document (`existing` is the current file contents, if the file
 /// exists). Each entry keeps just enough to plot throughput over time.
@@ -747,12 +794,13 @@ mod tests {
     #[test]
     fn matrix_is_stable_and_unique() {
         let m = matrix();
-        assert_eq!(m.len(), 8);
+        assert_eq!(m.len(), 9);
         let mut names: Vec<&str> = m.iter().map(|s| s.name).collect();
         assert!(names.contains(&"bsc8") && names.contains(&"bsc8_trace"));
+        assert!(names.contains(&"bsc8_metrics"));
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8, "scenario names are the pairing keys");
+        assert_eq!(names.len(), 9, "scenario names are the pairing keys");
         for s in &m {
             assert!(!s.oracle || s.tracing, "{}: oracle implies tracing", s.name);
         }
@@ -899,6 +947,32 @@ mod tests {
         assert!(trace_overhead(&missing, "mem")
             .unwrap_err()
             .contains("bsc8_trace"));
+    }
+
+    #[test]
+    fn metrics_overhead_is_the_base_over_metered_ratio() {
+        let doc = synthetic(&[("bsc8", 100.0), ("bsc8_metrics", 98.0)]);
+        let ratio = metrics_overhead(&doc, "mem").unwrap();
+        assert!((ratio - 100.0 / 98.0).abs() < 1e-9);
+        let missing = synthetic(&[("bsc8", 100.0)]);
+        assert!(metrics_overhead(&missing, "mem")
+            .unwrap_err()
+            .contains("bsc8_metrics"));
+    }
+
+    #[test]
+    fn metrics_cell_publishes_counters_without_perturbing_the_sim() {
+        bulksc_metrics::reset_global();
+        let metered = tiny_result("bsc8_metrics");
+        let snap = bulksc_metrics::take_global();
+        assert!(
+            snap.counter(bulksc_metrics::Counter::ChunksCommitted) > 0,
+            "metered reps must publish sim counters"
+        );
+        // Out-of-band: the metered cell simulates exactly what bsc8 does.
+        let base = tiny_result("bsc8");
+        assert_eq!(base.reps[0].cycles, metered.reps[0].cycles);
+        assert_eq!(base.reps[0].instrs, metered.reps[0].instrs);
     }
 
     #[test]

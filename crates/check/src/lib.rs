@@ -232,10 +232,11 @@ impl ValueTrace {
             return Err("not a bulksc-trace stream (bad schema header)".to_string());
         }
         let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
-        if version != SCHEMA_VERSION {
+        if !bulksc_trace::schema_supported(version) {
             return Err(format!(
-                "trace schema version {version} != supported {SCHEMA_VERSION} \
-                 (value events appeared in version 3)"
+                "trace schema version {version} outside supported range \
+                 {}..={SCHEMA_VERSION} (value events appeared in version 3)",
+                bulksc_trace::MIN_SCHEMA_VERSION
             ));
         }
 

@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
 use bulksc_stats::{Histogram, TimeWeighted};
@@ -152,6 +153,7 @@ impl Arbiter {
 
     fn note_occupancy(&mut self, now: Cycle) {
         self.stats.pending_w.set(now, self.w_list.len() as f64);
+        metrics::gauge_peak(metrics::Gauge::ArbPendingWPeak, self.w_list.len() as u64);
     }
 
     /// True if `w`/`r` collide with any currently-committing W signature.
@@ -199,6 +201,7 @@ impl Arbiter {
     ) {
         let core = Self::core_index(src);
         self.stats.requests += 1;
+        metrics::inc(metrics::Counter::ArbRequests);
 
         // Pre-arbitration: the starved core's own request ends the episode.
         if self.prearb == Some(core) {
@@ -209,6 +212,7 @@ impl Arbiter {
             }
         } else if self.prearb.is_some() {
             self.stats.denials += 1;
+            metrics::inc(metrics::Counter::ArbDenials);
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
@@ -276,6 +280,7 @@ impl Arbiter {
     ) {
         if self.collides(&w, Some(r)) {
             self.stats.denials += 1;
+            metrics::inc(metrics::Counter::ArbDenials);
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
@@ -296,6 +301,7 @@ impl Arbiter {
     /// and track completion.
     fn grant(&mut self, now: Cycle, core: u32, chunk: ChunkTag, w: TrackedSig, fab: &mut Fabric) {
         self.stats.grants += 1;
+        metrics::inc(metrics::Counter::ArbGrants);
         self.trace.emit(now, || Event::CommitGrant {
             core: chunk.core,
             seq: chunk.seq,

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
 use bulksc_trace::{Event, TraceHandle};
@@ -134,6 +135,7 @@ impl GArbiter {
             panic!("commit requests come from cores, got {src:?}");
         };
         self.stats.requests += 1;
+        metrics::inc(metrics::Counter::GarbRequests);
         let r = r.expect("multi-range commits always carry the R signature");
 
         // Fast denial against locally-known in-flight W signatures.
@@ -143,6 +145,7 @@ impl GArbiter {
             .any(|(_, committing)| committing.intersects(&w) || committing.intersects(&r))
         {
             self.stats.fast_denials += 1;
+            metrics::inc(metrics::Counter::GarbFastDenials);
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
@@ -229,6 +232,7 @@ impl GArbiter {
             }
         } else {
             self.stats.denials += 1;
+            metrics::inc(metrics::Counter::GarbDenials);
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,

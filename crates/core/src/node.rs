@@ -32,6 +32,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use bulksc_cpu::{CoreConfig, InstrWindow, SlotId, SlotState, ValueStore};
 use bulksc_mem::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
+use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{Addr, LineAddr, TrackedSig};
 use bulksc_stats::{CycleLoss, Histogram, RunningMean};
@@ -1043,6 +1044,9 @@ impl BulkNode {
             }
         }
         self.stats.chunks_committed += 1;
+        metrics::inc(metrics::Counter::ChunksCommitted);
+        metrics::add(metrics::Counter::InstrsCommitted, front.retired);
+        metrics::observe(metrics::Hist::ChunkInstrs, front.retired);
         self.trace.emit(now, || Event::ChunkCommit {
             core: chunk.core,
             seq: chunk.seq,
@@ -1142,6 +1146,7 @@ impl BulkNode {
         }
         self.stats.squashes += 1;
         self.stats.squashed_instrs += wasted;
+        metrics::add(metrics::Counter::InstrsSquashed, wasted);
         self.trace.emit(now, || Event::Squash {
             core: self.core,
             seq: first_seq,
@@ -1269,9 +1274,11 @@ impl BulkNode {
                 .any(|c| c.collides_exactly_with(w));
             let cause = if exact {
                 self.stats.true_squashes += 1;
+                metrics::inc(metrics::Counter::SquashesTrueSharing);
                 SquashCause::TrueSharing
             } else {
                 self.stats.alias_squashes += 1;
+                metrics::inc(metrics::Counter::SquashesAlias);
                 SquashCause::Alias
             };
             // Which signature detected the conflict: the victim's R (a
@@ -1296,6 +1303,7 @@ impl BulkNode {
                     self.stats.cache_invs += 1;
                     if !w.contains_exact(line) {
                         self.stats.extra_cache_invs += 1;
+                        metrics::inc(metrics::Counter::SigFpExtraInvs);
                     }
                 }
             }
@@ -1343,9 +1351,11 @@ impl BulkNode {
                 .any(|c| c.collides_exactly_with(sig));
             let cause = if exact {
                 self.stats.true_squashes += 1;
+                metrics::inc(metrics::Counter::SquashesTrueSharing);
                 SquashCause::TrueSharing
             } else {
                 self.stats.alias_squashes += 1;
+                metrics::inc(metrics::Counter::SquashesAlias);
                 SquashCause::Alias
             };
             let label = if sig.intersects(&self.chunks[idx].r) {
@@ -1517,6 +1527,7 @@ impl BulkNode {
                 // check). Fall back to self-squashing the youngest chunk,
                 // which shrinks on repetition (§3.3).
                 self.stats.overflow_squashes += 1;
+                metrics::inc(metrics::Counter::SquashesOverflow);
                 if !self.chunks.is_empty() {
                     let idx = self.chunks.len() - 1;
                     self.squash_from(

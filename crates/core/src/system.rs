@@ -372,6 +372,7 @@ impl System {
         let _prof = bulksc_prof::scope(bulksc_prof::Phase::Run);
         while self.now < max_cycles {
             if self.finished() {
+                bulksc_metrics::inc(bulksc_metrics::Counter::RunsCompleted);
                 return true;
             }
             // Fast-forward: if no node can work now and no message is due,
@@ -386,7 +387,11 @@ impl System {
             let next = node_next.min(net_next);
             if next == Cycle::MAX {
                 // Nothing will ever happen again.
-                return self.finished();
+                if self.finished() {
+                    bulksc_metrics::inc(bulksc_metrics::Counter::RunsCompleted);
+                    return true;
+                }
+                return false;
             }
             if next > self.now {
                 self.now = next.min(max_cycles);

@@ -8,6 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use bulksc_metrics as metrics;
 use bulksc_trace::{Event, TraceHandle};
 
 use crate::msg::{Message, NodeId};
@@ -129,6 +130,9 @@ impl Fabric {
         msg: Message,
     ) {
         let _prof = bulksc_prof::scope(bulksc_prof::Phase::Fabric);
+        metrics::inc(metrics::Counter::FabricMessages);
+        metrics::add(metrics::Counter::FabricBytes, msg.wire_bytes());
+        metrics::gauge_peak(metrics::Gauge::FabricDepthPeak, self.queue.len() as u64 + 1);
         msg.account(&mut self.traffic);
         self.trace.emit(now, || Event::NetSend {
             src: src.into(),

@@ -92,7 +92,24 @@ pub use sinks::{ChromeTracer, JsonlTracer, RingTracer};
 /// `results/*.json` RunLog. Bump it when an event's fields, an event
 /// name, or an artifact's layout changes incompatibly; `bulksc-analyze`
 /// refuses artifacts whose version it does not understand.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// Version history: 3 introduced value events; 4 added the monotonic
+/// `wall_ns` field to interval-sampler rows and the sweep-metrics
+/// artifacts (`*.metrics.jsonl`).
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Oldest artifact schema version current tooling still reads. Version-4
+/// readers accept version-3 artifacts (the v4 additions are new fields,
+/// which loaders treat as optional), so committed baselines survive the
+/// bump; anything older is refused.
+pub const MIN_SCHEMA_VERSION: u64 = 3;
+
+/// True if tooling built at [`SCHEMA_VERSION`] can read an artifact
+/// stamped `version` (shared by every loader so the acceptance window
+/// cannot drift between them).
+pub fn schema_supported(version: u64) -> bool {
+    (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version)
+}
 
 /// The first line of every JSONL event stream:
 /// `{"schema":"bulksc-trace","version":N}`.

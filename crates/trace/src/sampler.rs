@@ -33,6 +33,11 @@ pub struct IntervalSample {
     pub traffic_bytes_delta: u64,
     /// Interconnect messages sent since the previous sample.
     pub messages_delta: u64,
+    /// Monotonic host nanoseconds (`bulksc_prof::clock::now_ns()`) at
+    /// which the sample was recorded. Host-side only — it aligns samples
+    /// from concurrent runs on a shared wall clock and never feeds back
+    /// into simulated time. Schema v4.
+    pub wall_ns: u64,
 }
 
 impl IntervalSample {
@@ -54,6 +59,7 @@ impl IntervalSample {
             ("fabric_depth", self.fabric_depth.into()),
             ("traffic_bytes_delta", self.traffic_bytes_delta.into()),
             ("messages_delta", self.messages_delta.into()),
+            ("wall_ns", self.wall_ns.into()),
         ])
     }
 }
@@ -159,6 +165,7 @@ impl IntervalSeries {
             fabric_depth: g.fabric_depth,
             traffic_bytes_delta: g.traffic_bytes.saturating_sub(self.last_bytes),
             messages_delta: g.messages.saturating_sub(self.last_messages),
+            wall_ns: bulksc_prof::clock::now_ns(),
         });
         self.last_cycle = now;
         self.last_retired = retired.to_vec();
@@ -299,6 +306,7 @@ mod tests {
         assert!(j.contains("\"every\":10"), "interval present in header");
         assert!(j.contains(&format!("\"version\":{}", crate::SCHEMA_VERSION)));
         assert!(j.contains("\"pending_w\":1"));
+        assert!(j.contains("\"wall_ns\":"), "v4 wall-clock field present");
         assert!(j.contains("\"arb_queue\":4"));
         assert!(j.contains("\"squashing_cores\":2"));
     }

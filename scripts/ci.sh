@@ -44,13 +44,25 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   check results/trace_demo.jsonl --jobs 2
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
-  --seeds 6 --time-box 60 --jobs 2 > /dev/null
+  --seeds 6 --time-box 60 --jobs 2 --metrics > /dev/null
+
+# Metrics smoke: the fuzz sweep above ran with the live registry on, so
+# it must have left a well-formed heartbeat stream and a text exposition
+# behind. `bulksc-analyze metrics` re-parses the JSONL with the in-repo
+# Json parser and exits nonzero on any malformed line or schema drift;
+# the exposition must carry real simulated counters, not zeros.
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  metrics results/fuzz.metrics.jsonl > /dev/null
+run grep -q '^bulksc_sim_chunks_committed [1-9]' results/fuzz.metrics.prom
 
 # Host-performance smoke: a fast pass over the perf matrix (small budget,
 # 2 reps — seconds, not minutes). `prof` re-reads the artifact and fails
 # if the tracing tax (bsc8 KIPS over bsc8_trace KIPS) exceeds 3x — the
 # zero-cost-when-off contract for the event-trace layer, with headroom
-# for host noise at smoke budgets. `perf-diff` against the committed
+# for host noise at smoke budgets — or if the metrics tax (bsc8 KIPS
+# over bsc8_metrics KIPS, both medians) exceeds 1.02x: live counters
+# must cost under 2% of throughput or they are not cheap enough to
+# leave on during sweeps. `perf-diff` against the committed
 # baseline uses a deliberately loose 90% threshold: absolute KIPS varies
 # wildly across hosts, so this only catches order-of-magnitude collapses
 # and scenario-matrix drift, while the self-diff must always be clean.
@@ -64,7 +76,7 @@ fi
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-perf -- \
   --fast --out results/perf.ci.json --no-trajectory --jobs 2 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
-  prof results/perf.ci.json --max-trace-overhead 3.0 > /dev/null
+  prof results/perf.ci.json --max-trace-overhead 3.0 --max-metrics-overhead 1.02 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   perf-diff results/perf.json results/perf.ci.json --threshold 90 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \

@@ -1,0 +1,165 @@
+//! The metrics registry's two contracts, end to end.
+//!
+//! 1. **Width-invariant merge.** A `--metrics` sweep shards the registry
+//!    per pool worker and merges post-join; counters sum, gauges take
+//!    maxima, histograms add bucket-wise — all commutative — so the merged
+//!    deterministic snapshot must be byte-identical at `--jobs` 1, 4, 8.
+//! 2. **Strictly out-of-band.** Enabling the registry (and the live
+//!    progress atomics) must not perturb anything the simulator produces:
+//!    figure text, `results/*.json` RunLogs, SimReports, and JSONL event
+//!    traces stay byte-identical with metrics on or off.
+//!
+//! Tests that touch the process-global snapshot slot (`publish` /
+//! `take_global` — any pool run wider than one worker with collection on)
+//! serialize on a static mutex; the cargo test harness runs `#[test]`s
+//! concurrently and the global slot is one per process.
+
+use std::sync::Mutex;
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_bench::figures;
+use bulksc_metrics as metrics;
+use bulksc_trace::{JsonlTracer, TraceHandle};
+use bulksc_workloads::{by_name, SyntheticApp, ThreadProgram};
+
+/// Serializes every test that publishes to / drains the global snapshot.
+static GLOBAL_SLOT: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_SLOT.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// fig9 at `width` with collection on; returns (merged deterministic
+/// snapshot text, figure text, RunLog JSON).
+fn fig9_with_metrics(width: usize) -> (String, String, String) {
+    metrics::reset_global();
+    metrics::enable();
+    let out = figures::fig9(600, width);
+    let mut snap = metrics::disable();
+    snap.merge(&metrics::take_global());
+    (
+        snap.deterministic_text(),
+        out.text,
+        out.log.to_json().to_string(),
+    )
+}
+
+#[test]
+fn registry_merge_is_byte_identical_at_widths_1_4_8() {
+    let _g = lock();
+    let (snap1, fig1, log1) = fig9_with_metrics(1);
+    let (snap4, fig4, log4) = fig9_with_metrics(4);
+    let (snap8, fig8, log8) = fig9_with_metrics(8);
+
+    assert_eq!(snap1, snap4, "merged registry must not depend on --jobs");
+    assert_eq!(snap1, snap8, "merged registry must not depend on --jobs");
+    // The sweep really collected: sim counters and the pool's own are in.
+    assert!(snap1.contains("sim_chunks_committed"), "{snap1}");
+    assert!(!snap1.contains("sim_chunks_committed 0\n"), "{snap1}");
+    assert!(snap1.contains("pool_jobs_completed 13"), "{snap1}");
+
+    // The figure surfaces are width-invariant too (metrics on).
+    assert_eq!(fig1, fig4);
+    assert_eq!(fig1, fig8);
+    assert_eq!(log1, log4);
+    assert_eq!(log1, log8);
+
+    // ... and identical to a metrics-off run: out-of-band at every width.
+    let off = figures::fig9(600, 4);
+    assert_eq!(fig1, off.text, "figure text must not depend on --metrics");
+    assert_eq!(
+        log1,
+        off.log.to_json().to_string(),
+        "results/fig9.json must not depend on --metrics"
+    );
+}
+
+#[test]
+fn live_progress_tracks_a_sweep_without_touching_its_output() {
+    let _g = lock();
+    metrics::reset_global();
+    metrics::live::activate();
+    metrics::enable();
+    let out = figures::table3(500, 4);
+    metrics::live::deactivate();
+    let live = metrics::live::snapshot();
+    let mut snap = metrics::disable();
+    snap.merge(&metrics::take_global());
+
+    assert!(live.total > 0, "sweep enqueued jobs");
+    assert_eq!(live.done, live.total, "all jobs completed");
+    assert_eq!(live.in_flight, 0);
+    assert_eq!(live.queue_depth, 0);
+    assert!(live.queue_peak >= live.total, "peak saw the full queue");
+    assert_eq!(live.panicked, 0);
+    assert_eq!(
+        snap.counter(metrics::Counter::PoolJobsCompleted),
+        live.done,
+        "registry and live agree on completions"
+    );
+
+    let off = figures::table3(500, 4);
+    assert_eq!(out.text, off.text, "live tracking is out-of-band");
+}
+
+/// One traced run: JSONL event stream plus the SimReport JSON.
+fn traced_run() -> (String, String) {
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+    cfg.budget = 800;
+    let app = by_name("ocean").unwrap();
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| {
+            Box::new(SyntheticApp::new(app, t, cfg.cores, bulksc_bench::SEED))
+                as Box<dyn ThreadProgram>
+        })
+        .collect();
+    let mut sys = System::new(cfg, programs);
+    let sink = JsonlTracer::shared();
+    let mut handle = TraceHandle::off();
+    handle.attach(sink.clone());
+    sys.set_tracer(handle);
+    assert!(sys.run(u64::MAX / 4));
+    let report = SimReport::collect(&sys).to_json().to_string();
+    let stream = sink.borrow().contents().to_string();
+    (stream, report)
+}
+
+#[test]
+fn traces_and_simreports_are_unchanged_metrics_on_vs_off() {
+    // Thread-local enable only — no pool, no global slot, no lock needed.
+    let (stream_off, report_off) = traced_run();
+    metrics::enable();
+    let (stream_on, report_on) = traced_run();
+    let snap = metrics::disable();
+
+    assert_eq!(
+        stream_off, stream_on,
+        "JSONL event stream must not depend on --metrics"
+    );
+    assert_eq!(
+        report_off, report_on,
+        "SimReport JSON must not depend on --metrics"
+    );
+    // The metered run really counted — out-of-band, not off.
+    assert!(snap.counter(metrics::Counter::ChunksCommitted) > 0);
+    assert!(snap.counter(metrics::Counter::InstrsCommitted) > 0);
+    assert_eq!(
+        snap.hist(metrics::Hist::ChunkInstrs).count(),
+        snap.counter(metrics::Counter::ChunksCommitted),
+        "one histogram observation per committed chunk"
+    );
+}
+
+#[test]
+fn disabled_registry_collects_nothing() {
+    // No enable() on this thread: a full simulated run must leave every
+    // shard untouched (the zero-cost-when-off contract).
+    let (_, _) = traced_run();
+    metrics::enable();
+    let snap = metrics::disable();
+    assert!(
+        snap.is_empty(),
+        "a disabled registry must not accumulate: {}",
+        snap.deterministic_text()
+    );
+}
