@@ -11,7 +11,11 @@
 //!   emit a Chrome trace of them, and flag every `chunk_start` that never
 //!   reached a commit, squash, or abandon;
 //! * [`diff`] — compare two RunLog artifacts metric-by-metric with a
-//!   relative-delta threshold, for regression gating in CI.
+//!   relative-delta threshold, for regression gating in CI;
+//! * [`xray`] — conflict forensics over an attributed (`--xray`) event
+//!   stream: per-site squash/deny counts, the core-pair conflict matrix,
+//!   hot conflict lines with the alias / true-sharing split, cascade
+//!   depths, and a Graphviz causality graph.
 //!
 //! Every entry point first checks the artifact's `schema`/`version` pair
 //! against [`bulksc_trace::SCHEMA_VERSION`] and refuses anything it does
@@ -787,12 +791,335 @@ pub fn trend_report(text: &str, origin: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// The outcome of a conflict-forensics pass over an attributed (`--xray`)
+/// event stream.
+#[derive(Debug)]
+pub struct Xray {
+    /// Human-readable forensics report.
+    pub text: String,
+    /// Graphviz causality graph: aggressor core → victim core, edge
+    /// weight = attributed conflicts.
+    pub dot: String,
+    /// Squash events seen.
+    pub squashes: u64,
+    /// Commit-deny events seen.
+    pub denies: u64,
+    /// Events carrying attribution fields (0 means the run was captured
+    /// without `--xray`).
+    pub attributed: u64,
+}
+
+/// Summarize an attributed JSONL event stream: per-site squash/deny
+/// counts, the core-pair conflict matrix, the top-`top_n` hot lines with
+/// the alias / true-sharing split, the squash-cascade depth histogram,
+/// and the per-core aggressor/victim balance.
+///
+/// Cascade depth is derived from victim→aggressor chains: a squash whose
+/// aggressor core was itself squashed since its last commit extends that
+/// core's chain by one; a commit resets the core's chain. Depth 1 is an
+/// isolated squash, depth ≥2 is a cascade.
+///
+/// All output is deterministic (BTreeMap ordering throughout), so the
+/// report is byte-identical for byte-identical streams.
+pub fn xray(jsonl: &str, origin: &str, top_n: usize) -> Result<Xray, String> {
+    let mut lines = jsonl.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format!("{origin}: empty trace (not even a schema header)"))?;
+    let h =
+        Json::parse(header).ok_or_else(|| format!("{origin}: trace header is not valid JSON"))?;
+    let schema = h.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "bulksc-trace" {
+        return Err(format!(
+            "{origin}: not a bulksc-trace stream (schema {schema:?}, expected \"bulksc-trace\")"
+        ));
+    }
+    let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if !bulksc_trace::schema_supported(version) {
+        return Err(format!(
+            "{origin}: trace schema version {version} outside supported range {}..={SCHEMA_VERSION}",
+            bulksc_trace::MIN_SCHEMA_VERSION
+        ));
+    }
+
+    let (mut squashes, mut denies, mut attributed) = (0u64, 0u64, 0u64);
+    // Squash counts by cause label.
+    let mut by_cause: BTreeMap<String, u64> = BTreeMap::new();
+    // site -> (squashes, denies).
+    let mut sites: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    // (victim core, aggressor core) -> attributed conflicts.
+    let mut matrix: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    // line -> (true-sharing, alias, deny) witness counts.
+    let mut hot: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    // core -> (times victim of a squash, times denied, times aggressor).
+    let mut balance: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    // Cascade chains: core -> depth of its last squash since its last
+    // commit; depth -> squash count histogram.
+    let mut chain: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut cascade: BTreeMap<u64, u64> = BTreeMap::new();
+
+    for (lineno, line) in lines {
+        let ev = Json::parse(line)
+            .ok_or_else(|| format!("{origin}: line {}: not valid JSON: {line}", lineno + 1))?;
+        let name = ev.get("ev").and_then(Json::as_str).unwrap_or("");
+        let core = ev.get("core").and_then(Json::as_u64);
+        let agg = ev.get("agg_core").and_then(Json::as_u64);
+        let site = ev.get("site").and_then(Json::as_str);
+        let witnesses: Vec<u64> = ev
+            .get("witness")
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default();
+        match name {
+            "chunk_commit" => {
+                if let Some(c) = core {
+                    chain.insert(c, 0);
+                }
+            }
+            "squash" => {
+                squashes += 1;
+                let victim = core
+                    .ok_or_else(|| format!("{origin}: line {}: squash without core", lineno + 1))?;
+                let cause = ev.get("cause").and_then(Json::as_str).unwrap_or("?");
+                *by_cause.entry(cause.to_string()).or_default() += 1;
+                balance.entry(victim).or_default().0 += 1;
+                if let Some(site) = site {
+                    attributed += 1;
+                    sites.entry(site.to_string()).or_default().0 += 1;
+                    for &l in &witnesses {
+                        let slot = hot.entry(l).or_default();
+                        match cause {
+                            "true-sharing" => slot.0 += 1,
+                            _ => slot.1 += 1,
+                        }
+                    }
+                    if let Some(a) = agg {
+                        *matrix.entry((victim, a)).or_default() += 1;
+                        balance.entry(a).or_default().2 += 1;
+                    }
+                    let depth = 1 + agg.and_then(|a| chain.get(&a)).copied().unwrap_or(0);
+                    chain.insert(victim, depth);
+                    *cascade.entry(depth).or_default() += 1;
+                }
+            }
+            "commit_deny" => {
+                denies += 1;
+                let victim = core.ok_or_else(|| {
+                    format!("{origin}: line {}: commit_deny without core", lineno + 1)
+                })?;
+                balance.entry(victim).or_default().1 += 1;
+                if let Some(site) = site {
+                    attributed += 1;
+                    sites.entry(site.to_string()).or_default().1 += 1;
+                    for &l in &witnesses {
+                        hot.entry(l).or_default().2 += 1;
+                    }
+                    if let Some(a) = agg {
+                        *matrix.entry((victim, a)).or_default() += 1;
+                        balance.entry(a).or_default().2 += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let cause_of = |label: &str| by_cause.get(label).copied().unwrap_or(0);
+    let mut text = format!(
+        "xray {origin}: {squashes} squashes ({} true-sharing, {} alias, {} overflow), \
+         {denies} denies, {attributed} attributed events\n",
+        cause_of("true-sharing"),
+        cause_of("alias"),
+        cause_of("overflow"),
+    );
+    if attributed == 0 {
+        text.push_str(
+            "no attribution fields in this stream — capture it with --xray to get \
+             aggressor, witness, and site forensics\n",
+        );
+    }
+
+    if !sites.is_empty() {
+        let mut t = Table::new(
+            ["conflict site", "squashes", "denies"]
+                .map(str::to_string)
+                .to_vec(),
+        );
+        for (site, (s, d)) in &sites {
+            t.row(vec![site.clone(), s.to_string(), d.to_string()]);
+        }
+        text.push_str(&t.to_string());
+    }
+
+    if !matrix.is_empty() {
+        let mut cores: Vec<u64> = matrix
+            .keys()
+            .flat_map(|&(v, a)| [v, a])
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        cores.sort_unstable();
+        let mut header = vec!["victim \\ aggressor".to_string()];
+        header.extend(cores.iter().map(|c| format!("c{c}")));
+        let mut t = Table::new(header);
+        for &v in &cores {
+            let mut row = vec![format!("c{v}")];
+            for &a in &cores {
+                row.push(match matrix.get(&(v, a)) {
+                    Some(n) => n.to_string(),
+                    None => "-".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        text.push_str(&t.to_string());
+    }
+
+    if !hot.is_empty() {
+        // Hottest lines first; ties broken by address for determinism.
+        let mut lines: Vec<(u64, (u64, u64, u64))> = hot.into_iter().collect();
+        lines.sort_by_key(|&(l, (t, a, d))| (std::cmp::Reverse(t + a + d), l));
+        let mut t = Table::new(
+            ["hot line", "conflicts", "true", "alias", "deny"]
+                .map(str::to_string)
+                .to_vec(),
+        );
+        for &(l, (tr, al, de)) in lines.iter().take(top_n) {
+            t.row(vec![
+                format!("{l:#x}"),
+                (tr + al + de).to_string(),
+                tr.to_string(),
+                al.to_string(),
+                de.to_string(),
+            ]);
+        }
+        text.push_str(&t.to_string());
+        if lines.len() > top_n {
+            text.push_str(&format!("  ... and {} more lines\n", lines.len() - top_n));
+        }
+    }
+
+    if !cascade.is_empty() {
+        let mut t = Table::new(["cascade depth", "squashes"].map(str::to_string).to_vec());
+        for (depth, n) in &cascade {
+            t.row(vec![depth.to_string(), n.to_string()]);
+        }
+        text.push_str(&t.to_string());
+    }
+
+    if !balance.is_empty() {
+        let mut t = Table::new(
+            ["core", "squashed", "denied", "aggressor"]
+                .map(str::to_string)
+                .to_vec(),
+        );
+        for (core, (sq, de, ag)) in &balance {
+            t.row(vec![
+                format!("c{core}"),
+                sq.to_string(),
+                de.to_string(),
+                ag.to_string(),
+            ]);
+        }
+        text.push_str(&t.to_string());
+    }
+
+    // Causality graph: aggressor → victim, weighted by conflict count.
+    let mut dot = String::from("digraph xray {\n  rankdir=LR;\n");
+    for (&(v, a), &n) in &matrix {
+        dot.push_str(&format!("  c{a} -> c{v} [label=\"{n}\"];\n"));
+    }
+    dot.push_str("}\n");
+
+    Ok(Xray {
+        text,
+        dot,
+        squashes,
+        denies,
+        attributed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::artifact::RunLog;
     use crate::run_app;
     use bulksc::{BulkConfig, Model};
+
+    #[test]
+    fn xray_report_attributes_conflicts() {
+        let header = bulksc_trace::jsonl_header();
+        let trace = format!(
+            "{header}\n\
+             {{\"t\":1,\"ev\":\"commit_deny\",\"core\":1,\"seq\":4,\"agg_core\":0,\"agg_seq\":2,\"site\":\"arb\",\"witness\":[16]}}\n\
+             {{\"t\":5,\"ev\":\"squash\",\"core\":1,\"seq\":4,\"cause\":\"true-sharing\",\"squashed_instrs\":100,\"agg_core\":0,\"agg_seq\":2,\"site\":\"wsig\",\"witness\":[16,17]}}\n\
+             {{\"t\":9,\"ev\":\"squash\",\"core\":2,\"seq\":7,\"cause\":\"alias\",\"squashed_instrs\":50,\"agg_core\":1,\"agg_seq\":4,\"site\":\"wsig\",\"witness\":[]}}\n\
+             {{\"t\":12,\"ev\":\"chunk_commit\",\"core\":1,\"seq\":5,\"read_lines\":1,\"write_lines\":1,\"priv_lines\":0}}\n\
+             {{\"t\":15,\"ev\":\"squash\",\"core\":3,\"seq\":1,\"cause\":\"overflow\",\"squashed_instrs\":10,\"site\":\"overflow\",\"witness\":[]}}\n"
+        );
+        let x = xray(&trace, "mem", 10).unwrap();
+        assert_eq!(x.squashes, 3);
+        assert_eq!(x.denies, 1);
+        assert_eq!(x.attributed, 4);
+        assert!(
+            x.text.contains("1 true-sharing, 1 alias, 1 overflow"),
+            "{}",
+            x.text
+        );
+        // Hot line 0x10 appears as both a deny and a true-sharing witness.
+        assert!(x.text.contains("0x10"), "{}", x.text);
+        assert!(x.text.contains("0x11"), "{}", x.text);
+        // Core 2's squash was aggressed by core 1, whose own squash is
+        // still live: a depth-2 cascade.
+        assert!(x.text.contains("cascade depth"), "{}", x.text);
+        let cascade_rows: Vec<&str> = x
+            .text
+            .lines()
+            .skip_while(|l| !l.contains("cascade depth"))
+            .take(4)
+            .collect();
+        assert!(
+            cascade_rows.iter().any(|l| l.trim_start().starts_with('2')),
+            "depth-2 row present: {cascade_rows:?}"
+        );
+        // Causality edges run aggressor → victim.
+        assert!(x.dot.contains("c0 -> c1"), "{}", x.dot);
+        assert!(x.dot.contains("c1 -> c2"), "{}", x.dot);
+        // Deterministic: same stream, same bytes.
+        let again = xray(&trace, "mem", 10).unwrap();
+        assert_eq!(x.text, again.text);
+        assert_eq!(x.dot, again.dot);
+    }
+
+    #[test]
+    fn xray_flags_unattributed_streams_and_bad_headers() {
+        let header = bulksc_trace::jsonl_header();
+        let trace = format!(
+            "{header}\n{{\"t\":5,\"ev\":\"squash\",\"core\":1,\"seq\":4,\
+             \"cause\":\"alias\",\"squashed_instrs\":7}}\n"
+        );
+        let x = xray(&trace, "mem", 10).unwrap();
+        assert_eq!(x.squashes, 1);
+        assert_eq!(x.attributed, 0);
+        assert!(x.text.contains("--xray"), "{}", x.text);
+        assert!(xray("", "mem", 10).is_err());
+        assert!(xray("{\"schema\":\"other\"}\n", "mem", 10).is_err());
+        assert!(xray("{\"schema\":\"bulksc-trace\",\"version\":999}\n", "mem", 10).is_err());
+    }
+
+    #[test]
+    fn xray_capture_round_trips_through_the_analyzer() {
+        let stream = crate::xray::capture_stream(2_000);
+        let x = xray(&stream, "mem", 10).unwrap();
+        assert!(
+            x.attributed > 0,
+            "pinned capture must contain attributed events"
+        );
+        assert!(x.text.contains("conflict site"), "{}", x.text);
+        // And the capture itself is deterministic.
+        assert_eq!(stream, crate::xray::capture_stream(2_000));
+    }
 
     #[test]
     fn metrics_report_renders_snapshots_and_rates() {
@@ -861,6 +1188,59 @@ mod tests {
 
         let e = trend_report("{\"schema\":\"nope\"}", "BENCH_x.json").unwrap_err();
         assert!(e.contains("BENCH_x.json"), "{e}");
+    }
+
+    #[test]
+    fn trend_report_handles_empty_and_single_entry_trajectories() {
+        // Empty trajectory: a sane one-liner, never a panic.
+        let empty = format!(
+            "{{\"schema\":\"bulksc-bench-trajectory\",\"version\":{SCHEMA_VERSION},\"entries\":[]}}"
+        );
+        let out = trend_report(&empty, "BENCH_empty.json").unwrap();
+        assert!(out.contains("0 entries"), "{out}");
+
+        // Single entry: the table renders and the last-delta column shows
+        // "-" (no history to delta against).
+        let doc = crate::perf::trajectory_append(
+            None,
+            &Json::parse(
+                "{\"schema\":\"bulksc-perf\",\"version\":4,\"label\":\"seed\",\"budget\":1000,\
+                 \"reps\":2,\"scenarios\":[{\"name\":\"bsc8\",\"median_kips\":100.0}]}",
+            )
+            .unwrap(),
+            1_000,
+        )
+        .unwrap();
+        let out = trend_report(&doc, "BENCH_one.json").unwrap();
+        assert!(out.contains("1 entries"), "{out}");
+        let row = out
+            .lines()
+            .find(|l| l.contains("bsc8"))
+            .expect("scenario row");
+        assert_eq!(
+            row.split_whitespace().last(),
+            Some("-"),
+            "single entry has no delta: {row}"
+        );
+    }
+
+    #[test]
+    fn metrics_report_tolerates_older_snapshots_and_empty_streams() {
+        // A v3-era snapshot row without wall_ns: the rate column degrades
+        // to a computed value against stamp 0, no panic, and the v3
+        // header is still accepted (additive schema history).
+        let stream = "\
+{\"schema\":\"bulksc-metrics\",\"version\":3,\"name\":\"old\",\"every_ms\":100}
+{\"done\":2,\"total\":4,\"in_flight\":1,\"queue_depth\":1,\"queue_peak\":4,\"panicked\":0,\"eta_s\":1.0,\"final\":false}
+{\"wall_ns\":2000000000,\"done\":4,\"total\":4,\"in_flight\":0,\"queue_depth\":0,\"queue_peak\":4,\"panicked\":0,\"eta_s\":0.0,\"final\":true}
+";
+        let out = metrics_report(stream, "old.metrics.jsonl").unwrap();
+        assert!(out.contains("2 snapshots"), "{out}");
+        assert!(out.contains("4/4 jobs done"), "{out}");
+
+        // A fully empty file is a named error, not a panic.
+        let e = metrics_report("", "empty.metrics.jsonl").unwrap_err();
+        assert!(e.contains("empty.metrics.jsonl"), "{e}");
     }
 
     fn sample_runlog() -> String {

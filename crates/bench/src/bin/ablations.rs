@@ -3,7 +3,7 @@
 //! unexplored design space"), Private Buffer capacity (§5.2), and chunk
 //! slots per core (§4.1.2).
 //!
-//! `cargo run --release -p bulksc-bench --bin ablations [-- fast] [--jobs N] [--metrics[=MS]]`
+//! `cargo run --release -p bulksc-bench --bin ablations [-- fast] [--jobs N] [--metrics[=MS]] [--xray]`
 
 use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
@@ -18,4 +18,5 @@ fn main() {
     }
     print!("{}", out.text);
     out.log.write_if_requested();
+    bulksc_bench::xray::capture_if_requested("ablations", budget);
 }

@@ -6,10 +6,11 @@
 //! bulksc-analyze diff      <a.json> <b.json> [--threshold <pct>]
 //! bulksc-analyze check     <trace.jsonl>... [--jobs N] [--metrics[=MS]]
 //! bulksc-analyze prof      <perf.json> [--chrome <out.json>] [--max-trace-overhead <x>]
-//!                          [--max-metrics-overhead <x>]
+//!                          [--max-metrics-overhead <x>] [--max-xray-overhead <x>]
 //! bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]
 //! bulksc-analyze metrics   <name.metrics.jsonl>...
 //! bulksc-analyze trend     <BENCH_label.json>...
+//! bulksc-analyze xray      <name.xray.jsonl> [--dot <out.dot>] [--top N]
 //! ```
 //!
 //! * `report` prints per-phase commit-latency percentiles, the per-core
@@ -42,6 +43,14 @@
 //!   per-interval completion rates from the monotonic wall stamps.
 //! * `trend` tabulates a `BENCH_<label>.json` trajectory: per-scenario
 //!   median KIPS across every recorded suite run with last-entry deltas.
+//! * `xray` reads a conflict-forensics capture (an experiment binary run
+//!   with `--xray`) and renders the squash post-mortem: the
+//!   victim-by-aggressor conflict matrix, the hottest conflict lines
+//!   split into alias (Bloom false positive) vs true sharing, the
+//!   squash-cascade depth histogram, and the per-core
+//!   squashed/denied/aggressor balance. `--dot` also writes the
+//!   victim→aggressor causality graph in Graphviz form; `--top N`
+//!   widens the hot-line table (default 10).
 //!
 //! Exit codes: 0 success, 1 validation/regression failure, 2 usage or
 //! unreadable/unsupported input.
@@ -56,10 +65,11 @@ fn usage() -> ExitCode {
          \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
          \x20      bulksc-analyze check <trace.jsonl>... [--jobs N] [--metrics[=MS]]\n\
          \x20      bulksc-analyze prof <perf.json> [--chrome <out.json>] \
-         [--max-trace-overhead <x>] [--max-metrics-overhead <x>]\n\
+         [--max-trace-overhead <x>] [--max-metrics-overhead <x>] [--max-xray-overhead <x>]\n\
          \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]\n\
          \x20      bulksc-analyze metrics <name.metrics.jsonl>...\n\
-         \x20      bulksc-analyze trend <BENCH_label.json>..."
+         \x20      bulksc-analyze trend <BENCH_label.json>...\n\
+         \x20      bulksc-analyze xray <name.xray.jsonl> [--dot <out.dot>] [--top N]"
     );
     ExitCode::from(2)
 }
@@ -276,6 +286,7 @@ fn main() -> ExitCode {
             let mut chrome_out: Option<String> = None;
             let mut max_overhead: Option<f64> = None;
             let mut max_metrics_overhead: Option<f64> = None;
+            let mut max_xray_overhead: Option<f64> = None;
             let mut it = rest[1..].iter();
             while let Some(flag) = it.next() {
                 match (flag.as_str(), it.next()) {
@@ -286,6 +297,10 @@ fn main() -> ExitCode {
                     },
                     ("--max-metrics-overhead", Some(v)) => match v.parse::<f64>() {
                         Ok(x) if x > 0.0 => max_metrics_overhead = Some(x),
+                        _ => return usage(),
+                    },
+                    ("--max-xray-overhead", Some(v)) => match v.parse::<f64>() {
+                        Ok(x) if x > 0.0 => max_xray_overhead = Some(x),
                         _ => return usage(),
                     },
                     _ => return usage(),
@@ -354,6 +369,25 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            if let Some(bound) = max_xray_overhead {
+                match perf::xray_overhead(&text, path) {
+                    Ok(ratio) => {
+                        println!(
+                            "xray overhead (bsc8_trace / bsc8_xray): {ratio:.2}x (bound {bound:.2}x)"
+                        );
+                        if ratio > bound {
+                            eprintln!(
+                                "bulksc-analyze: xray overhead {ratio:.2}x exceeds bound {bound:.2}x"
+                            );
+                            return ExitCode::from(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         ("metrics", paths) if !paths.is_empty() => {
@@ -387,6 +421,43 @@ fn main() -> ExitCode {
                 }
             }
             ExitCode::SUCCESS
+        }
+        ("xray", rest) if !rest.is_empty() => {
+            let path = &rest[0];
+            let mut dot_out: Option<String> = None;
+            let mut top_n: usize = 10;
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                match (flag.as_str(), it.next()) {
+                    ("--dot", Some(p)) => dot_out = Some(p.clone()),
+                    ("--top", Some(v)) => match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => top_n = n,
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match analyze::xray(&text, path, top_n) {
+                Ok(x) => {
+                    print!("{}", x.text);
+                    if let Some(out) = dot_out {
+                        if let Err(e) = std::fs::write(&out, &x.dot) {
+                            eprintln!("bulksc-analyze: cannot write {out}: {e}");
+                            return ExitCode::from(2);
+                        }
+                        println!("wrote {out}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bulksc-analyze: {e}");
+                    ExitCode::from(2)
+                }
+            }
         }
         ("perf-diff", rest) if rest.len() >= 2 => {
             let threshold = match rest[2..] {

@@ -1,7 +1,7 @@
 //! Figure 10: BSCdypvt performance with chunks of 1000 / 2000 / 4000
 //! instructions, plus 4000-exact, normalized to RC.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig10 [-- fast] [--jobs N] [--metrics[=MS]]`
+//! `cargo run --release -p bulksc-bench --bin fig10 [-- fast] [--jobs N] [--metrics[=MS]] [--xray]`
 
 use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
@@ -16,4 +16,5 @@ fn main() {
     }
     print!("{}", out.text);
     out.log.write_if_requested();
+    bulksc_bench::xray::capture_if_requested("fig10", budget);
 }

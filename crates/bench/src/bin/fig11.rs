@@ -3,7 +3,7 @@
 //! R = RC, E = BSCexact, N = BSCdypvt without the RSig optimization, and
 //! B = BSCdypvt.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig11 [-- fast] [--jobs N] [--metrics[=MS]]`
+//! `cargo run --release -p bulksc-bench --bin fig11 [-- fast] [--jobs N] [--metrics[=MS]] [--xray]`
 
 use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
@@ -18,4 +18,5 @@ fn main() {
     }
     print!("{}", out.text);
     out.log.write_if_requested();
+    bulksc_bench::xray::capture_if_requested("fig11", budget);
 }

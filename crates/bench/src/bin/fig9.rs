@@ -1,7 +1,7 @@
 //! Figure 9: performance of SC, RC, SC++, BSCbase, BSCdypvt, BSCexact,
 //! BSCstpvt across the paper's 13 applications, normalized to RC.
 //!
-//! `cargo run --release -p bulksc-bench --bin fig9 [-- fast] [--jobs N] [--metrics[=MS]]`
+//! `cargo run --release -p bulksc-bench --bin fig9 [-- fast] [--jobs N] [--metrics[=MS]] [--xray]`
 //! (`BULKSC_BUDGET=N` scales run length; `BULKSC_JOBS` sets the default
 //! worker count. Output is byte-identical at any `--jobs` value.)
 
@@ -18,4 +18,5 @@ fn main() {
     }
     print!("{}", out.text);
     out.log.write_if_requested();
+    bulksc_bench::xray::capture_if_requested("fig9", budget);
 }

@@ -3,7 +3,7 @@
 //! displacements, Private Buffer supplies, and aliasing-caused extra cache
 //! invalidations.
 //!
-//! `cargo run --release -p bulksc-bench --bin table3 [-- fast] [--jobs N] [--metrics[=MS]]`
+//! `cargo run --release -p bulksc-bench --bin table3 [-- fast] [--jobs N] [--metrics[=MS]] [--xray]`
 
 use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
@@ -18,4 +18,5 @@ fn main() {
     }
     print!("{}", out.text);
     out.log.write_if_requested();
+    bulksc_bench::xray::capture_if_requested("table3", budget);
 }

@@ -4,7 +4,7 @@
 //! (pending W signatures, W-list occupancy, RSig fallbacks, empty-W
 //! commits).
 //!
-//! `cargo run --release -p bulksc-bench --bin table4 [-- fast] [--jobs N] [--metrics[=MS]]`
+//! `cargo run --release -p bulksc-bench --bin table4 [-- fast] [--jobs N] [--metrics[=MS]] [--xray]`
 
 use bulksc_bench::heartbeat::Heartbeat;
 use bulksc_bench::{budget_from_env, figures, pool};
@@ -19,4 +19,5 @@ fn main() {
     }
     print!("{}", out.text);
     out.log.write_if_requested();
+    bulksc_bench::xray::capture_if_requested("table4", budget);
 }

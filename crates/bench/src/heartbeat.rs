@@ -98,6 +98,9 @@ fn snapshot_line(start_ns: u64, live: metrics::live::LiveSnapshot, is_final: boo
         ("queue_depth", live.queue_depth.into()),
         ("queue_peak", live.queue_peak.into()),
         ("panicked", live.panicked.into()),
+        ("squashes_true", live.squashes_true.into()),
+        ("squashes_alias", live.squashes_alias.into()),
+        ("squashes_overflow", live.squashes_overflow.into()),
         ("eta_s", eta_s.into()),
         ("final", is_final.into()),
     ])
@@ -115,8 +118,21 @@ fn stderr_line(name: &str, start_ns: u64, live: metrics::live::LiveSnapshot) -> 
     } else {
         String::new()
     };
+    // Squash rates by cause, visible only once squashes happen — the
+    // live read on a squash storm (`EXPERIMENTS.md` walkthrough).
+    let squashed = live.squashes_true + live.squashes_alias + live.squashes_overflow;
+    let squashes = if squashed > 0 && elapsed_s > 0.0 {
+        format!(
+            ", squash/s true {:.1} alias {:.1} ovf {:.1}",
+            live.squashes_true as f64 / elapsed_s,
+            live.squashes_alias as f64 / elapsed_s,
+            live.squashes_overflow as f64 / elapsed_s
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "[metrics] {name}: {}/{} jobs done, {} in flight, queue {}{eta}",
+        "[metrics] {name}: {}/{} jobs done, {} in flight, queue {}{squashes}{eta}",
         live.done, live.total, live.in_flight, live.queue_depth
     )
 }
@@ -312,11 +328,16 @@ mod tests {
                 queue_depth: 4,
                 queue_peak: 10,
                 panicked: 0,
+                squashes_true: 3,
+                squashes_alias: 1,
+                squashes_overflow: 0,
             },
             false,
         );
         assert!(bulksc_trace::json::is_valid(&line));
         assert!(line.contains("\"done\":4"));
+        assert!(line.contains("\"squashes_true\":3"));
+        assert!(line.contains("\"squashes_alias\":1"));
         assert!(line.contains("\"final\":false"));
     }
 
@@ -332,10 +353,39 @@ mod tests {
                 queue_depth: 46,
                 queue_peak: 91,
                 panicked: 0,
+                squashes_true: 0,
+                squashes_alias: 0,
+                squashes_overflow: 0,
             },
         );
         assert!(line.starts_with("[metrics] fig9: 42/91 jobs done"));
         assert!(line.contains("queue 46"));
         assert!(line.contains("eta ~"), "{line}");
+        assert!(
+            !line.contains("squash/s"),
+            "no squash rate until squashes happen: {line}"
+        );
+    }
+
+    #[test]
+    fn stderr_line_breaks_squashes_out_by_cause() {
+        let line = stderr_line(
+            "fig9",
+            0,
+            metrics::live::LiveSnapshot {
+                total: 91,
+                done: 42,
+                in_flight: 3,
+                queue_depth: 46,
+                queue_peak: 91,
+                panicked: 0,
+                squashes_true: 120,
+                squashes_alias: 40,
+                squashes_overflow: 4,
+            },
+        );
+        assert!(line.contains("squash/s true "), "{line}");
+        assert!(line.contains(" alias "), "{line}");
+        assert!(line.contains(" ovf "), "{line}");
     }
 }

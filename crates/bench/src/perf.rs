@@ -121,6 +121,17 @@ pub fn matrix() -> Vec<Scenario> {
             true,
             false,
         ),
+        // The xray tax cell: same traced run as bsc8_trace but with
+        // conflict attribution on, so bsc8_trace / bsc8_xray isolates
+        // the attribution cost from the tracing cost.
+        cell(
+            "bsc8_xray",
+            Model::Bulk(BulkConfig::bsc_dypvt().with_xray()),
+            1,
+            true,
+            false,
+            false,
+        ),
         cell(
             "bsc8_oracle",
             Model::Bulk(BulkConfig::bsc_dypvt()),
@@ -723,6 +734,27 @@ pub fn metrics_overhead(text: &str, origin: &str) -> Result<f64, String> {
     Ok(base / metered)
 }
 
+/// The xray tax: `bsc8_trace` median KIPS over `bsc8_xray` median KIPS.
+/// Both cells trace; only the second computes conflict attribution, so
+/// the ratio is the attribution cost alone (the CI gate holds it under
+/// 10%).
+pub fn xray_overhead(text: &str, origin: &str) -> Result<f64, String> {
+    let doc = load_perf(text, origin)?;
+    let kips = scenario_kips(&doc);
+    let get = |name: &str| -> Result<f64, String> {
+        kips.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, k)| *k)
+            .ok_or_else(|| format!("{origin}: no scenario {name:?} to compute xray overhead"))
+    };
+    let traced = get("bsc8_trace")?;
+    let xrayed = get("bsc8_xray")?;
+    if xrayed <= 0.0 {
+        return Err(format!("{origin}: bsc8_xray has no measured throughput"));
+    }
+    Ok(traced / xrayed)
+}
+
 /// Append this suite's summary to a `BENCH_<label>.json` trajectory
 /// document (`existing` is the current file contents, if the file
 /// exists). Each entry keeps just enough to plot throughput over time.
@@ -794,13 +826,14 @@ mod tests {
     #[test]
     fn matrix_is_stable_and_unique() {
         let m = matrix();
-        assert_eq!(m.len(), 9);
+        assert_eq!(m.len(), 10);
         let mut names: Vec<&str> = m.iter().map(|s| s.name).collect();
         assert!(names.contains(&"bsc8") && names.contains(&"bsc8_trace"));
         assert!(names.contains(&"bsc8_metrics"));
+        assert!(names.contains(&"bsc8_xray"));
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "scenario names are the pairing keys");
+        assert_eq!(names.len(), 10, "scenario names are the pairing keys");
         for s in &m {
             assert!(!s.oracle || s.tracing, "{}: oracle implies tracing", s.name);
         }
@@ -947,6 +980,27 @@ mod tests {
         assert!(trace_overhead(&missing, "mem")
             .unwrap_err()
             .contains("bsc8_trace"));
+    }
+
+    #[test]
+    fn xray_overhead_is_the_traced_over_xray_ratio() {
+        let doc = synthetic(&[("bsc8_trace", 90.0), ("bsc8_xray", 80.0)]);
+        let ratio = xray_overhead(&doc, "mem").unwrap();
+        assert!((ratio - 90.0 / 80.0).abs() < 1e-9);
+        let missing = synthetic(&[("bsc8_trace", 90.0)]);
+        assert!(xray_overhead(&missing, "mem")
+            .unwrap_err()
+            .contains("bsc8_xray"));
+    }
+
+    #[test]
+    fn xray_cell_simulates_exactly_what_the_traced_cell_does() {
+        // Attribution reads simulation state but never writes it: the
+        // xray cell's simulated cycles and instructions match bsc8_trace.
+        let traced = tiny_result("bsc8_trace");
+        let xrayed = tiny_result("bsc8_xray");
+        assert_eq!(traced.reps[0].cycles, xrayed.reps[0].cycles);
+        assert_eq!(traced.reps[0].instrs, xrayed.reps[0].instrs);
     }
 
     #[test]

@@ -199,7 +199,7 @@ impl ValueTrace {
             ),
             Event::ChunkStart { core, seq } => self.note(cycle, core, seq, "chunk_start"),
             Event::CommitGrant { core, seq } => self.note(cycle, core, seq, "commit_grant"),
-            Event::CommitDeny { core, seq } => self.note(cycle, core, seq, "commit_deny"),
+            Event::CommitDeny { core, seq, .. } => self.note(cycle, core, seq, "commit_deny"),
             Event::ChunkCommit { core, seq, .. } => self.note(cycle, core, seq, "chunk_commit"),
             Event::ChunkAbandon { core, seq } => self.note(cycle, core, seq, "chunk_abandon"),
             Event::Squash {
@@ -396,7 +396,11 @@ mod tests {
             new: 1,
             retired_at: 13,
         });
-        trace.emit(14, || Event::CommitDeny { core: 0, seq: 2 });
+        trace.emit(14, || Event::CommitDeny {
+            core: 0,
+            seq: 2,
+            xray: None,
+        });
         trace.emit(15, || Event::NetDeliver {
             src: bulksc_trace::Endpoint::core(0),
             dst: bulksc_trace::Endpoint::dir(0),
@@ -458,6 +462,7 @@ mod tests {
                     seq: 3,
                     cause: bulksc_trace::SquashCause::Alias,
                     squashed_instrs: 9,
+                    xray: None,
                 },
             ),
         ];

@@ -26,7 +26,7 @@ use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
 use bulksc_stats::{Histogram, TimeWeighted};
-use bulksc_trace::{Event, TraceHandle};
+use bulksc_trace::{ConflictAttr, Event, TraceHandle};
 
 /// Arbiter event counters (Table 4's arbiter columns).
 #[derive(Clone, Debug, Default)]
@@ -89,6 +89,9 @@ pub struct Arbiter {
     prearb: Option<u32>,
     /// Cores queued for pre-arbitration.
     prearb_queue: Vec<u32>,
+    /// Conflict-attribution forensics: denials name the colliding
+    /// committing chunk and its witness lines (off by default).
+    xray: bool,
     stats: ArbStats,
     trace: TraceHandle,
 }
@@ -115,6 +118,7 @@ impl Arbiter {
             waiting_rsig: HashMap::new(),
             prearb: None,
             prearb_queue: Vec::new(),
+            xray: false,
             stats: ArbStats::default(),
             trace: TraceHandle::off(),
         }
@@ -123,6 +127,11 @@ impl Arbiter {
     /// Route this arbiter's grant/deny events to `trace`'s sinks.
     pub fn set_tracer(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Enable conflict-attribution forensics on deny events.
+    pub fn set_xray(&mut self, on: bool) {
+        self.xray = on;
     }
 
     /// This module's network id.
@@ -158,8 +167,46 @@ impl Arbiter {
 
     /// True if `w`/`r` collide with any currently-committing W signature.
     fn collides(&self, w: &TrackedSig, r: Option<&TrackedSig>) -> bool {
-        self.w_list.iter().any(|(_, committing)| {
+        self.first_collider(w, r).is_some()
+    }
+
+    /// The first committing W-list entry colliding with `w`/`r` — the
+    /// aggressor an xray denial is attributed to.
+    fn first_collider(
+        &self,
+        w: &TrackedSig,
+        r: Option<&TrackedSig>,
+    ) -> Option<&(ChunkTag, TrackedSig)> {
+        self.w_list.iter().find(|(_, committing)| {
             committing.intersects(w) || r.map(|r| committing.intersects(r)).unwrap_or(false)
+        })
+    }
+
+    /// Attribution payload for a collision denial: the first colliding
+    /// committing chunk plus the exact-shadow lines it shares with the
+    /// denied request. `None` when xray is off or nothing collides.
+    fn deny_attr(&self, w: &TrackedSig, r: Option<&TrackedSig>) -> Option<ConflictAttr> {
+        if !self.xray {
+            return None;
+        }
+        const CAP: usize = bulksc_trace::XRAY_WITNESS_CAP;
+        let (tag, committing) = self.first_collider(w, r)?;
+        let mut witnesses: Vec<u64> = committing
+            .exact_witnesses(w, CAP)
+            .iter()
+            .map(|l| l.0)
+            .collect();
+        if let Some(r) = r {
+            witnesses.extend(committing.exact_witnesses(r, CAP).iter().map(|l| l.0));
+        }
+        witnesses.sort_unstable();
+        witnesses.dedup();
+        witnesses.truncate(CAP);
+        Some(ConflictAttr {
+            agg_core: Some(tag.core),
+            agg_seq: Some(tag.seq),
+            site: "arb",
+            witnesses,
         })
     }
 
@@ -213,9 +260,18 @@ impl Arbiter {
         } else if self.prearb.is_some() {
             self.stats.denials += 1;
             metrics::inc(metrics::Counter::ArbDenials);
+            // A pre-arbitration lockout has no colliding signature: the
+            // aggressor is the starved core holding execute permission.
+            let attr = self.xray.then(|| ConflictAttr {
+                agg_core: self.prearb,
+                agg_seq: None,
+                site: "prearb",
+                witnesses: Vec::new(),
+            });
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
+                xray: attr.map(Box::new),
             });
             fab.send_delayed(
                 now,
@@ -281,9 +337,11 @@ impl Arbiter {
         if self.collides(&w, Some(r)) {
             self.stats.denials += 1;
             metrics::inc(metrics::Counter::ArbDenials);
+            let attr = self.deny_attr(&w, Some(r));
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
+                xray: attr.map(Box::new),
             });
             fab.send_delayed(
                 now,
@@ -887,6 +945,50 @@ mod tests {
         assert!(matches!(out[0].msg, Message::ArbDone { .. }));
         assert_eq!(out[0].dst, NodeId::GArbiter);
         assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn xray_denial_names_the_aggressor_and_witness_lines() {
+        let (mut a, mut fab) = setup();
+        a.set_xray(true);
+        let jsonl = bulksc_trace::JsonlTracer::shared();
+        let mut trace = TraceHandle::off();
+        trace.attach(jsonl.clone());
+        a.set_tracer(trace);
+        a.handle(
+            0,
+            env(
+                NodeId::Core(0),
+                Message::CommitReq {
+                    chunk: tag(0, 7),
+                    w: sig(&[1, 2]),
+                    r: None,
+                },
+            ),
+            &mut fab,
+        );
+        drain(&mut fab);
+        // Core 1 wrote line 2 and read line 1: both witness the conflict
+        // with core 0's committing chunk.
+        a.handle(
+            10,
+            env(
+                NodeId::Core(1),
+                Message::CommitReq {
+                    chunk: tag(1, 3),
+                    w: sig(&[2]),
+                    r: Some(sig(&[1])),
+                },
+            ),
+            &mut fab,
+        );
+        let out = drain(&mut fab);
+        assert!(matches!(out[0].msg, Message::CommitResp { ok: false, .. }));
+        let text = jsonl.borrow().contents().to_string();
+        assert!(
+            text.contains("\"agg_core\":0,\"agg_seq\":7,\"site\":\"arb\",\"witness\":[1,2]"),
+            "deny event should carry attribution: {text}"
+        );
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub struct BulkConfig {
     /// can be demonstrated to catch real reordering bugs. No preset or
     /// builder sets it.
     pub commit_without_arbitration: bool,
+    /// Conflict-attribution forensics (`--xray`): squash and commit-deny
+    /// trace events carry the aggressor chunk, exact-shadow witness
+    /// lines, and the conflict site. Off by default — attribution costs
+    /// exact-set intersections on the squash path and must never tax a
+    /// plain run; it reads simulation state but never writes it, so
+    /// SimReports are identical either way.
+    pub xray: bool,
 }
 
 impl BulkConfig {
@@ -85,6 +92,7 @@ impl BulkConfig {
             commit_retry: 30,
             num_arbiters: 1,
             commit_without_arbitration: false,
+            xray: false,
         }
     }
 
@@ -132,6 +140,13 @@ impl BulkConfig {
     pub fn with_arbiters(mut self, n: u32) -> Self {
         assert!(n >= 1, "at least one arbiter");
         self.num_arbiters = n;
+        self
+    }
+
+    /// Same configuration with conflict-attribution forensics on (the
+    /// `--xray` artifact path).
+    pub fn with_xray(mut self) -> Self {
+        self.xray = true;
         self
     }
 }
@@ -252,6 +267,8 @@ mod tests {
         assert_eq!(b.chunk_size, 4000);
         assert!(!b.rsig_opt);
         assert_eq!(b.num_arbiters, 4);
+        assert!(!b.xray, "forensics must be off by default");
+        assert!(b.with_xray().xray);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::TrackedSig;
-use bulksc_trace::{Event, TraceHandle};
+use bulksc_trace::{ConflictAttr, Event, TraceHandle};
 
 /// G-arbiter event counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,6 +49,8 @@ pub struct GArbiter {
     /// Fast-denial copies of in-flight multi-range W signatures.
     fast_w: Vec<(ChunkTag, TrackedSig)>,
     pending: HashMap<ChunkTag, GTrack>,
+    /// Conflict-attribution forensics on deny events (off by default).
+    xray: bool,
     stats: GArbStats,
     trace: TraceHandle,
 }
@@ -61,6 +63,7 @@ impl GArbiter {
             num_arbiters,
             fast_w: Vec::new(),
             pending: HashMap::new(),
+            xray: false,
             stats: GArbStats::default(),
             trace: TraceHandle::off(),
         }
@@ -69,6 +72,11 @@ impl GArbiter {
     /// Route this G-arbiter's grant/deny events to `trace`'s sinks.
     pub fn set_tracer(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Enable conflict-attribution forensics on deny events.
+    pub fn set_xray(&mut self, on: bool) {
+        self.xray = on;
     }
 
     /// Event counters.
@@ -139,16 +147,35 @@ impl GArbiter {
         let r = r.expect("multi-range commits always carry the R signature");
 
         // Fast denial against locally-known in-flight W signatures.
-        if self
+        if let Some((agg, committing)) = self
             .fast_w
             .iter()
-            .any(|(_, committing)| committing.intersects(&w) || committing.intersects(&r))
+            .find(|(_, committing)| committing.intersects(&w) || committing.intersects(&r))
         {
             self.stats.fast_denials += 1;
             metrics::inc(metrics::Counter::GarbFastDenials);
+            let attr = self.xray.then(|| {
+                const CAP: usize = bulksc_trace::XRAY_WITNESS_CAP;
+                let mut witnesses: Vec<u64> = committing
+                    .exact_witnesses(&w, CAP)
+                    .iter()
+                    .map(|l| l.0)
+                    .collect();
+                witnesses.extend(committing.exact_witnesses(&r, CAP).iter().map(|l| l.0));
+                witnesses.sort_unstable();
+                witnesses.dedup();
+                witnesses.truncate(CAP);
+                ConflictAttr {
+                    agg_core: Some(agg.core),
+                    agg_seq: Some(agg.seq),
+                    site: "garb-fast",
+                    witnesses,
+                }
+            });
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
+                xray: attr.map(Box::new),
             });
             fab.send_delayed(
                 now,
@@ -233,9 +260,18 @@ impl GArbiter {
         } else {
             self.stats.denials += 1;
             metrics::inc(metrics::Counter::GarbDenials);
+            // The colliding W lives at whichever range arbiter voted no;
+            // the G-arbiter sees only the verdict, so no aggressor here.
+            let attr = self.xray.then(|| ConflictAttr {
+                agg_core: None,
+                agg_seq: None,
+                site: "garb-vote",
+                witnesses: Vec::new(),
+            });
             self.trace.emit(now, || Event::CommitDeny {
                 core: chunk.core,
                 seq: chunk.seq,
+                xray: attr.map(Box::new),
             });
             let core = track.core;
             let arbs = track.arbs.clone();

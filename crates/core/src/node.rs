@@ -36,7 +36,7 @@ use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
 use bulksc_sig::{Addr, LineAddr, TrackedSig};
 use bulksc_stats::{CycleLoss, Histogram, RunningMean};
-use bulksc_trace::{Event, SquashCause, TraceHandle};
+use bulksc_trace::{ConflictAttr, Event, SquashCause, TraceHandle};
 use bulksc_workloads::{AddressMap, Instr, ThreadProgram};
 
 use crate::chunk::{Chunk, ChunkState, PrivateBuffer};
@@ -1086,12 +1086,15 @@ impl BulkNode {
     /// Squash chunks from index `idx` onward: restore the checkpoint,
     /// discard speculative state, shrink the next chunk if squashes keep
     /// coming. `loss_label` names the cycle-loss cause the interval since
-    /// the last lifecycle event is charged to.
+    /// the last lifecycle event is charged to. `attr` is the conflict
+    /// attribution the caller computed (xray runs only; `None` keeps the
+    /// squash event byte-identical to an attribution-off run).
     fn squash_from(
         &mut self,
         idx: usize,
         cause: SquashCause,
         loss_label: &'static str,
+        attr: Option<ConflictAttr>,
         fab: &mut Fabric,
         now: Cycle,
     ) {
@@ -1152,6 +1155,7 @@ impl BulkNode {
             seq: first_seq,
             cause,
             squashed_instrs: wasted,
+            xray: attr.map(Box::new),
         });
 
         // §3.3 forward progress: exponential chunk-size reduction, then
@@ -1274,13 +1278,13 @@ impl BulkNode {
                 .any(|c| c.collides_exactly_with(w));
             let cause = if exact {
                 self.stats.true_squashes += 1;
-                metrics::inc(metrics::Counter::SquashesTrueSharing);
                 SquashCause::TrueSharing
             } else {
                 self.stats.alias_squashes += 1;
-                metrics::inc(metrics::Counter::SquashesAlias);
                 SquashCause::Alias
             };
+            metrics::inc(metrics::Counter::for_squash_cause(cause));
+            metrics::live::squash(cause);
             // Which signature detected the conflict: the victim's R (a
             // read this chunk did) or its W (a write-write collision).
             let label = if w.intersects(&self.chunks[idx].r) {
@@ -1288,7 +1292,13 @@ impl BulkNode {
             } else {
                 "w_sig_conflict"
             };
-            self.squash_from(idx, cause, label, fab, now);
+            // The committing chunk whose W arrived is the aggressor; its
+            // tag rode along with the invalidation.
+            let attr = self
+                .bulk
+                .xray
+                .then(|| self.conflict_attr(idx, w, "wsig", Some(chunk)));
+            self.squash_from(idx, cause, label, attr, fab, now);
         }
         // 2. Bulk invalidation: δ-expand the signature over the L1 and
         //    invalidate members. Lines whose pre-image the Private Buffer
@@ -1317,6 +1327,37 @@ impl BulkNode {
         }
         if needs_ack {
             fab.send(now, self.id(), src, Message::WSigInvAck { chunk });
+        }
+    }
+
+    /// Build the xray attribution for a disambiguation squash: witnesses
+    /// are the exact-shadow lines the incoming signature shares with any
+    /// victim chunk's R or W set (the chunks from `idx` on all squash),
+    /// lowest addresses first, capped at
+    /// [`bulksc_trace::XRAY_WITNESS_CAP`]. Empty witnesses under a Bloom
+    /// collision ⇒ the squash was a pure-alias false positive. Read-only
+    /// over simulation state; only called when `bulk.xray` is set.
+    fn conflict_attr(
+        &self,
+        idx: usize,
+        sig: &TrackedSig,
+        site: &'static str,
+        aggressor: Option<ChunkTag>,
+    ) -> ConflictAttr {
+        const CAP: usize = bulksc_trace::XRAY_WITNESS_CAP;
+        let mut witnesses: Vec<u64> = Vec::new();
+        for c in self.chunks.iter().skip(idx) {
+            witnesses.extend(sig.exact_witnesses(&c.r, CAP).iter().map(|l| l.0));
+            witnesses.extend(sig.exact_witnesses(&c.w, CAP).iter().map(|l| l.0));
+        }
+        witnesses.sort_unstable();
+        witnesses.dedup();
+        witnesses.truncate(CAP);
+        ConflictAttr {
+            agg_core: aggressor.map(|t| t.core),
+            agg_seq: aggressor.map(|t| t.seq),
+            site,
+            witnesses,
         }
     }
 
@@ -1351,19 +1392,25 @@ impl BulkNode {
                 .any(|c| c.collides_exactly_with(sig));
             let cause = if exact {
                 self.stats.true_squashes += 1;
-                metrics::inc(metrics::Counter::SquashesTrueSharing);
                 SquashCause::TrueSharing
             } else {
                 self.stats.alias_squashes += 1;
-                metrics::inc(metrics::Counter::SquashesAlias);
                 SquashCause::Alias
             };
+            metrics::inc(metrics::Counter::for_squash_cause(cause));
+            metrics::live::squash(cause);
             let label = if sig.intersects(&self.chunks[idx].r) {
                 "r_sig_conflict"
             } else {
                 "w_sig_conflict"
             };
-            self.squash_from(idx, cause, label, fab, now);
+            // A directory-displacement sweep has no committing chunk to
+            // blame; the witnesses still localize the conflict.
+            let attr = self
+                .bulk
+                .xray
+                .then(|| self.conflict_attr(idx, sig, "displacement", None));
+            self.squash_from(idx, cause, label, attr, fab, now);
         }
         let state = self.l1.invalidate(line);
         if self.priv_buffer.remove(line) {
@@ -1527,13 +1574,23 @@ impl BulkNode {
                 // check). Fall back to self-squashing the youngest chunk,
                 // which shrinks on repetition (§3.3).
                 self.stats.overflow_squashes += 1;
-                metrics::inc(metrics::Counter::SquashesOverflow);
+                metrics::inc(metrics::Counter::for_squash_cause(SquashCause::Overflow));
+                metrics::live::squash(SquashCause::Overflow);
                 if !self.chunks.is_empty() {
                     let idx = self.chunks.len() - 1;
+                    // A self-squash: no aggressor, no witnesses — the
+                    // cache set, not another chunk, ran out of room.
+                    let attr = self.bulk.xray.then(|| ConflictAttr {
+                        agg_core: None,
+                        agg_seq: None,
+                        site: "overflow",
+                        witnesses: Vec::new(),
+                    });
                     self.squash_from(
                         idx,
                         SquashCause::Overflow,
                         "displacement_overflow",
+                        attr,
                         fab,
                         now,
                     );

@@ -158,7 +158,7 @@ impl System {
             Model::Baseline(_) => (Vec::new(), None),
             Model::Bulk(b) => {
                 let n = b.num_arbiters;
-                let arbs: Vec<Arbiter> = if n == 1 {
+                let mut arbs: Vec<Arbiter> = if n == 1 {
                     vec![Arbiter::new(
                         NodeId::Arbiter(0),
                         b.arb_latency,
@@ -174,7 +174,15 @@ impl System {
                         .map(|i| Arbiter::new(NodeId::Arbiter(i), b.arb_latency, vec![i], num_dirs))
                         .collect()
                 };
-                let g = (n > 1).then(|| GArbiter::new(b.arb_latency, n));
+                let mut g = (n > 1).then(|| GArbiter::new(b.arb_latency, n));
+                if b.xray {
+                    for a in &mut arbs {
+                        a.set_xray(true);
+                    }
+                    if let Some(g) = &mut g {
+                        g.set_xray(true);
+                    }
+                }
                 (arbs, g)
             }
         };

@@ -164,6 +164,21 @@ impl Counter {
             Counter::PoolJobsPanicked => "pool_jobs_panicked",
         }
     }
+
+    /// The counter that tallies squashes of `cause`. This is the single
+    /// source of truth binding the trace vocabulary to the metrics
+    /// registry: the simulator core increments squash counters through
+    /// this mapping, and a test below pins each mapped counter's
+    /// exposition name to the cause's trace label so the two surfaces can
+    /// never drift.
+    pub fn for_squash_cause(cause: bulksc_trace::SquashCause) -> Counter {
+        use bulksc_trace::SquashCause;
+        match cause {
+            SquashCause::TrueSharing => Counter::SquashesTrueSharing,
+            SquashCause::Alias => Counter::SquashesAlias,
+            SquashCause::Overflow => Counter::SquashesOverflow,
+        }
+    }
 }
 
 /// Registered gauges. Gauges here are *high-water marks*: [`gauge_peak`]
@@ -486,6 +501,9 @@ pub mod live {
     static QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
     static QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
     static PANICKED: AtomicU64 = AtomicU64::new(0);
+    static SQUASHES_TRUE: AtomicU64 = AtomicU64::new(0);
+    static SQUASHES_ALIAS: AtomicU64 = AtomicU64::new(0);
+    static SQUASHES_OVERFLOW: AtomicU64 = AtomicU64::new(0);
 
     /// Turn live collection on and zero all progress state.
     pub fn activate() {
@@ -514,9 +532,33 @@ pub mod live {
             &QUEUE_DEPTH,
             &QUEUE_PEAK,
             &PANICKED,
+            &SQUASHES_TRUE,
+            &SQUASHES_ALIAS,
+            &SQUASHES_OVERFLOW,
         ] {
             a.store(0, Ordering::SeqCst);
         }
+    }
+
+    /// A simulated chunk was squashed for `cause`. Unlike job progress
+    /// (which the pool tracks unconditionally while active), this is
+    /// called from the simulator's squash path, so it pays one relaxed
+    /// load and returns when no `--metrics` sweep is live — the same
+    /// off-is-free discipline as the sharded registry. Counts here feed
+    /// heartbeat lines only; the authoritative totals are the registry
+    /// counters.
+    #[inline]
+    pub fn squash(cause: bulksc_trace::SquashCause) {
+        if !is_active() {
+            return;
+        }
+        use bulksc_trace::SquashCause;
+        let slot = match cause {
+            SquashCause::TrueSharing => &SQUASHES_TRUE,
+            SquashCause::Alias => &SQUASHES_ALIAS,
+            SquashCause::Overflow => &SQUASHES_OVERFLOW,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A sweep enqueued `n` more jobs.
@@ -560,6 +602,12 @@ pub mod live {
         pub queue_peak: u64,
         /// Jobs that panicked.
         pub panicked: u64,
+        /// Squashes caused by true sharing (simulated, live tally).
+        pub squashes_true: u64,
+        /// Squashes caused by signature aliasing.
+        pub squashes_alias: u64,
+        /// Squashes caused by speculative-state overflow.
+        pub squashes_overflow: u64,
     }
 
     /// Read the current progress state.
@@ -571,6 +619,9 @@ pub mod live {
             queue_depth: QUEUE_DEPTH.load(Ordering::Relaxed),
             queue_peak: QUEUE_PEAK.load(Ordering::Relaxed),
             panicked: PANICKED.load(Ordering::Relaxed),
+            squashes_true: SQUASHES_TRUE.load(Ordering::Relaxed),
+            squashes_alias: SQUASHES_ALIAS.load(Ordering::Relaxed),
+            squashes_overflow: SQUASHES_OVERFLOW.load(Ordering::Relaxed),
         }
     }
 }
@@ -602,6 +653,55 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn squash_cause_names_cannot_drift_from_trace_labels() {
+        // One source of truth: for every trace-level squash cause, the
+        // mapped counter's exposition name must be exactly
+        // `sim_squashes_<label>` with the label's dashes folded to
+        // underscores. Renaming either side breaks this test.
+        for cause in bulksc_trace::SquashCause::ALL {
+            let expected = format!("sim_squashes_{}", cause.label().replace('-', "_"));
+            assert_eq!(
+                Counter::for_squash_cause(cause).name(),
+                expected,
+                "metric name drifted from trace label for {:?}",
+                cause
+            );
+        }
+        // The mapping is injective: three causes, three distinct counters.
+        let mut mapped: Vec<Counter> = bulksc_trace::SquashCause::ALL
+            .iter()
+            .map(|&c| Counter::for_squash_cause(c))
+            .collect();
+        mapped.dedup();
+        assert_eq!(mapped.len(), 3);
+    }
+
+    /// Serializes tests that touch the process-global live atomics (the
+    /// cargo harness runs `#[test]`s concurrently).
+    static LIVE_SLOT: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn live_squash_tallies_per_cause_only_while_active() {
+        use bulksc_trace::SquashCause;
+        let _g = LIVE_SLOT.lock().unwrap_or_else(|p| p.into_inner());
+        live::reset();
+        assert!(!live::is_active());
+        live::squash(SquashCause::Alias); // inactive: dropped
+        live::activate();
+        live::squash(SquashCause::TrueSharing);
+        live::squash(SquashCause::Alias);
+        live::squash(SquashCause::Alias);
+        live::squash(SquashCause::Overflow);
+        let s = live::snapshot();
+        assert_eq!(s.squashes_true, 1);
+        assert_eq!(s.squashes_alias, 2);
+        assert_eq!(s.squashes_overflow, 1);
+        live::deactivate();
+        live::reset();
+        assert_eq!(live::snapshot().squashes_alias, 0);
     }
 
     #[test]
@@ -701,6 +801,7 @@ mod tests {
 
     #[test]
     fn live_progress_tracks_jobs() {
+        let _g = LIVE_SLOT.lock().unwrap_or_else(|p| p.into_inner());
         live::activate();
         assert!(live::is_active());
         live::add_total(4);

@@ -130,6 +130,21 @@ impl TrackedSig {
         self.exact.intersects(&other.exact)
     }
 
+    /// The lowest-addressed lines both exact shadows share, capped at
+    /// `cap`. These are the *witnesses* of a true-sharing conflict: the
+    /// addresses through which a committing W-set actually collided with a
+    /// victim chunk. An empty result with a Bloom collision means the
+    /// collision was pure aliasing. Deterministic (the shadow iterates in
+    /// address order); only the xray attribution path calls this.
+    pub fn exact_witnesses(&self, other: &TrackedSig, cap: usize) -> Vec<LineAddr> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::SigOps);
+        self.exact
+            .intersect(&other.exact)
+            .iter()
+            .take(cap)
+            .collect()
+    }
+
     /// δ as the machine sees it: candidate set indices in a structure with
     /// `num_sets` sets.
     pub fn decode_sets(&self, num_sets: u32) -> Vec<u32> {
@@ -214,6 +229,18 @@ mod tests {
         assert!(!a_bloom.intersects_exact(&b_bloom));
         // At this density the Bloom encodings must collide.
         assert!(a_bloom.intersects(&b_bloom));
+    }
+
+    #[test]
+    fn exact_witnesses_are_sorted_and_capped() {
+        let a = mk(SigMode::Bloom, &[9, 1, 5, 3]);
+        let b = mk(SigMode::Bloom, &[5, 1, 9, 77]);
+        let all: Vec<u64> = a.exact_witnesses(&b, 8).iter().map(|l| l.0).collect();
+        assert_eq!(all, vec![1, 5, 9]);
+        let capped: Vec<u64> = a.exact_witnesses(&b, 2).iter().map(|l| l.0).collect();
+        assert_eq!(capped, vec![1, 5]);
+        let none = mk(SigMode::Bloom, &[1000]);
+        assert!(a.exact_witnesses(&none, 8).is_empty());
     }
 
     #[test]

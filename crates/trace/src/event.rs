@@ -86,6 +86,63 @@ impl SquashCause {
             SquashCause::Overflow => "overflow",
         }
     }
+
+    /// Every cause, in a stable order (drives name-derivation tests and
+    /// per-cause tallies).
+    pub const ALL: [SquashCause; 3] = [
+        SquashCause::Alias,
+        SquashCause::TrueSharing,
+        SquashCause::Overflow,
+    ];
+}
+
+/// Upper bound on witness lines one attributed event carries. Keeps xray
+/// streams bounded on pathological all-to-all sharers while never
+/// dropping the one witness that distinguishes true sharing (nonempty)
+/// from pure aliasing (empty).
+pub const XRAY_WITNESS_CAP: usize = 8;
+
+/// Causal attribution of a squash or commit denial (schema v5's `--xray`
+/// forensics). Attached as an `Option` so attribution-off runs serialize
+/// byte-identically to pre-v5 streams: the fields only appear when the
+/// emitter actually computed them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConflictAttr {
+    /// The committing *aggressor* core whose W-set (or arbitration slot)
+    /// caused this squash/denial. `None` when there is no other party
+    /// (e.g. a cache-set overflow self-squash or a distributed-arbiter
+    /// vote denial, where the conflicting entry lives at another arbiter).
+    pub agg_core: Option<u32>,
+    /// The aggressor's chunk sequence number, when known. A pre-arbitration
+    /// lockout knows the holder core but not its chunk, so this can be
+    /// `None` with `agg_core` set.
+    pub agg_seq: Option<u64>,
+    /// Where the conflict was detected: `"wsig"` (committing-W
+    /// disambiguation at the victim cache), `"displacement"` (directory
+    /// displacement sweep), `"overflow"` (cache-set overflow),
+    /// `"arb"`/`"prearb"` (arbiter collision / pre-arbitration lockout),
+    /// `"garb-fast"`/`"garb-vote"` (G-arbiter fast path / vote).
+    pub site: &'static str,
+    /// Exact-shadow witness lines (lowest addresses first, capped by the
+    /// emitter). Empty ⇒ the Bloom encodings collided but the exact shadows
+    /// did not: a pure-alias false positive.
+    pub witnesses: Vec<u64>,
+}
+
+impl ConflictAttr {
+    fn append_fields(&self, out: &mut Vec<(&'static str, crate::Json)>) {
+        if let Some(c) = self.agg_core {
+            out.push(("agg_core", c.into()));
+        }
+        if let Some(s) = self.agg_seq {
+            out.push(("agg_seq", s.into()));
+        }
+        out.push(("site", self.site.into()));
+        out.push((
+            "witness",
+            crate::Json::Arr(self.witnesses.iter().map(|&l| l.into()).collect()),
+        ));
+    }
 }
 
 /// One cycle-stamped simulator event.
@@ -103,7 +160,13 @@ pub enum Event {
     /// The (G-)arbiter granted commit permission.
     CommitGrant { core: u32, seq: u64 },
     /// The (G-)arbiter denied commit permission (the core will retry).
-    CommitDeny { core: u32, seq: u64 },
+    /// `xray` carries conflict attribution when the emitter runs with
+    /// attribution on (schema v5); `None` serializes exactly like v4.
+    CommitDeny {
+        core: u32,
+        seq: u64,
+        xray: Option<Box<ConflictAttr>>,
+    },
     /// A chunk finished committing and retired its instructions.
     ChunkCommit {
         core: u32,
@@ -117,11 +180,13 @@ pub enum Event {
     /// Terminates the chunk's span like a commit or squash does.
     ChunkAbandon { core: u32, seq: u64 },
     /// A chunk was squashed and will re-execute from its checkpoint.
+    /// `xray` as on [`Event::CommitDeny`].
     Squash {
         core: u32,
         seq: u64,
         cause: SquashCause,
         squashed_instrs: u64,
+        xray: Option<Box<ConflictAttr>>,
     },
     /// The directory expanded a committing W signature (Table 1's DirBDM
     /// walk): `lookups`/`updates` count the directory accesses it took,
@@ -254,10 +319,19 @@ impl Event {
                 ("w_lines", w_lines.into()),
                 ("carries_rsig", carries_rsig.into()),
             ],
-            Event::CommitGrant { core, seq }
-            | Event::CommitDeny { core, seq }
-            | Event::ChunkAbandon { core, seq } => {
+            Event::CommitGrant { core, seq } | Event::ChunkAbandon { core, seq } => {
                 vec![("core", core.into()), ("seq", seq.into())]
+            }
+            Event::CommitDeny {
+                core,
+                seq,
+                ref xray,
+            } => {
+                let mut out = vec![("core", core.into()), ("seq", seq.into())];
+                if let Some(attr) = xray {
+                    attr.append_fields(&mut out);
+                }
+                out
             }
             Event::ChunkCommit {
                 core,
@@ -277,12 +351,19 @@ impl Event {
                 seq,
                 cause,
                 squashed_instrs,
-            } => vec![
-                ("core", core.into()),
-                ("seq", seq.into()),
-                ("cause", cause.label().into()),
-                ("squashed_instrs", squashed_instrs.into()),
-            ],
+                ref xray,
+            } => {
+                let mut out = vec![
+                    ("core", core.into()),
+                    ("seq", seq.into()),
+                    ("cause", cause.label().into()),
+                    ("squashed_instrs", squashed_instrs.into()),
+                ];
+                if let Some(attr) = xray {
+                    attr.append_fields(&mut out);
+                }
+                out
+            }
             Event::SigExpand {
                 dir,
                 core,
@@ -406,7 +487,21 @@ mod tests {
                 carries_rsig: true,
             },
             Event::CommitGrant { core: 0, seq: 1 },
-            Event::CommitDeny { core: 1, seq: 9 },
+            Event::CommitDeny {
+                core: 1,
+                seq: 9,
+                xray: None,
+            },
+            Event::CommitDeny {
+                core: 1,
+                seq: 9,
+                xray: Some(Box::new(ConflictAttr {
+                    agg_core: Some(0),
+                    agg_seq: Some(7),
+                    site: "arb",
+                    witnesses: vec![0xbeef, 0xcafe],
+                })),
+            },
             Event::ChunkCommit {
                 core: 0,
                 seq: 1,
@@ -420,6 +515,19 @@ mod tests {
                 seq: 9,
                 cause: SquashCause::Alias,
                 squashed_instrs: 412,
+                xray: None,
+            },
+            Event::Squash {
+                core: 1,
+                seq: 9,
+                cause: SquashCause::TrueSharing,
+                squashed_instrs: 412,
+                xray: Some(Box::new(ConflictAttr {
+                    agg_core: Some(3),
+                    agg_seq: Some(41),
+                    site: "wsig",
+                    witnesses: vec![0x100],
+                })),
             },
             Event::SigExpand {
                 dir: 0,
@@ -500,8 +608,62 @@ mod tests {
             seq: 9,
             cause: SquashCause::Overflow,
             squashed_instrs: 7,
+            xray: None,
         };
         let s = e.to_string();
         assert!(s.contains("squash") && s.contains("core1") && s.contains("overflow"));
+    }
+
+    #[test]
+    fn xray_attribution_serializes_only_when_present() {
+        let bare = Event::Squash {
+            core: 2,
+            seq: 5,
+            cause: SquashCause::Alias,
+            squashed_instrs: 10,
+            xray: None,
+        }
+        .jsonl(1);
+        assert!(!bare.contains("site"), "{bare}");
+        assert!(!bare.contains("witness"), "{bare}");
+
+        let attributed = Event::Squash {
+            core: 2,
+            seq: 5,
+            cause: SquashCause::TrueSharing,
+            squashed_instrs: 10,
+            xray: Some(Box::new(ConflictAttr {
+                agg_core: Some(0),
+                agg_seq: Some(3),
+                site: "wsig",
+                witnesses: vec![7, 9],
+            })),
+        }
+        .jsonl(1);
+        assert!(
+            attributed.contains("\"agg_core\":0,\"agg_seq\":3,\"site\":\"wsig\",\"witness\":[7,9]"),
+            "{attributed}"
+        );
+
+        // No aggressor (overflow self-squash): agg fields are omitted, not
+        // null — old readers never see unknown nulls.
+        let no_agg = Event::Squash {
+            core: 2,
+            seq: 5,
+            cause: SquashCause::Overflow,
+            squashed_instrs: 10,
+            xray: Some(Box::new(ConflictAttr {
+                agg_core: None,
+                agg_seq: None,
+                site: "overflow",
+                witnesses: Vec::new(),
+            })),
+        }
+        .jsonl(1);
+        assert!(!no_agg.contains("agg_core"), "{no_agg}");
+        assert!(
+            no_agg.contains("\"site\":\"overflow\",\"witness\":[]"),
+            "{no_agg}"
+        );
     }
 }

@@ -82,7 +82,7 @@ pub mod json;
 pub mod sampler;
 pub mod sinks;
 
-pub use event::{Endpoint, EndpointKind, Event, SquashCause};
+pub use event::{ConflictAttr, Endpoint, EndpointKind, Event, SquashCause, XRAY_WITNESS_CAP};
 pub use json::Json;
 pub use sampler::{GaugeSnapshot, IntervalSample, IntervalSeries};
 pub use sinks::{ChromeTracer, JsonlTracer, RingTracer};
@@ -95,13 +95,16 @@ pub use sinks::{ChromeTracer, JsonlTracer, RingTracer};
 ///
 /// Version history: 3 introduced value events; 4 added the monotonic
 /// `wall_ns` field to interval-sampler rows and the sweep-metrics
-/// artifacts (`*.metrics.jsonl`).
-pub const SCHEMA_VERSION: u64 = 4;
+/// artifacts (`*.metrics.jsonl`); 5 added the optional xray conflict
+/// attribution fields (`agg_core`/`agg_seq`/`site`/`witness`) to `squash`
+/// and `commit_deny` events and the per-cause squash fields to heartbeat
+/// snapshots.
+pub const SCHEMA_VERSION: u64 = 5;
 
-/// Oldest artifact schema version current tooling still reads. Version-4
-/// readers accept version-3 artifacts (the v4 additions are new fields,
-/// which loaders treat as optional), so committed baselines survive the
-/// bump; anything older is refused.
+/// Oldest artifact schema version current tooling still reads. Version-5
+/// readers accept version-3 and version-4 artifacts (the v4/v5 additions
+/// are new fields, which loaders treat as optional), so committed
+/// baselines survive the bump; anything older is refused.
 pub const MIN_SCHEMA_VERSION: u64 = 3;
 
 /// True if tooling built at [`SCHEMA_VERSION`] can read an artifact
@@ -258,7 +261,11 @@ mod tests {
         let mut trace = TraceHandle::off();
         trace.attach(nop);
         assert!(trace.enabled());
-        trace.emit(1, || Event::CommitDeny { core: 0, seq: 0 });
+        trace.emit(1, || Event::CommitDeny {
+            core: 0,
+            seq: 0,
+            xray: None,
+        });
         assert!(trace.ring_dump().is_none());
     }
 }

@@ -246,6 +246,7 @@ mod tests {
                 seq: 4,
                 cause: SquashCause::TrueSharing,
                 squashed_instrs: 9,
+                xray: None,
             },
         ]
     }

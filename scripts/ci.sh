@@ -76,11 +76,24 @@ fi
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-perf -- \
   --fast --out results/perf.ci.json --no-trajectory --jobs 2 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
-  prof results/perf.ci.json --max-trace-overhead 3.0 --max-metrics-overhead 1.02 > /dev/null
+  prof results/perf.ci.json --max-trace-overhead 3.0 --max-metrics-overhead 1.02 \
+  --max-xray-overhead 1.10 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   perf-diff results/perf.json results/perf.ci.json --threshold 90 > /dev/null
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   perf-diff results/perf.ci.json results/perf.ci.json --threshold 0 > /dev/null
 rm -f results/perf.ci.json
+
+# Xray forensics smoke: an experiment binary run with --xray must leave
+# a conflict-forensics artifact behind, and `bulksc-analyze xray` must
+# render it (with a --dot causality graph) without complaint. The
+# report's *content* is pinned by the golden-figure layer
+# (tests/golden/xray.txt); this exercises the real CLI path on the real
+# artifact file at the same pinned budget and seed.
+run env BULKSC_BUDGET=25000 cargo run -q --release --offline -p bulksc-bench --bin table3 -- \
+  --xray --jobs 2 > /dev/null
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  xray results/table3.xray.jsonl --dot results/table3.xray.dot > /dev/null
+run grep -q 'digraph xray' results/table3.xray.dot
 
 echo "CI gate passed."

@@ -102,3 +102,22 @@ fn ablations_match_golden() {
     let out = figures::ablations(BUDGET, JOBS);
     compare_or_bless("ablations.txt", &out.text);
 }
+
+/// The xray forensics report, end to end: capture the pinned `--xray`
+/// run and render it through `bulksc-analyze xray`'s library entry
+/// point. Any drift in attribution (aggressor choice, witness lines,
+/// alias/true-sharing classification, cascade depths) shows up here as
+/// a byte diff. The budget is larger than the figure goldens' because
+/// squashes — the whole subject of the report — only start appearing at
+/// realistic chunk counts.
+#[test]
+fn xray_report_matches_golden() {
+    use bulksc_bench::{analyze, xray};
+    let stream = xray::capture_stream(25_000);
+    let report = analyze::xray(&stream, "capture", 10).expect("capture stream parses");
+    assert!(
+        report.attributed > 0,
+        "the pinned capture attributes conflicts"
+    );
+    compare_or_bless("xray.txt", &report.text);
+}

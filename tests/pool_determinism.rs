@@ -92,6 +92,42 @@ fn jsonl_traces_survive_the_pool_byte_for_byte() {
     assert!(serial[0].lines().count() > 1, "streams carry real events");
 }
 
+/// The xray forensics pipeline rides the same contract: the `--xray`
+/// capture stream and the rendered `bulksc-analyze xray` report must be
+/// byte-identical whether the host pool is 1, 4, or 8 workers wide.
+#[test]
+fn xray_captures_and_reports_are_identical_at_any_width() {
+    use bulksc_bench::{analyze, xray};
+
+    fn pooled(width: usize) -> Vec<String> {
+        pool::run_all(
+            width,
+            (0..3)
+                .map(|i| pool::Job::new(format!("xray {i}"), || xray::capture_stream(700)))
+                .collect(),
+        )
+    }
+
+    let serial: Vec<String> = (0..3).map(|_| xray::capture_stream(700)).collect();
+    let narrow = pooled(1);
+    let mid = pooled(4);
+    let wide = pooled(8);
+    assert_eq!(serial, narrow);
+    assert_eq!(narrow, mid, "xray capture bytes must not depend on --jobs");
+    assert_eq!(mid, wide, "xray capture bytes must not depend on --jobs");
+
+    let reports: Vec<String> = serial
+        .iter()
+        .map(|s| {
+            analyze::xray(s, "capture", 10)
+                .expect("capture parses")
+                .text
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[1], reports[2], "xray report is deterministic");
+}
+
 #[test]
 fn a_panicking_job_aborts_the_sweep_naming_the_scenario() {
     let result = std::panic::catch_unwind(|| {

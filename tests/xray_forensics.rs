@@ -1,0 +1,188 @@
+//! End-to-end contracts for the xray conflict-forensics pipeline.
+//!
+//! Two claims are pinned here, because the whole feature is worthless if
+//! either drifts:
+//!
+//! 1. **Attribution is free when off and invisible when on.** With
+//!    `xray` disabled the event stream carries no attribution fields at
+//!    all (schema v5 adds optional keys, never nulls), and turning it on
+//!    must not change a single simulated number — attribution reads
+//!    machine state, it never writes it.
+//! 2. **The alias/true-sharing classification is ground truth.** Under
+//!    `SigMode::Exact` there are no Bloom false positives, so no squash
+//!    may ever be classified `alias`; under pinned Bloom signatures the
+//!    per-cause event counts must reconcile exactly with the
+//!    `SimReport` squash totals.
+
+use bulksc::{BulkConfig, Model, SimReport, System, SystemConfig};
+use bulksc_trace::{JsonlTracer, TraceHandle};
+use bulksc_workloads::{by_name, litmus, SyntheticApp, ThreadProgram};
+
+/// Run `app` on the 8-core CMP with a JSONL tracer attached; returns the
+/// event stream and the report.
+fn traced_run(config: BulkConfig, app: &str, budget: u64) -> (String, SimReport) {
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(config));
+    cfg.budget = budget;
+    let app = by_name(app).expect("catalog app");
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| {
+            Box::new(SyntheticApp::new(app, t, cfg.cores, bulksc_bench::SEED))
+                as Box<dyn ThreadProgram>
+        })
+        .collect();
+    let mut sys = System::new(cfg, programs);
+    let sink = JsonlTracer::shared();
+    let mut trace = TraceHandle::off();
+    trace.attach(sink.clone());
+    sys.set_tracer(trace);
+    assert!(sys.run(u64::MAX / 4), "traced run finishes");
+    let text = sink.borrow().contents().to_string();
+    let report = SimReport::collect(&sys);
+    (text, report)
+}
+
+/// Count squash events in a JSONL stream whose `cause` matches `label`.
+fn squashes_with_cause(stream: &str, label: &str) -> u64 {
+    let needle = format!("\"cause\":\"{label}\"");
+    stream
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"squash\"") && l.contains(&needle))
+        .count() as u64
+}
+
+#[test]
+fn xray_off_emits_no_attribution_and_on_changes_no_simulated_number() {
+    let (off_stream, off_report) = traced_run(BulkConfig::bsc_dypvt(), "radix", 25_000);
+    let (on_stream, on_report) = traced_run(BulkConfig::bsc_dypvt().with_xray(), "radix", 25_000);
+
+    // Off: byte-for-byte free. No `site`, no witness lists, no aggressor
+    // fields anywhere in the stream — a v5 reader of an xray-off trace
+    // sees exactly what a v4 reader saw.
+    assert!(
+        !off_stream.contains("\"site\"") && !off_stream.contains("\"witness\""),
+        "xray-off stream must carry no attribution fields"
+    );
+    assert!(
+        !off_stream.contains("\"agg_core\""),
+        "xray-off stream must carry no aggressor fields"
+    );
+
+    // On: the enriched stream attributes real conflicts...
+    assert!(
+        on_stream.contains("\"site\""),
+        "xray-on ocean run must attribute at least one conflict"
+    );
+
+    // ...but the simulation is bit-identical: same report either way.
+    assert_eq!(
+        off_report.to_json().to_string(),
+        on_report.to_json().to_string(),
+        "attribution must not perturb any simulated number"
+    );
+
+    // And the streams differ only by the attribution fields: stripping
+    // every xray key from the on-stream recovers the off-stream.
+    let stripped: String = on_stream
+        .lines()
+        .map(|l| {
+            let mut s = l.to_string();
+            for key in ["\"agg_core\":", "\"agg_seq\":", "\"site\":", "\"witness\":"] {
+                while let Some(start) = s.find(key) {
+                    // The field starts after a comma (attribution keys are
+                    // never the first field of an event object).
+                    let comma = s[..start].rfind(',').expect("xray key follows a comma");
+                    let tail = &s[start + key.len()..];
+                    let mut depth = 0usize;
+                    let mut end = tail.len();
+                    for (i, c) in tail.char_indices() {
+                        match c {
+                            '[' => depth += 1,
+                            ']' => depth -= 1,
+                            ',' | '}' if depth == 0 => {
+                                end = i;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    s = format!("{}{}", &s[..comma], &s[start + key.len() + end..]);
+                }
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    assert_eq!(
+        stripped, off_stream,
+        "xray-on stream must be the xray-off stream plus attribution fields"
+    );
+}
+
+#[test]
+fn exact_signatures_never_classify_a_squash_as_alias() {
+    // Exact signatures have no false positives by construction, so the
+    // classifier must never call a squash `alias` — on the contended
+    // app...
+    let (stream, report) = traced_run(BulkConfig::bsc_exact().with_xray(), "radix", 25_000);
+    assert!(report.true_squashes > 0, "radix under Exact still squashes");
+    assert_eq!(
+        squashes_with_cause(&stream, "alias"),
+        0,
+        "SigMode::Exact admits no alias squashes"
+    );
+
+    // ...and across the whole litmus catalog at several timing skews.
+    for test in litmus::catalog() {
+        for round in 0..4u32 {
+            let skews: Vec<u32> = (0..test.threads())
+                .map(|t| (round * 7 + t as u32 * 3) % 13)
+                .collect();
+            let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_exact().with_xray()));
+            cfg.cores = test.threads() as u32;
+            cfg.budget = u64::MAX;
+            let mut sys = System::new(cfg, test.programs(&skews));
+            let sink = JsonlTracer::shared();
+            let mut trace = TraceHandle::off();
+            trace.attach(sink.clone());
+            sys.set_tracer(trace);
+            assert!(sys.run(10_000_000), "{}: did not finish", test.name);
+            let stream = sink.borrow().contents().to_string();
+            assert_eq!(
+                squashes_with_cause(&stream, "alias"),
+                0,
+                "{} round {round}: Exact signatures classified an alias squash",
+                test.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bloom_cause_counts_reconcile_with_the_report_totals() {
+    let (stream, report) = traced_run(BulkConfig::bsc_dypvt().with_xray(), "radix", 25_000);
+    let true_events = squashes_with_cause(&stream, "true-sharing");
+    let alias_events = squashes_with_cause(&stream, "alias");
+    let overflow_events = squashes_with_cause(&stream, "overflow");
+
+    assert!(
+        true_events + alias_events + overflow_events > 0,
+        "the contended app must squash at this budget"
+    );
+    // `SimReport::collect` folds overflow (a capacity artifact of the
+    // same Bloom encoding) into the alias column.
+    assert_eq!(
+        alias_events + overflow_events,
+        report.alias_squashes,
+        "alias+overflow events must sum to the report's alias total"
+    );
+    assert_eq!(
+        true_events, report.true_squashes,
+        "true-sharing events must sum to the report's true total"
+    );
+    assert_eq!(
+        true_events + alias_events + overflow_events,
+        report.alias_squashes + report.true_squashes,
+        "every squash carries exactly one cause"
+    );
+}
