@@ -4,7 +4,9 @@
 //! bulksc-analyze report    <results.json>...
 //! bulksc-analyze timeline  <trace.jsonl> [--out <chrome.json>]
 //! bulksc-analyze diff      <a.json> <b.json> [--threshold <pct>]
-//! bulksc-analyze check     <trace.jsonl>... [--jobs N] [--metrics[=MS]]
+//! bulksc-analyze check     <trace.jsonl|->... [--jobs N] [--metrics[=MS]]
+//!                          [--stream[=WINDOW]] [--window N] [--max-rss-mb MB]
+//! bulksc-analyze synth-trace <N> [--cores C] [--words W]
 //! bulksc-analyze prof      <perf.json> [--chrome <out.json>] [--max-trace-overhead <x>]
 //!                          [--max-metrics-overhead <x>] [--max-xray-overhead <x>]
 //! bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]
@@ -26,10 +28,24 @@
 //!   value-traced event stream (a run recorded with value tracing on):
 //!   prints the certificate summary on success, the full violation
 //!   report — offending accesses, edge kinds, surrounding chunk
-//!   lifecycle — on failure. Multiple traces are verified concurrently
-//!   on the `bulksc_bench::pool` worker pool (`--jobs N`, default
+//!   lifecycle — on failure. `-` reads the trace from stdin. Input is
+//!   consumed line-at-a-time in both modes; parse errors name the file
+//!   and 1-based line. With `--stream[=WINDOW]` (window also settable
+//!   via `--window N`, default 2^20 accesses) the trace is certified
+//!   through the windowed streaming checker in bounded memory — traces
+//!   of any length — and the pool accelerates each window seal instead
+//!   of fanning out over traces. `--max-rss-mb MB` fails the run with
+//!   exit 1 if the process's peak RSS exceeded the bound, which is how
+//!   CI proves the streaming oracle's memory stays flat. In batch mode,
+//!   multiple traces are verified concurrently on the
+//!   `bulksc_bench::pool` worker pool (`--jobs N`, default
 //!   `BULKSC_JOBS`/available parallelism); results print in argument
 //!   order, so output is identical at any width.
+//! * `synth-trace` writes a synthetic N-access legal trace (the
+//!   million-soak pattern: unique-value stores, loads of the current
+//!   value, periodic RMWs) as JSONL on stdout with per-word generator
+//!   state only — pipe it into `check - --stream` to exercise the
+//!   oracle at sizes that never fit in memory.
 //! * `prof` renders a `bulksc-perf` artifact's per-phase host-time
 //!   breakdown; `--chrome` also writes it as a Chrome trace
 //!   (flame-chart of where host time went), and `--max-trace-overhead`
@@ -63,7 +79,9 @@ fn usage() -> ExitCode {
         "usage: bulksc-analyze report <results.json>...\n\
          \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
          \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
-         \x20      bulksc-analyze check <trace.jsonl>... [--jobs N] [--metrics[=MS]]\n\
+         \x20      bulksc-analyze check <trace.jsonl|->... [--jobs N] [--metrics[=MS]]\n\
+         \x20                           [--stream[=WINDOW]] [--window N] [--max-rss-mb MB]\n\
+         \x20      bulksc-analyze synth-trace <N> [--cores C] [--words W]\n\
          \x20      bulksc-analyze prof <perf.json> [--chrome <out.json>] \
          [--max-trace-overhead <x>] [--max-metrics-overhead <x>] [--max-xray-overhead <x>]\n\
          \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]\n\
@@ -176,34 +194,51 @@ fn main() -> ExitCode {
         }
         ("check", rest) if !rest.is_empty() => {
             use bulksc_bench::pool::{self, Job};
-            use bulksc_check::{CheckError, ValueTrace};
+            use bulksc_check::{
+                check_jsonl_reader, CheckError, StreamConfig, StreamError, ValueTrace,
+            };
+            use std::fs::File;
+            use std::io::BufReader;
 
-            // Split `--jobs` and `--metrics` off the path list (paths keep
-            // their order).
+            // Split flags off the path list (paths keep their order). `-`
+            // is a path meaning stdin.
             let mut paths: Vec<&String> = Vec::new();
             let mut jobs: Option<usize> = None;
+            let mut stream = false;
+            let mut window: Option<usize> = None;
+            let mut max_rss_mb: Option<u64> = None;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
-                let value = if arg == "--jobs" {
-                    match it.next() {
-                        Some(v) => v.clone(),
-                        None => return usage(),
-                    }
-                } else if let Some(v) = arg.strip_prefix("--jobs=") {
-                    v.to_string()
+                let (flag, value) = if arg == "--stream" {
+                    stream = true;
+                    continue;
+                } else if let Some(v) = arg.strip_prefix("--stream=") {
+                    stream = true;
+                    ("--stream", v.to_string())
                 } else if *arg == "--metrics" || arg.starts_with("--metrics=") {
                     // Validated (and re-read) by Heartbeat::maybe_start.
                     continue;
+                } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                    ("--jobs", v.to_string())
+                } else if arg == "--jobs" || arg == "--window" || arg == "--max-rss-mb" {
+                    match it.next() {
+                        Some(v) => (arg.as_str(), v.clone()),
+                        None => return usage(),
+                    }
                 } else {
                     paths.push(arg);
                     continue;
                 };
-                match value.parse::<usize>() {
-                    Ok(n) if n >= 1 => jobs = Some(n),
+                match (flag, value.parse::<u64>()) {
+                    ("--jobs", Ok(n)) if n >= 1 => jobs = Some(n as usize),
+                    ("--stream", Ok(n)) | ("--window", Ok(n)) if n >= 1 => {
+                        window = Some(n as usize)
+                    }
+                    ("--max-rss-mb", Ok(n)) if n >= 1 => max_rss_mb = Some(n),
                     _ => return usage(),
                 }
             }
-            if paths.is_empty() {
+            if paths.is_empty() || (window.is_some() && !stream) {
                 return usage();
             }
 
@@ -217,50 +252,98 @@ fn main() -> ExitCode {
                 Fatal(String),
             }
 
+            /// Windowed certification of one trace (file or stdin),
+            /// never holding more than the frontier in memory. The pool
+            /// width parallelizes *within* each window seal.
+            fn stream_one(path: &str, cfg: StreamConfig) -> CheckOut {
+                let origin = if path == "-" { "<stdin>" } else { path };
+                let result = if path == "-" {
+                    check_jsonl_reader(std::io::stdin().lock(), origin, cfg)
+                } else {
+                    match File::open(path) {
+                        Ok(f) => check_jsonl_reader(BufReader::new(f), origin, cfg),
+                        Err(e) => {
+                            return CheckOut::Fatal(format!(
+                                "bulksc-analyze: cannot read {path}: {e}"
+                            ))
+                        }
+                    }
+                };
+                match result {
+                    Ok(cert) if cert.accesses == 0 => CheckOut::Fatal(format!(
+                        "bulksc-analyze: {origin}: no value events — was the run \
+                         recorded with value tracing on?"
+                    )),
+                    Ok(cert) => CheckOut::Certified(format!("{origin}: {}", cert.summary())),
+                    Err(StreamError::Input(m)) => CheckOut::Fatal(format!("bulksc-analyze: {m}")),
+                    Err(StreamError::Check(CheckError::Violation(v))) => {
+                        CheckOut::Violation(format!("{origin}: SC VIOLATION\n{}", v.report))
+                    }
+                    Err(StreamError::Check(CheckError::Malformed(m))) => {
+                        CheckOut::Fatal(format!("bulksc-analyze: {origin}: malformed trace: {m}"))
+                    }
+                }
+            }
+
+            /// Batch certification of one trace: full witness in memory,
+            /// but the JSONL is still consumed line-at-a-time.
+            fn batch_one(path: &str) -> CheckOut {
+                let origin = if path == "-" { "<stdin>" } else { path };
+                let parsed = if path == "-" {
+                    ValueTrace::from_jsonl_reader(std::io::stdin().lock(), origin)
+                } else {
+                    match File::open(path) {
+                        Ok(f) => ValueTrace::from_jsonl_reader(BufReader::new(f), origin),
+                        Err(e) => {
+                            return CheckOut::Fatal(format!(
+                                "bulksc-analyze: cannot read {path}: {e}"
+                            ))
+                        }
+                    }
+                };
+                let trace = match parsed {
+                    Ok(t) => t,
+                    Err(e) => return CheckOut::Fatal(format!("bulksc-analyze: {e}")),
+                };
+                if trace.accesses.is_empty() {
+                    return CheckOut::Fatal(format!(
+                        "bulksc-analyze: {origin}: no value events — was the run \
+                         recorded with value tracing on?"
+                    ));
+                }
+                match trace.verify() {
+                    Ok(cert) => CheckOut::Certified(format!("{origin}: {}", cert.summary())),
+                    Err(CheckError::Violation(v)) => {
+                        CheckOut::Violation(format!("{origin}: SC VIOLATION\n{}", v.report))
+                    }
+                    Err(CheckError::Malformed(m)) => {
+                        CheckOut::Fatal(format!("bulksc-analyze: {origin}: malformed trace: {m}"))
+                    }
+                }
+            }
+
             let heartbeat = bulksc_bench::heartbeat::Heartbeat::maybe_start("check");
-            let results: Vec<CheckOut> = pool::run_all(
-                jobs.unwrap_or_else(pool::default_width),
+            let width = jobs.unwrap_or_else(pool::default_width);
+            let results: Vec<CheckOut> = if stream {
+                // Streaming mode: traces run one after another in bounded
+                // memory; the pool accelerates each window seal instead.
+                let cfg = StreamConfig::windowed(window.unwrap_or(1 << 20)).with_jobs(width);
                 paths
                     .iter()
-                    .map(|path| {
-                        let path = path.as_str();
-                        Job::new(format!("check {path}"), move || {
-                            let text = match std::fs::read_to_string(path) {
-                                Ok(t) => t,
-                                Err(e) => {
-                                    return CheckOut::Fatal(format!(
-                                        "bulksc-analyze: cannot read {path}: {e}"
-                                    ))
-                                }
-                            };
-                            let trace = match ValueTrace::from_jsonl(&text) {
-                                Ok(t) => t,
-                                Err(e) => {
-                                    return CheckOut::Fatal(format!("bulksc-analyze: {path}: {e}"))
-                                }
-                            };
-                            if trace.accesses.is_empty() {
-                                return CheckOut::Fatal(format!(
-                                    "bulksc-analyze: {path}: no value events — was the run \
-                                     recorded with value tracing on?"
-                                ));
-                            }
-                            match trace.verify() {
-                                Ok(cert) => {
-                                    CheckOut::Certified(format!("{path}: {}", cert.summary()))
-                                }
-                                Err(CheckError::Violation(v)) => CheckOut::Violation(format!(
-                                    "{path}: SC VIOLATION\n{}",
-                                    v.report
-                                )),
-                                Err(CheckError::Malformed(m)) => CheckOut::Fatal(format!(
-                                    "bulksc-analyze: {path}: malformed trace: {m}"
-                                )),
-                            }
+                    .map(|path| stream_one(path, cfg.clone()))
+                    .collect()
+            } else {
+                pool::run_all(
+                    width,
+                    paths
+                        .iter()
+                        .map(|path| {
+                            let path = path.as_str();
+                            Job::new(format!("check {path}"), move || batch_one(path))
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+            };
             if let Some(hb) = heartbeat {
                 hb.finish();
             }
@@ -279,7 +362,109 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            if let Some(bound) = max_rss_mb {
+                match bulksc_bench::peak_rss_kb() {
+                    Some(kb) => {
+                        println!(
+                            "peak RSS: {:.1} MiB (bound {bound} MiB)",
+                            kb as f64 / 1024.0
+                        );
+                        if kb > bound * 1024 {
+                            eprintln!(
+                                "bulksc-analyze: peak RSS {:.1} MiB exceeds --max-rss-mb {bound}",
+                                kb as f64 / 1024.0
+                            );
+                            worst = ExitCode::from(1);
+                        }
+                    }
+                    None => eprintln!(
+                        "bulksc-analyze: warning: /proc/self/status unavailable; \
+                         cannot enforce --max-rss-mb"
+                    ),
+                }
+            }
             worst
+        }
+        ("synth-trace", rest) if !rest.is_empty() => {
+            use bulksc_trace::Event;
+            use std::collections::HashMap;
+            use std::io::Write;
+
+            let Ok(n) = rest[0].parse::<u64>() else {
+                return usage();
+            };
+            let mut cores: u32 = 8;
+            let mut words: u64 = 64;
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                match (flag.as_str(), it.next().and_then(|v| v.parse::<u64>().ok())) {
+                    ("--cores", Some(c)) if c >= 1 => cores = c as u32,
+                    ("--words", Some(w)) if w >= 1 => words = w,
+                    _ => return usage(),
+                }
+            }
+            // Million-soak access pattern, generated with per-word state
+            // only, so a 100M-access trace can be piped straight into
+            // `check - --stream` without ever touching disk.
+            let stdout = std::io::stdout().lock();
+            let mut out = std::io::BufWriter::with_capacity(1 << 20, stdout);
+            let mut mem: HashMap<u64, u64> = HashMap::new();
+            let mut po = vec![0u64; cores as usize];
+            let emit = |out: &mut dyn Write, line: String| -> Result<(), std::io::Error> {
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")
+            };
+            let mut run = || -> Result<(), std::io::Error> {
+                emit(&mut out, bulksc_trace::jsonl_header())?;
+                for i in 0..n {
+                    let core = (i % cores as u64) as u32;
+                    let seq = i / 1000;
+                    let addr = i.wrapping_mul(0x9e37_79b9) % words * 8;
+                    let ev = if i % 35 == 4 {
+                        let old = mem.get(&addr).copied().unwrap_or(0);
+                        mem.insert(addr, i + 1);
+                        Event::ValRmw {
+                            core,
+                            seq,
+                            po: po[core as usize],
+                            addr,
+                            old,
+                            new: i + 1,
+                            retired_at: 10 + i,
+                        }
+                    } else if i % 5 < 2 {
+                        mem.insert(addr, i + 1);
+                        Event::ValStore {
+                            core,
+                            seq,
+                            po: po[core as usize],
+                            addr,
+                            value: i + 1,
+                            retired_at: 10 + i,
+                        }
+                    } else {
+                        Event::ValLoad {
+                            core,
+                            seq,
+                            po: po[core as usize],
+                            addr,
+                            value: mem.get(&addr).copied().unwrap_or(0),
+                            retired_at: 10 + i,
+                        }
+                    };
+                    po[core as usize] += 1;
+                    emit(&mut out, ev.jsonl(20 + i))?;
+                }
+                out.flush()
+            };
+            match run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("bulksc-analyze: cannot write trace: {e}");
+                    ExitCode::from(2)
+                }
+            }
         }
         ("prof", rest) if !rest.is_empty() => {
             let path = &rest[0];

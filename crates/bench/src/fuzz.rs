@@ -137,8 +137,18 @@ pub fn run_traced(entry: &SweepEntry, spec: FuzzSpec, seed: u64) -> (ValueTrace,
 }
 
 /// Certify one case end-to-end. `Err` carries a human-readable failure
-/// report (oracle violation or differential mismatch).
-pub fn certify_case(entry: &SweepEntry, spec: FuzzSpec, seed: u64) -> Result<CaseStats, String> {
+/// report (oracle violation or differential mismatch). With
+/// `stream_check` the case additionally runs the streaming oracle —
+/// single-window (must reproduce the batch certificate exactly) and
+/// windowed at pool widths 1 and 4 (must agree on the verdict, the final
+/// memory, and with each other) — so every sampled trace differentially
+/// tests the bounded-memory checker against the batch one.
+pub fn certify_case(
+    entry: &SweepEntry,
+    spec: FuzzSpec,
+    seed: u64,
+    stream_check: bool,
+) -> Result<CaseStats, String> {
     let (trace, sys) = run_traced(entry, spec, seed);
     if trace.accesses.is_empty() {
         return Err(format!(
@@ -190,6 +200,61 @@ pub fn certify_case(entry: &SweepEntry, spec: FuzzSpec, seed: u64) -> Result<Cas
                 "{} seed {seed}: witness final memory [{addr:#x}]={value:#x} \
                  but the reference replay produced {got:#x}",
                 entry.name
+            ));
+        }
+    }
+
+    // 4. Optional streaming differential: the bounded-memory checker
+    // must agree with the batch verdict on this same trace.
+    if stream_check {
+        use bulksc_check::{check_stream, StreamConfig};
+        let one = check_stream(&trace.accesses, &trace.lifecycle, StreamConfig::batch()).map_err(
+            |e| {
+                format!(
+                    "{} seed {seed}: single-window streaming check failed where \
+                     batch certified:\n{e}",
+                    entry.name
+                )
+            },
+        )?;
+        if one.witness.as_deref() != Some(cert.witness.as_slice())
+            || one.edges != cert.edges
+            || one.ambiguous_reads != cert.ambiguous_reads
+        {
+            return Err(format!(
+                "{} seed {seed}: single-window streaming certificate diverges \
+                 from batch ({} vs {} edges, {} vs {} ambiguous)",
+                entry.name, one.edges, cert.edges, one.ambiguous_reads, cert.ambiguous_reads
+            ));
+        }
+        let mut hashes = Vec::new();
+        for jobs in [1usize, 4] {
+            let win = check_stream(
+                &trace.accesses,
+                &trace.lifecycle,
+                StreamConfig::windowed(256).with_jobs(jobs),
+            )
+            .map_err(|e| {
+                format!(
+                    "{} seed {seed}: windowed streaming check (jobs {jobs}) failed \
+                     where batch certified:\n{e}",
+                    entry.name
+                )
+            })?;
+            if win.final_memory != cert.final_memory || win.accesses != cert.accesses {
+                return Err(format!(
+                    "{} seed {seed}: windowed streaming final memory diverges from \
+                     batch (jobs {jobs})",
+                    entry.name
+                ));
+            }
+            hashes.push(win.witness_hash);
+        }
+        if hashes[0] != hashes[1] {
+            return Err(format!(
+                "{} seed {seed}: pool width changed the windowed witness hash \
+                 ({:016x} vs {:016x})",
+                entry.name, hashes[0], hashes[1]
             ));
         }
     }
@@ -269,6 +334,7 @@ pub fn run_sweep_on(
     spec: FuzzSpec,
     time_box: Option<Duration>,
     jobs: usize,
+    stream_check: bool,
 ) -> FuzzOutcome {
     let start = Instant::now();
     let expired = AtomicBool::new(false);
@@ -290,7 +356,7 @@ pub fn run_sweep_on(
                             return CaseResult::TimedOut;
                         }
                     }
-                    match certify_case(entry, spec, seed) {
+                    match certify_case(entry, spec, seed, stream_check) {
                         Ok(stats) => CaseResult::Ok {
                             line: format!(
                                 "ok   {:<18} seed {:>4}  {:>5} accesses, {} ambiguous, \
@@ -340,8 +406,9 @@ pub fn run_sweep(
     spec: FuzzSpec,
     time_box: Option<Duration>,
     jobs: usize,
+    stream_check: bool,
 ) -> FuzzOutcome {
-    run_sweep_on(&sweep(), seeds, spec, time_box, jobs)
+    run_sweep_on(&sweep(), seeds, spec, time_box, jobs, stream_check)
 }
 
 /// Parsed `bulksc-fuzz` command line.
@@ -357,6 +424,9 @@ pub struct FuzzArgs {
     /// Heartbeat interval in milliseconds (`--metrics[=MS]`); `None` =
     /// metrics off.
     pub metrics: Option<u64>,
+    /// Differentially run the streaming oracle against the batch one on
+    /// every sampled trace (`--stream-check`).
+    pub stream_check: bool,
 }
 
 /// What the argument list asked for.
@@ -378,6 +448,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, St
     let mut time_box: Option<Duration> = None;
     let mut jobs: Option<usize> = None;
     let mut metrics: Option<u64> = None;
+    let mut stream_check = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> Result<u64, String> {
@@ -402,6 +473,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, St
             s if s == "--metrics" || s.starts_with("--metrics=") => {
                 metrics = crate::heartbeat::parse_metrics_flag(std::iter::once(s.to_string()))?;
             }
+            "--stream-check" => stream_check = true,
             "--help" | "-h" => return Ok(FuzzCli::Help),
             s => match s.parse() {
                 Ok(seed) => seeds.push(seed),
@@ -418,13 +490,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<FuzzCli, St
         time_box,
         jobs,
         metrics,
+        stream_check,
     }))
 }
 
 fn usage() {
     eprintln!(
         "usage: bulksc-fuzz [SEED...] [--seeds N] [--time-box SECS] [--ops N] [--cores N] \
-         [--jobs N] [--metrics[=MS]]\n\
+         [--jobs N] [--metrics[=MS]] [--stream-check]\n\
          \n\
          Runs random programs under every BulkSC configuration and the SC\n\
          baseline, certifying each execution with the bulksc-check oracle\n\
@@ -436,6 +509,9 @@ fn usage() {
          \x20              BULKSC_JOBS or the available parallelism)\n\
          --metrics[=MS] heartbeat progress on stderr every MS milliseconds\n\
          \x20              (default 1000) + results/fuzz.metrics.{{jsonl,prom}}\n\
+         --stream-check also run the streaming (windowed, pool-parallel)\n\
+         \x20              oracle on every trace and fail on any divergence\n\
+         \x20              from the batch verdict\n\
          \n\
          exit status: 0 all certified, 1 violation found, 2 bad usage"
     );
@@ -460,7 +536,13 @@ pub fn main() -> i32 {
     let heartbeat = parsed
         .metrics
         .map(|ms| crate::heartbeat::Heartbeat::start("fuzz", ms));
-    let outcome = run_sweep(&parsed.seeds, parsed.spec, parsed.time_box, jobs);
+    let outcome = run_sweep(
+        &parsed.seeds,
+        parsed.spec,
+        parsed.time_box,
+        jobs,
+        parsed.stream_check,
+    );
     if let Some(hb) = heartbeat {
         hb.finish();
     }
@@ -500,7 +582,7 @@ mod tests {
             if !matches!(entry.name, "SC" | "BSCbase" | "BSCbase/chunk16") {
                 continue;
             }
-            let stats = certify_case(&entry, spec, 1).unwrap_or_else(|e| {
+            let stats = certify_case(&entry, spec, 1, true).unwrap_or_else(|e| {
                 panic!("{e}");
             });
             assert!(stats.accesses > 0);
@@ -550,6 +632,15 @@ mod tests {
     }
 
     #[test]
+    fn stream_check_flag_parses_and_defaults_off() {
+        let a = run_of(parse_args(args(&["--stream-check", "5"])));
+        assert!(a.stream_check);
+        assert_eq!(a.seeds, vec![5], "flag must not eat the positional seed");
+        let b = run_of(parse_args(args(&[])));
+        assert!(!b.stream_check);
+    }
+
+    #[test]
     fn default_seeds_and_bad_args() {
         let a = run_of(parse_args(args(&[])));
         assert_eq!(a.seeds, (0..8).collect::<Vec<u64>>());
@@ -569,7 +660,7 @@ mod tests {
         };
         let entries = sweep();
         let two = &entries[..2]; // SC, BSCbase
-        let out = run_sweep_on(two, &[1, 2], spec, None, 2);
+        let out = run_sweep_on(two, &[1, 2], spec, None, 2, false);
         assert_eq!(out.runs, 4);
         assert!(out.failures.is_empty());
         assert_eq!(out.lines.len(), 4);

@@ -42,6 +42,11 @@ pub struct Scenario {
     /// Run the `bulksc-check` SC oracle over the captured value trace
     /// (implies `tracing`).
     pub oracle: bool,
+    /// Run the *streaming* windowed oracle over the captured value trace
+    /// instead of the batch one (implies `tracing`): measures the
+    /// bounded-memory certification path end to end, JSONL consumption
+    /// included.
+    pub oracle_stream: bool,
     /// Enable the `bulksc-metrics` registry for every measured rep (the
     /// metrics-tax cell; see [`metrics_overhead`]).
     pub metrics: bool,
@@ -60,6 +65,7 @@ pub fn matrix() -> Vec<Scenario> {
         tracing,
         sampling,
         oracle,
+        oracle_stream: false,
         metrics: false,
     };
     use bulksc::BulkConfig;
@@ -150,6 +156,25 @@ pub fn matrix() -> Vec<Scenario> {
                 false,
             );
             m.metrics = true;
+            m
+        },
+        // Same traced run certified through the windowed streaming
+        // oracle: bsc8_oracle / bsc8_oracle_stream isolates what bounded
+        // memory costs (or saves) against the batch checker. Last on
+        // purpose: the ten cells above keep their historical queue order
+        // (and thus their contention pairing under a width-2 smoke
+        // pool), so the tight overhead gates see the same interleaving
+        // they were calibrated against.
+        {
+            let mut m = cell(
+                "bsc8_oracle_stream",
+                Model::Bulk(BulkConfig::bsc_dypvt()),
+                1,
+                true,
+                false,
+                false,
+            );
+            m.oracle_stream = true;
             m
         },
     ]
@@ -298,7 +323,7 @@ pub fn run_scenario(s: &Scenario, budget: u64, warmup: u32, reps: u32) -> Scenar
         };
         assert!(sys.run(u64::MAX / 4), "measured run finishes");
         let report = SimReport::collect(&sys);
-        if s.oracle {
+        if s.oracle || s.oracle_stream {
             let _oracle = prof::scope(Phase::Oracle);
             let text = jsonl
                 .as_ref()
@@ -306,8 +331,17 @@ pub fn run_scenario(s: &Scenario, budget: u64, warmup: u32, reps: u32) -> Scenar
                 .borrow()
                 .contents()
                 .to_string();
-            let trace = ValueTrace::from_jsonl(&text).expect("perf trace parses");
-            trace.verify().expect("perf run is SC");
+            if s.oracle_stream {
+                bulksc_check::check_jsonl_reader(
+                    text.as_bytes(),
+                    "perf trace",
+                    bulksc_check::StreamConfig::windowed(4096),
+                )
+                .expect("perf run is SC (streaming)");
+            } else {
+                let trace = ValueTrace::from_jsonl(&text, "perf trace").expect("perf trace parses");
+                trace.verify().expect("perf run is SC");
+            }
         }
         let pr = prof::disable();
         if s.metrics && !outer_metrics {
@@ -826,16 +860,21 @@ mod tests {
     #[test]
     fn matrix_is_stable_and_unique() {
         let m = matrix();
-        assert_eq!(m.len(), 10);
+        assert_eq!(m.len(), 11);
         let mut names: Vec<&str> = m.iter().map(|s| s.name).collect();
         assert!(names.contains(&"bsc8") && names.contains(&"bsc8_trace"));
         assert!(names.contains(&"bsc8_metrics"));
         assert!(names.contains(&"bsc8_xray"));
+        assert!(names.contains(&"bsc8_oracle_stream"));
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10, "scenario names are the pairing keys");
+        assert_eq!(names.len(), 11, "scenario names are the pairing keys");
         for s in &m {
-            assert!(!s.oracle || s.tracing, "{}: oracle implies tracing", s.name);
+            assert!(
+                !(s.oracle || s.oracle_stream) || s.tracing,
+                "{}: oracle implies tracing",
+                s.name
+            );
         }
     }
 
@@ -871,6 +910,13 @@ mod tests {
     #[test]
     fn oracle_scenario_profiles_the_oracle() {
         let r = tiny_result("bsc8_oracle");
+        let oracle = r.prof.phase(Phase::Oracle).expect("oracle profiled");
+        assert!(oracle.self_ns > 0);
+    }
+
+    #[test]
+    fn streaming_oracle_scenario_certifies_and_profiles() {
+        let r = tiny_result("bsc8_oracle_stream");
         let oracle = r.prof.phase(Phase::Oracle).expect("oracle profiled");
         assert!(oracle.self_ns > 0);
     }

@@ -43,17 +43,28 @@
 //!
 //! Complexity: `O(n log n)` to order accesses plus `O(n + e)` for the
 //! sort itself, with `e ≤ 4n` edges — a million-access trace checks in
-//! well under a second.
+//! well under a second. Memory is `O(n)` in batch mode; for traces that
+//! outgrow it, the [`stream`] module certifies the same witness order
+//! window by window in memory bounded by the window size ([`check`] is
+//! itself the single-window special case), consuming JSONL
+//! incrementally via [`check_jsonl_reader`] so the trace never has to
+//! be materialized at all.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::io::BufRead;
 use std::rc::Rc;
 
 use bulksc_trace::{Event, Json, Tracer, SCHEMA_VERSION};
 
 mod order;
+pub mod stream;
 
 pub use order::{check, CheckError, EdgeKind, ScCertificate, ScViolation, ViolationKind};
+pub use stream::{
+    check_jsonl_reader, check_stream, Checkpoint, StreamCertificate, StreamChecker, StreamConfig,
+    StreamError,
+};
 
 /// What one traced access did at its address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,6 +147,110 @@ pub struct LifecycleEvent {
     /// Stable label: `chunk_start`, `commit_grant`, `commit_deny`,
     /// `chunk_commit`, `chunk_abandon`, or `squash(<cause>)`.
     pub what: &'static str,
+}
+
+/// One parsed line of a JSONL event stream, as classified by
+/// [`parse_trace_line`]: a value access (with `idx` left at 0 for the
+/// caller to assign from its own stream position), a lifecycle event, or
+/// a line the oracle ignores (blank, or an event kind it doesn't track).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceLine {
+    /// A `val_load` / `val_store` / `val_rmw` event.
+    Access(Access),
+    /// A chunk-lifecycle event.
+    Lifecycle(LifecycleEvent),
+    /// Blank line or untracked event kind.
+    Skip,
+}
+
+/// Validate the stream's schema header (its first line). Errors name
+/// `origin` so a bad file is identifiable among many.
+pub fn parse_header_line(header: &str, origin: &str) -> Result<(), String> {
+    let h =
+        Json::parse(header).ok_or_else(|| format!("{origin}: trace header is not valid JSON"))?;
+    if h.get("schema").and_then(Json::as_str) != Some("bulksc-trace") {
+        return Err(format!(
+            "{origin}: not a bulksc-trace stream (bad schema header)"
+        ));
+    }
+    let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if !bulksc_trace::schema_supported(version) {
+        return Err(format!(
+            "{origin}: trace schema version {version} outside supported range \
+             {}..={SCHEMA_VERSION} (value events appeared in version 3)",
+            bulksc_trace::MIN_SCHEMA_VERSION
+        ));
+    }
+    Ok(())
+}
+
+/// Parse one body line of a JSONL event stream. `lineno` is the 1-based
+/// line number within the stream (the header is line 1); every error
+/// names `origin` and that line so a bad line in a multi-GB trace is
+/// found without bisecting.
+pub fn parse_trace_line(line: &str, lineno: usize, origin: &str) -> Result<TraceLine, String> {
+    if line.trim().is_empty() {
+        return Ok(TraceLine::Skip);
+    }
+    let ev = Json::parse(line)
+        .ok_or_else(|| format!("{origin}: line {lineno}: not valid JSON: {line}"))?;
+    let t = ev
+        .get("t")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{origin}: line {lineno}: event without cycle stamp"))?;
+    let name = ev.get("ev").and_then(Json::as_str).unwrap_or("");
+    let field = |key: &str| -> Result<u64, String> {
+        ev.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{origin}: line {lineno}: {name} event missing field {key:?}"))
+    };
+    let kind = match name {
+        "val_load" => Some(AccessKind::Load {
+            value: field("value")?,
+        }),
+        "val_store" => Some(AccessKind::Store {
+            value: field("value")?,
+        }),
+        "val_rmw" => Some(AccessKind::Rmw {
+            old: field("old")?,
+            new: field("new")?,
+        }),
+        _ => None,
+    };
+    if let Some(kind) = kind {
+        return Ok(TraceLine::Access(Access {
+            idx: 0,
+            core: field("core")? as u32,
+            seq: field("seq")?,
+            po: field("po")?,
+            addr: field("addr")?,
+            kind,
+            retired_at: field("retired_at")?,
+            emitted_at: t,
+        }));
+    }
+    let what = match name {
+        "chunk_start" => Some("chunk_start"),
+        "commit_grant" => Some("commit_grant"),
+        "commit_deny" => Some("commit_deny"),
+        "chunk_commit" => Some("chunk_commit"),
+        "chunk_abandon" => Some("chunk_abandon"),
+        "squash" => Some(match ev.get("cause").and_then(Json::as_str) {
+            Some("alias") => "squash(alias)",
+            Some("true-sharing") => "squash(true-sharing)",
+            _ => "squash(overflow)",
+        }),
+        _ => None,
+    };
+    Ok(match what {
+        Some(what) => TraceLine::Lifecycle(LifecycleEvent {
+            t,
+            core: field("core")? as u32,
+            seq: field("seq")?,
+            what,
+        }),
+        None => TraceLine::Skip,
+    })
 }
 
 /// A full value trace of one execution: every committed memory access in
@@ -223,81 +338,42 @@ impl ValueTrace {
     /// Parse a JSONL event stream (as written by `JsonlTracer`) into a
     /// value trace. Validates the schema header; unknown event names are
     /// ignored so the oracle stays compatible with richer streams.
-    pub fn from_jsonl(text: &str) -> Result<ValueTrace, String> {
-        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Oracle);
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines.next().ok_or_else(|| "empty trace".to_string())?;
-        let h = Json::parse(header).ok_or_else(|| "trace header is not valid JSON".to_string())?;
-        if h.get("schema").and_then(Json::as_str) != Some("bulksc-trace") {
-            return Err("not a bulksc-trace stream (bad schema header)".to_string());
-        }
-        let version = h.get("version").and_then(Json::as_u64).unwrap_or(0);
-        if !bulksc_trace::schema_supported(version) {
-            return Err(format!(
-                "trace schema version {version} outside supported range \
-                 {}..={SCHEMA_VERSION} (value events appeared in version 3)",
-                bulksc_trace::MIN_SCHEMA_VERSION
-            ));
-        }
+    ///
+    /// `origin` names the stream (a file path, `"-"`, a test label) and
+    /// is quoted, with a 1-based line number, in every parse error.
+    pub fn from_jsonl(text: &str, origin: &str) -> Result<ValueTrace, String> {
+        Self::from_jsonl_reader(text.as_bytes(), origin)
+    }
 
+    /// [`ValueTrace::from_jsonl`], but consuming the stream one line at a
+    /// time from any [`BufRead`] — a multi-GB trace file never has to be
+    /// materialized as a single `String`. Read errors, like parse errors,
+    /// name `origin` and the last complete line.
+    pub fn from_jsonl_reader<R: BufRead>(mut r: R, origin: &str) -> Result<ValueTrace, String> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Oracle);
+        let mut line = String::new();
+        let mut read_one = |line: &mut String, lineno: usize| -> Result<bool, String> {
+            line.clear();
+            let n = r
+                .read_line(line)
+                .map_err(|e| format!("{origin}: read error after line {lineno}: {e}"))?;
+            Ok(n > 0)
+        };
+        if !read_one(&mut line, 0)? {
+            return Err(format!("{origin}: empty trace"));
+        }
+        parse_header_line(line.trim_end(), origin)?;
         let mut trace = ValueTrace::default();
-        for (lineno, line) in lines {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let ev = Json::parse(line)
-                .ok_or_else(|| format!("line {}: not valid JSON: {line}", lineno + 1))?;
-            let t = ev
-                .get("t")
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("line {}: event without cycle stamp", lineno + 1))?;
-            let name = ev.get("ev").and_then(Json::as_str).unwrap_or("");
-            let field = |key: &str| -> Result<u64, String> {
-                ev.get(key).and_then(Json::as_u64).ok_or_else(|| {
-                    format!("line {}: {name} event missing field {key:?}", lineno + 1)
-                })
-            };
-            let kind = match name {
-                "val_load" => Some(AccessKind::Load {
-                    value: field("value")?,
-                }),
-                "val_store" => Some(AccessKind::Store {
-                    value: field("value")?,
-                }),
-                "val_rmw" => Some(AccessKind::Rmw {
-                    old: field("old")?,
-                    new: field("new")?,
-                }),
-                _ => None,
-            };
-            if let Some(kind) = kind {
-                trace.accesses.push(Access {
-                    idx: trace.accesses.len(),
-                    core: field("core")? as u32,
-                    seq: field("seq")?,
-                    po: field("po")?,
-                    addr: field("addr")?,
-                    kind,
-                    retired_at: field("retired_at")?,
-                    emitted_at: t,
-                });
-                continue;
-            }
-            let what = match name {
-                "chunk_start" => Some("chunk_start"),
-                "commit_grant" => Some("commit_grant"),
-                "commit_deny" => Some("commit_deny"),
-                "chunk_commit" => Some("chunk_commit"),
-                "chunk_abandon" => Some("chunk_abandon"),
-                "squash" => Some(match ev.get("cause").and_then(Json::as_str) {
-                    Some("alias") => "squash(alias)",
-                    Some("true-sharing") => "squash(true-sharing)",
-                    _ => "squash(overflow)",
-                }),
-                _ => None,
-            };
-            if let Some(what) = what {
-                trace.note(t, field("core")? as u32, field("seq")?, what);
+        let mut lineno = 1usize;
+        while read_one(&mut line, lineno)? {
+            lineno += 1;
+            match parse_trace_line(line.trim_end(), lineno, origin)? {
+                TraceLine::Access(mut a) => {
+                    a.idx = trace.accesses.len();
+                    trace.accesses.push(a);
+                }
+                TraceLine::Lifecycle(e) => trace.lifecycle.push(e),
+                TraceLine::Skip => {}
             }
         }
         Ok(trace)
@@ -474,7 +550,7 @@ mod tests {
             text.push('\n');
             direct.absorb(*t, ev);
         }
-        let parsed = ValueTrace::from_jsonl(&text).expect("parses");
+        let parsed = ValueTrace::from_jsonl(&text, "test").expect("parses");
         assert_eq!(parsed.accesses, direct.accesses);
         assert_eq!(parsed.lifecycle, direct.lifecycle);
         assert_eq!(parsed.lifecycle[1].what, "squash(alias)");
@@ -482,17 +558,42 @@ mod tests {
 
     #[test]
     fn jsonl_parser_rejects_bad_input() {
-        assert!(ValueTrace::from_jsonl("").is_err());
-        assert!(ValueTrace::from_jsonl("{\"schema\":\"other\"}\n").is_err());
-        assert!(ValueTrace::from_jsonl("{\"schema\":\"bulksc-trace\",\"version\":2}\n").is_err());
+        assert!(ValueTrace::from_jsonl("", "t").is_err());
+        assert!(ValueTrace::from_jsonl("{\"schema\":\"other\"}\n", "t").is_err());
+        assert!(
+            ValueTrace::from_jsonl("{\"schema\":\"bulksc-trace\",\"version\":2}\n", "t").is_err()
+        );
         let header = bulksc_trace::jsonl_header();
-        assert!(ValueTrace::from_jsonl(&format!("{header}\nnot json\n")).is_err());
-        assert!(ValueTrace::from_jsonl(&format!(
-            "{header}\n{{\"t\":1,\"ev\":\"val_load\",\"core\":0}}\n"
-        ))
+        assert!(ValueTrace::from_jsonl(&format!("{header}\nnot json\n"), "t").is_err());
+        assert!(ValueTrace::from_jsonl(
+            &format!("{header}\n{{\"t\":1,\"ev\":\"val_load\",\"core\":0}}\n"),
+            "t"
+        )
         .is_err());
         // Unknown events and blank lines are fine.
         let ok = format!("{header}\n\n{{\"t\":1,\"ev\":\"future_event\",\"core\":0}}\n");
-        assert!(ValueTrace::from_jsonl(&ok).unwrap().accesses.is_empty());
+        assert!(ValueTrace::from_jsonl(&ok, "t")
+            .unwrap()
+            .accesses
+            .is_empty());
+    }
+
+    #[test]
+    fn jsonl_parse_errors_name_origin_and_line() {
+        let header = bulksc_trace::jsonl_header();
+        let text = format!("{header}\n\nnot json\n");
+        let err = ValueTrace::from_jsonl(&text, "results/run.jsonl").unwrap_err();
+        assert!(
+            err.starts_with("results/run.jsonl: line 3:"),
+            "error must carry file + 1-based line, got: {err}"
+        );
+        // A value event with a missing field is located the same way.
+        let text = format!("{header}\n{{\"t\":1,\"ev\":\"val_store\",\"core\":0}}\n");
+        let err = ValueTrace::from_jsonl(&text, "x.jsonl").unwrap_err();
+        assert!(err.starts_with("x.jsonl: line 2:"), "{err}");
+        assert!(err.contains("val_store"), "{err}");
+        // Header problems name the origin too.
+        let err = ValueTrace::from_jsonl("", "empty.jsonl").unwrap_err();
+        assert!(err.contains("empty.jsonl"), "{err}");
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
-use crate::{Access, AccessKind, LifecycleEvent};
+use crate::{Access, LifecycleEvent};
 
 /// Which relation an edge of the witness graph came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +42,11 @@ pub enum ViolationKind {
     /// A read-modify-write was not atomic: another write intervened
     /// between its read and its write in coherence order.
     TornRmw,
+    /// Streaming mode only: a read observed a value that was already
+    /// overwritten inside the certified witness prefix — it is stale by
+    /// more than a checking window, so no SC interleaving extending the
+    /// prefix can satisfy it.
+    StaleRead,
 }
 
 /// The oracle's finding when an execution is *not* SC.
@@ -124,230 +129,31 @@ impl ScCertificate {
 /// Verify that `accesses` (in trace-stream order) admit an SC witness.
 /// `lifecycle` provides the chunk/squash context quoted in violation
 /// reports; pass `&[]` when unavailable.
+///
+/// This is the batch entry point: a single-window run of the streaming
+/// checker in [`crate::stream`], which resolves every read against the
+/// complete write set and records the full witness. Certificates and
+/// violation reports are identical to the historical all-in-memory
+/// implementation; use [`crate::stream::check_stream`] with a bounded
+/// [`crate::stream::StreamConfig`] when the trace does not fit.
 pub fn check(
     accesses: &[Access],
     lifecycle: &[LifecycleEvent],
 ) -> Result<ScCertificate, CheckError> {
-    let n = accesses.len();
-    for (i, a) in accesses.iter().enumerate() {
-        if a.idx != i {
-            return Err(CheckError::Malformed(format!(
-                "access at stream position {i} carries idx {}",
-                a.idx
-            )));
-        }
-    }
-
-    let mut adj: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); n];
-    let mut edges = 0usize;
-    let mut add =
-        |adj: &mut Vec<Vec<(usize, EdgeKind)>>, from: usize, to: usize, kind: EdgeKind| {
-            adj[from].push((to, kind));
-            edges += 1;
-        };
-
-    // po: per-core order of the stamped program-order indices.
-    let mut per_core: HashMap<u32, Vec<usize>> = HashMap::new();
-    for a in accesses {
-        per_core.entry(a.core).or_default().push(a.idx);
-    }
-    for list in per_core.values_mut() {
-        list.sort_by_key(|&i| accesses[i].po);
-        for pair in list.windows(2) {
-            let (a, b) = (pair[0], pair[1]);
-            if accesses[a].po == accesses[b].po {
-                return Err(CheckError::Malformed(format!(
-                    "core {} has two accesses with program-order index {}",
-                    accesses[a].core, accesses[a].po
-                )));
-            }
-            add(&mut adj, a, b, EdgeKind::Po);
-        }
-    }
-
-    // co: trace-stream order of writes per address (the stream is the
-    // global value store's write order). `co_rank[i]` is the position of
-    // write `i` within its address's write list.
-    let mut writes_at: HashMap<u64, Vec<usize>> = HashMap::new();
-    let mut co_rank: Vec<usize> = vec![usize::MAX; n];
-    for a in accesses {
-        if a.published().is_some() {
-            let list = writes_at.entry(a.addr).or_default();
-            co_rank[a.idx] = list.len();
-            list.push(a.idx);
-        }
-    }
-    for list in writes_at.values() {
-        for pair in list.windows(2) {
-            add(&mut adj, pair[0], pair[1], EdgeKind::Co);
-        }
-    }
-
-    // rf / fr: match observed values against published ones.
-    let mut writers_of: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
-    for a in accesses {
-        if let Some(v) = a.published() {
-            writers_of.entry((a.addr, v)).or_default().push(a.idx);
-        }
-    }
-    let mut ambiguous_reads = 0usize;
-    for a in accesses {
-        let Some(v) = a.observed() else { continue };
-        let is_rmw = matches!(a.kind, AccessKind::Rmw { .. });
-        // An RMW whose new value equals its old one would otherwise list
-        // itself as a candidate source.
-        let candidates: Vec<usize> = writers_of
-            .get(&(a.addr, v))
-            .map(|c| c.iter().copied().filter(|&w| w != a.idx).collect())
-            .unwrap_or_default();
-        let from_init_possible = v == 0;
-        match (candidates.len(), from_init_possible) {
-            (0, false) => {
-                return Err(violation(
-                    accesses,
-                    lifecycle,
-                    ViolationKind::UnsourcedRead,
-                    vec![a.idx],
-                    Vec::new(),
-                    format!(
-                        "a read observed value {v} at 0x{:x}, but no write ever \
-                         published that value there (and memory starts at 0)",
-                        a.addr
-                    ),
-                ));
-            }
-            (0, true) => {
-                // Reads the virtual initial store: it precedes every
-                // write at this address.
-                let first = writes_at.get(&a.addr).and_then(|l| l.first().copied());
-                if is_rmw {
-                    // Atomicity: the RMW's own write must be the first
-                    // write in co.
-                    if first != Some(a.idx) {
-                        let mut set = vec![a.idx];
-                        if let Some(f) = first {
-                            set.insert(0, f);
-                        }
-                        return Err(violation(
-                            accesses,
-                            lifecycle,
-                            ViolationKind::TornRmw,
-                            set,
-                            Vec::new(),
-                            "a read-modify-write observed the initial value but \
-                             its own write is not first in coherence order: \
-                             another write intervened"
-                                .to_string(),
-                        ));
-                    }
-                } else if let Some(f) = first {
-                    add(&mut adj, a.idx, f, EdgeKind::Fr);
-                }
-            }
-            (1, false) => {
-                let w = candidates[0];
-                add(&mut adj, w, a.idx, EdgeKind::Rf);
-                if is_rmw && co_rank[a.idx] != co_rank[w] + 1 {
-                    return Err(violation(
-                        accesses,
-                        lifecycle,
-                        ViolationKind::TornRmw,
-                        vec![w, a.idx],
-                        Vec::new(),
-                        "a read-modify-write read from a write that is not its \
-                         immediate coherence-order predecessor: another write \
-                         intervened between its read and its write"
-                            .to_string(),
-                    ));
-                }
-                if let Some(succ) = writes_at[&a.addr].get(co_rank[w] + 1).copied() {
-                    if succ != a.idx {
-                        add(&mut adj, a.idx, succ, EdgeKind::Fr);
-                    }
-                }
-            }
-            _ => {
-                // Several possible sources (or a zero-writer competing
-                // with the initial value): skip this read's edges.
-                ambiguous_reads += 1;
-            }
-        }
-    }
-
-    // Kahn's algorithm over the union; leftovers mean a cycle.
-    let mut indeg = vec![0usize; n];
-    for out in &adj {
-        for &(to, _) in out {
-            indeg[to] += 1;
-        }
-    }
-    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut witness = Vec::with_capacity(n);
-    while let Some(u) = queue.pop_front() {
-        witness.push(u);
-        for &(v, _) in &adj[u] {
-            indeg[v] -= 1;
-            if indeg[v] == 0 {
-                queue.push_back(v);
-            }
-        }
-    }
-    if witness.len() < n {
-        let (cycle, kinds) = find_cycle(&adj, &indeg);
-        return Err(violation(
-            accesses,
-            lifecycle,
-            ViolationKind::Cycle,
-            cycle,
-            kinds,
-            "po ∪ rf ∪ co ∪ fr is cyclic: no sequentially consistent \
-             interleaving explains the observed values"
-                .to_string(),
-        ));
-    }
-
-    // Replay the witness as a cross-check: every unambiguous read must
-    // see exactly the value the edges promised.
-    let mut mem: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut amb: HashMap<(u64, u64), usize> = HashMap::new();
-    for (k, v) in &writers_of {
-        amb.insert(*k, v.len());
-    }
-    for &i in &witness {
-        let a = &accesses[i];
-        if let Some(v) = a.observed() {
-            let sources =
-                amb.get(&(a.addr, v)).copied().unwrap_or(0) - usize::from(a.published() == Some(v));
-            let unambiguous = (sources == 1 && v != 0) || (sources == 0 && v == 0);
-            let current = mem.get(&a.addr).copied().unwrap_or(0);
-            if unambiguous && current != v {
-                return Err(CheckError::Malformed(format!(
-                    "witness replay mismatch at access {i}: observed {v} at \
-                     0x{:x} but the witness memory holds {current} (oracle \
-                     invariant broken)",
-                    a.addr
-                )));
-            }
-        }
-        if let Some(v) = a.published() {
-            mem.insert(a.addr, v);
-        }
-    }
-
-    Ok(ScCertificate {
-        accesses: n,
-        edges,
-        ambiguous_reads,
-        witness,
-        final_memory: mem,
-    })
+    Ok(
+        crate::stream::check_stream(accesses, lifecycle, crate::stream::StreamConfig::batch())?
+            .into_sc(),
+    )
 }
 
 /// Extract a simple cycle from the leftover subgraph (`indeg[i] > 0`
 /// after Kahn). Prefers the shortest cycle through the lowest-indexed
 /// access that lies on one, so litmus-sized violations report the
 /// textbook minimal set.
-fn find_cycle(adj: &[Vec<(usize, EdgeKind)>], indeg: &[usize]) -> (Vec<usize>, Vec<EdgeKind>) {
+pub(crate) fn find_cycle(
+    adj: &[Vec<(usize, EdgeKind)>],
+    indeg: &[usize],
+) -> (Vec<usize>, Vec<EdgeKind>) {
     let leftover: Vec<usize> = (0..adj.len()).filter(|&i| indeg[i] > 0).collect();
     // BFS from each candidate start until one closes back on itself.
     // Every leftover node has a predecessor among leftovers, so a cycle
@@ -389,22 +195,23 @@ fn find_cycle(adj: &[Vec<(usize, EdgeKind)>], indeg: &[usize]) -> (Vec<usize>, V
     unreachable!("leftover subgraph of a failed toposort always contains a cycle");
 }
 
-/// Build a violation with its rendered report.
-fn violation(
-    accesses: &[Access],
+/// Build a violation with its rendered report. `offenders` is the
+/// minimal offending access set, already resolved to accesses (the
+/// streaming checker has no global access array to index into).
+pub(crate) fn violation(
+    offenders: Vec<Access>,
     lifecycle: &[LifecycleEvent],
     kind: ViolationKind,
-    set: Vec<usize>,
     edge_kinds: Vec<EdgeKind>,
     headline: String,
 ) -> CheckError {
-    let offenders: Vec<Access> = set.iter().map(|&i| accesses[i]).collect();
     let mut report = format!(
         "SC violation ({}): {headline}\n",
         match kind {
             ViolationKind::Cycle => "cycle",
             ViolationKind::UnsourcedRead => "unsourced read",
             ViolationKind::TornRmw => "torn rmw",
+            ViolationKind::StaleRead => "stale read",
         }
     );
     for (i, a) in offenders.iter().enumerate() {
@@ -460,6 +267,7 @@ fn violation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AccessKind;
 
     /// Shorthand access builder for tests.
     fn acc(idx: usize, core: u32, po: u64, addr: u64, kind: AccessKind) -> Access {

@@ -30,7 +30,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
-use bulksc_cpu::{CoreConfig, InstrWindow, SlotId, SlotState, ValueStore};
+use bulksc_cpu::{CoreConfig, InstrWindow, Slot, SlotId, SlotState, ValueStore};
 use bulksc_mem::{CacheConfig, InsertOutcome, LineState, SetAssocCache};
 use bulksc_metrics as metrics;
 use bulksc_net::{ChunkTag, Cycle, Envelope, Fabric, Message, NodeId};
@@ -329,6 +329,30 @@ impl BulkNode {
         self.chunks.iter_mut().find(|c| c.tag.seq == seq)
     }
 
+    /// A window slot that in-flight pipeline state (a completion, a miss
+    /// wakeup) still refers to. Losing it means the window and the
+    /// bookkeeping maps disagree — panic with the core, cycle, and slot
+    /// so a bad configuration produces a usable report instead of an
+    /// anonymous `Option::unwrap`.
+    fn slot_mut(&mut self, now: Cycle, slot: SlotId, ctx: &str) -> &mut Slot {
+        let core = self.core;
+        self.window.get_mut(slot).unwrap_or_else(|| {
+            panic!("core {core}: cycle {now}: window slot {slot} is gone ({ctx})")
+        })
+    }
+
+    /// The chunk sequence number a slot was fetched into. Every slot is
+    /// tagged at fetch time; an untagged slot in the retire/issue path
+    /// means chunk accounting was corrupted.
+    fn chunk_seq_of(&self, now: Cycle, slot: SlotId, ctx: &str) -> u64 {
+        *self.slot_chunks.get(&slot).unwrap_or_else(|| {
+            panic!(
+                "core {}: cycle {now}: slot {slot} has no chunk tag ({ctx})",
+                self.core
+            )
+        })
+    }
+
     /// True if `line` is speculatively written by any active chunk (the
     /// BDM's displacement veto and dirty-non-speculative test).
     fn spec_written(&self, line: LineAddr) -> bool {
@@ -395,7 +419,7 @@ impl BulkNode {
         // the value is not known yet: retry next cycle.
         match self.window_forward(slot, addr) {
             WindowForward::Value(v) => {
-                let s = self.window.get_mut(slot).expect("slot exists");
+                let s = self.slot_mut(now, slot, "load completed by store forwarding");
                 s.state = SlotState::Done;
                 s.value = Some(v);
             }
@@ -405,7 +429,7 @@ impl BulkNode {
             }
             WindowForward::None => {
                 let v = self.resolved_value(addr, values);
-                let s = self.window.get_mut(slot).expect("slot exists");
+                let s = self.slot_mut(now, slot, "load completed from memory");
                 s.state = SlotState::Done;
                 s.value = Some(v);
             }
@@ -441,13 +465,22 @@ impl BulkNode {
             let head_id = head.id;
             let head_instr = head.instr;
             let head_state = head.state;
+            let head_remaining = head.remaining;
+            let head_value = head.value;
             match head_instr {
                 Instr::Compute(_) => {
-                    let n = budget.min(self.window.oldest().expect("head").remaining);
+                    let n = budget.min(head_remaining);
                     self.window.drain_oldest_compute(n);
                     budget -= n;
                     self.note_retired(head_id, n as u64);
-                    if self.window.oldest().expect("head").remaining == 0 {
+                    let core = self.core;
+                    let drained = self.window.oldest().unwrap_or_else(|| {
+                        panic!(
+                            "core {core}: cycle {now}: head slot {head_id} vanished \
+                             mid-drain of a compute burst"
+                        )
+                    });
+                    if drained.remaining == 0 {
                         self.finish_slot(head_id);
                     }
                 }
@@ -461,11 +494,17 @@ impl BulkNode {
                     if head_state != SlotState::Done {
                         break;
                     }
-                    let v = self.window.oldest().expect("head").value;
+                    let v = head_value;
                     if self.trace.enabled() {
                         let core = self.core;
-                        let value = v.expect("completed load carries its value");
-                        self.buffer_access(head_id, |seq, po| Event::ValLoad {
+                        let value = v.unwrap_or_else(|| {
+                            panic!(
+                                "core {core}: cycle {now}: load slot {head_id} at \
+                                 {} retired Done but carries no value",
+                                addr.line()
+                            )
+                        });
+                        self.buffer_access(now, head_id, |seq, po| Event::ValLoad {
                             core,
                             seq,
                             po,
@@ -489,7 +528,7 @@ impl BulkNode {
                     }
                     if self.trace.enabled() {
                         let core = self.core;
-                        self.buffer_access(head_id, |seq, po| Event::ValStore {
+                        self.buffer_access(now, head_id, |seq, po| Event::ValStore {
                             core,
                             seq,
                             po,
@@ -518,7 +557,7 @@ impl BulkNode {
                     }
                     if self.trace.enabled() {
                         let core = self.core;
-                        self.buffer_access(head_id, |seq, po| Event::ValRmw {
+                        self.buffer_access(now, head_id, |seq, po| Event::ValRmw {
                             core,
                             seq,
                             po,
@@ -537,7 +576,7 @@ impl BulkNode {
                 Instr::Io => {
                     // §4.1.3: stall until every older chunk has fully
                     // committed, perform, then a fresh chunk starts.
-                    let own_seq = *self.slot_chunks.get(&head_id).expect("slot tagged");
+                    let own_seq = self.chunk_seq_of(now, head_id, "I/O retire");
                     let front_is_mine = self.chunks.front().map(|c| c.tag.seq) == Some(own_seq);
                     if !front_is_mine || !self.committing.is_empty() {
                         break;
@@ -554,10 +593,10 @@ impl BulkNode {
     /// Buffer a value-trace event into the slot's chunk, assigning the
     /// next per-core program-order index. Callers check
     /// `trace.enabled()` first so untraced runs pay nothing.
-    fn buffer_access(&mut self, slot: SlotId, make: impl FnOnce(u64, u64) -> Event) {
+    fn buffer_access(&mut self, now: Cycle, slot: SlotId, make: impl FnOnce(u64, u64) -> Event) {
         let po = self.po_next;
         self.po_next += 1;
-        let seq = *self.slot_chunks.get(&slot).expect("slot tagged");
+        let seq = self.chunk_seq_of(now, slot, "value-trace buffering");
         if let Some(c) = self.chunks.iter_mut().find(|c| c.tag.seq == seq) {
             c.accesses.push(make(seq, po));
         }
@@ -588,7 +627,7 @@ impl BulkNode {
         fab: &mut Fabric,
     ) -> bool {
         let line = addr.line();
-        let seq = *self.slot_chunks.get(&slot).expect("slot tagged");
+        let seq = self.chunk_seq_of(now, slot, "speculative store retire");
         let is_static_priv =
             self.bulk.private == PrivateMode::Static && self.map.is_static_private(addr);
         let dirty_nonspec =
@@ -640,11 +679,17 @@ impl BulkNode {
         };
 
         let already_wpriv = self.chunks.iter().any(|c| c.wpriv.contains_exact(line));
+        let core = self.core;
         let chunk = self
             .chunks
             .iter_mut()
             .find(|c| c.tag.seq == seq)
-            .expect("slot's chunk is active");
+            .unwrap_or_else(|| {
+                panic!(
+                    "core {core}: cycle {now}: store to {line} retired into chunk \
+                     seq {seq}, but no chunk with that tag is live"
+                )
+            });
         if use_wpriv || (self.bulk.private == PrivateMode::Dynamic && already_wpriv) {
             chunk.wpriv.insert(line);
         } else {
@@ -672,7 +717,7 @@ impl BulkNode {
             }
         }
         for (id, instr) in to_start {
-            let seq = *self.slot_chunks.get(&id).expect("slot tagged");
+            let seq = self.chunk_seq_of(now, id, "issue");
             match instr {
                 Instr::Load { addr, .. } => {
                     self.record_read(seq, addr);
@@ -767,7 +812,13 @@ impl BulkNode {
                 break;
             }
             let dst = self.dir_node(line);
-            let m = self.misses.get_mut(&line).expect("listed above");
+            let core = self.core;
+            let m = self.misses.get_mut(&line).unwrap_or_else(|| {
+                panic!(
+                    "core {core}: cycle {now}: miss entry for {line} vanished \
+                     while draining the MSHR send queue"
+                )
+            });
             m.sent = true;
             m.sent_at = now;
             self.stats.l1_misses += 1;
@@ -848,7 +899,17 @@ impl BulkNode {
             }
             match self.window.push(instr) {
                 Some(id) => {
-                    let seq = self.open_chunk_mut().expect("open chunk ensured").tag.seq;
+                    let core = self.core;
+                    let seq = self
+                        .open_chunk_mut()
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "core {core}: cycle {now}: no open chunk to receive \
+                                 fetched slot {id} (chunks_per_core misconfigured?)"
+                            )
+                        })
+                        .tag
+                        .seq;
                     self.slot_chunks.insert(id, seq);
                     self.fetched_into_chunk += instr.dynamic_count();
                     if matches!(instr, Instr::Io) {
@@ -913,7 +974,13 @@ impl BulkNode {
             // cores' conflicting chunks are never disambiguated, which is
             // exactly the reordering bug the SC oracle must catch.
             {
-                let front = self.chunks.front_mut().expect("checked");
+                let front = self.chunks.front_mut().unwrap_or_else(|| {
+                    panic!(
+                        "core {}: cycle {now}: chunk {}.{} disappeared between the \
+                         commit check and the arbitration-free self-grant",
+                        tag.core, tag.core, tag.seq
+                    )
+                });
                 front.state = ChunkState::Arbitrating;
                 if front.t_first_request.is_none() {
                     front.t_first_request = Some(now);
@@ -945,7 +1012,13 @@ impl BulkNode {
             (NodeId::Arbiter(0), Some(r))
         };
         {
-            let front = self.chunks.front_mut().expect("checked");
+            let front = self.chunks.front_mut().unwrap_or_else(|| {
+                panic!(
+                    "core {}: cycle {now}: chunk {}.{} disappeared while its commit \
+                     request was being composed",
+                    tag.core, tag.core, tag.seq
+                )
+            });
             front.state = ChunkState::Arbitrating;
             if front.t_first_request.is_none() {
                 front.t_first_request = Some(now);
@@ -989,11 +1062,26 @@ impl BulkNode {
         if !ok {
             self.stats.commit_denials += 1;
             self.charge_loss(now, "arb_denial");
-            self.chunks.front_mut().expect("checked").state = ChunkState::Closed;
+            self.chunks
+                .front_mut()
+                .unwrap_or_else(|| {
+                    panic!(
+                        "core {}: cycle {now}: chunk {}.{} disappeared while its \
+                         commit denial was being recorded",
+                        chunk.core, chunk.core, chunk.seq
+                    )
+                })
+                .state = ChunkState::Closed;
             self.commit_retry_at = now + self.bulk.commit_retry;
             return;
         }
-        let mut front = self.chunks.pop_front().expect("checked");
+        let mut front = self.chunks.pop_front().unwrap_or_else(|| {
+            panic!(
+                "core {}: cycle {now}: chunk {}.{} disappeared while its commit \
+                 grant was being applied",
+                chunk.core, chunk.core, chunk.seq
+            )
+        });
         self.charge_loss(now, "committed");
         self.stats
             .lat_arbitration
@@ -1527,7 +1615,13 @@ impl BulkNode {
             if let Some((src, for_excl)) = self.pending_fetches.remove(&line) {
                 self.surrender_line(now, line, src, for_excl, fab);
             }
-            let m = self.misses.get_mut(&line).expect("checked above");
+            let core = self.core;
+            let m = self.misses.get_mut(&line).unwrap_or_else(|| {
+                panic!(
+                    "core {core}: cycle {now}: miss entry for {line} vanished \
+                     while its stale fill was being re-requested"
+                )
+            });
             m.sent = false;
             m.invalidated = false;
             m.retry_at = now + 1;
@@ -1630,7 +1724,7 @@ impl BulkNode {
                         .find_map(|c| c.forward(addr))
                         .unwrap_or(data[addr.line_offset() as usize]),
                 };
-                let s = self.window.get_mut(slot).expect("slot exists");
+                let s = self.slot_mut(now, slot, "load woken by a fill");
                 s.state = SlotState::Done;
                 s.value = Some(v);
             }
@@ -1651,7 +1745,13 @@ impl BulkNode {
             && self.window.is_empty()
             && self.chunks.len() == 1
         {
-            let only = self.chunks.front().expect("checked");
+            let only = self.chunks.front().unwrap_or_else(|| {
+                panic!(
+                    "core {}: cycle {now}: the final chunk disappeared while being \
+                     examined for the trailing-empty-chunk drop",
+                    self.core
+                )
+            });
             if only.retired == 0 && only.stores.is_empty() && only.r.is_empty() {
                 let tag = only.tag;
                 self.trace.emit(now, || Event::ChunkAbandon {

@@ -46,6 +46,22 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
   --seeds 6 --time-box 60 --jobs 2 --metrics > /dev/null
 
+# Streaming-oracle gate (the unbounded-memory fix): a 4M-access
+# synthetic trace is piped straight into the windowed checker — never
+# touching disk or materializing the access vector — and must certify
+# under a hard RSS ceiling the batch path could not meet at this size.
+# The binaries were built by the release-build stage above, so the two
+# halves of the pipe run without contending on cargo's build lock.
+echo "==> synth-trace 4000000 | check - --stream (RSS-bounded)"
+./target/release/bulksc-analyze synth-trace 4000000 |
+  ./target/release/bulksc-analyze check - --stream --window 65536 --jobs 2 --max-rss-mb 192
+
+# Differential fuzz smoke: every generated trace is certified twice —
+# batch and windowed streaming at two pool widths — and the verdicts,
+# witnesses, and hashes must agree case by case.
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-fuzz -- \
+  --seeds 2 --time-box 30 --jobs 2 --stream-check > /dev/null
+
 # Metrics smoke: the fuzz sweep above ran with the live registry on, so
 # it must have left a well-formed heartbeat stream and a text exposition
 # behind. `bulksc-analyze metrics` re-parses the JSONL with the in-repo

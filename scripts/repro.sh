@@ -51,8 +51,12 @@ run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   prof results/perf.json > /dev/null
 
 # The demo run was recorded with value tracing on, so its event stream
-# must also pass the SC conformance oracle.
+# must also pass the SC conformance oracle — once through the batch
+# path and once through the streaming/windowed path (the two must
+# agree; tests/stream_equivalence.rs pins that, this exercises the CLI).
 run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
   check results/trace_demo.jsonl
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  check results/trace_demo.jsonl --stream --window 4096 --jobs 2
 
 echo "results/ regenerated and validated."

@@ -38,8 +38,10 @@ fn fuzz_verdicts_are_identical_at_any_width() {
         ops_per_thread: 60,
         ..FuzzSpec::default()
     };
-    let serial = run_sweep_on(&entries[..3], &[1, 2], spec, None, 1);
-    let wide = run_sweep_on(&entries[..3], &[1, 2], spec, None, 4);
+    // stream-check on: the differential streaming pass rides along and
+    // must be just as width-invisible as the batch verdicts.
+    let serial = run_sweep_on(&entries[..3], &[1, 2], spec, None, 1, true);
+    let wide = run_sweep_on(&entries[..3], &[1, 2], spec, None, 4, true);
     assert_eq!(
         serial.render(),
         wide.render(),

@@ -1,0 +1,210 @@
+//! Streaming-vs-batch equivalence: the windowed, pool-parallel checker
+//! added for the unbounded-memory fix must be *indistinguishable* from
+//! the historical batch oracle on every trace this repo can produce.
+//!
+//! Three corpora:
+//!
+//! * every litmus-catalog trace under a BulkSC preset — legal runs whose
+//!   certificates (witness, edge count, ambiguity count, final memory)
+//!   must agree at every window shape and pool width;
+//! * the `commit_without_arbitration` fault trace — a *violation* whose
+//!   report (headline, named accesses, edge labels) must come out
+//!   byte-identical from the streaming path;
+//! * a seeded fuzz corpus — contended synthetic-app runs, the same
+//!   traces the `bulksc-fuzz --stream-check` differential sweeps.
+
+use bulksc::{BulkConfig, Model, System, SystemConfig};
+use bulksc_bench::fuzz;
+use bulksc_check::{check, check_stream, CheckError, CollectingTracer, StreamConfig, ValueTrace};
+use bulksc_sig::Addr;
+use bulksc_trace::TraceHandle;
+use bulksc_workloads::{litmus, FuzzSpec, Instr, ScriptOp, ScriptProgram, ThreadProgram};
+
+/// Run `programs` under `model` with value tracing on; return the trace.
+fn run_traced(model: Model, dirs: u32, programs: Vec<Box<dyn ThreadProgram>>) -> ValueTrace {
+    let mut cfg = SystemConfig::cmp8(model);
+    cfg.cores = programs.len() as u32;
+    cfg.dirs = dirs;
+    cfg.budget = u64::MAX;
+    let mut sys = System::new(cfg, programs);
+    let tracer = CollectingTracer::shared();
+    let mut trace = TraceHandle::off();
+    trace.attach(tracer.clone());
+    sys.set_tracer(trace);
+    assert!(
+        sys.run(10_000_000),
+        "did not finish:\n{}",
+        sys.debug_state()
+    );
+    let trace = tracer.borrow_mut().take();
+    trace
+}
+
+/// Certify `trace` through every streaming shape and insist each answer
+/// matches the batch oracle: single-window streaming must reproduce the
+/// exact witness; windowed streaming (at pool widths 1 and 4) must agree
+/// on verdict, access count, final memory, and produce a witness hash
+/// that is invariant under the pool width.
+fn assert_equivalent(name: &str, trace: &ValueTrace, window: usize) {
+    let cert = check(&trace.accesses, &trace.lifecycle)
+        .unwrap_or_else(|e| panic!("{name}: batch oracle rejected a legal trace:\n{e}"));
+
+    let one = check_stream(&trace.accesses, &trace.lifecycle, StreamConfig::batch())
+        .unwrap_or_else(|e| panic!("{name}: single-window streaming rejected the trace:\n{e}"));
+    assert_eq!(
+        one.witness.as_deref(),
+        Some(cert.witness.as_slice()),
+        "{name}: single-window streaming must reproduce the batch witness"
+    );
+    assert_eq!(one.edges, cert.edges, "{name}: edge counts diverge");
+    assert_eq!(
+        one.ambiguous_reads, cert.ambiguous_reads,
+        "{name}: ambiguity counts diverge"
+    );
+    assert_eq!(
+        one.final_memory, cert.final_memory,
+        "{name}: replayed memory diverges"
+    );
+
+    let mut hashes = Vec::new();
+    for jobs in [1usize, 4] {
+        let w = check_stream(
+            &trace.accesses,
+            &trace.lifecycle,
+            StreamConfig::windowed(window).with_jobs(jobs),
+        )
+        .unwrap_or_else(|e| {
+            panic!("{name}: windowed streaming (jobs {jobs}) rejected the trace:\n{e}")
+        });
+        assert_eq!(w.accesses, cert.accesses, "{name}: access count diverges");
+        assert_eq!(
+            w.final_memory, cert.final_memory,
+            "{name}: windowed replayed memory diverges (jobs {jobs})"
+        );
+        // Ambiguity is frontier-local in windowed mode (a retired
+        // same-value writer no longer competes), so the count may only
+        // shrink relative to batch — never grow.
+        assert!(
+            w.ambiguous_reads <= cert.ambiguous_reads,
+            "{name}: windowed mode invented ambiguity (jobs {jobs}): \
+             {} > {}",
+            w.ambiguous_reads,
+            cert.ambiguous_reads
+        );
+        hashes.push(w.witness_hash);
+    }
+    assert_eq!(
+        hashes[0], hashes[1],
+        "{name}: pool width changed the windowed witness hash"
+    );
+}
+
+#[test]
+fn every_litmus_trace_streams_to_the_same_verdict() {
+    for test in litmus::catalog() {
+        let skews: Vec<u32> = (0..test.threads()).map(|t| (t as u32 * 7) % 23).collect();
+        let trace = run_traced(
+            Model::Bulk(BulkConfig::bsc_dypvt()),
+            1,
+            test.programs(&skews),
+        );
+        assert!(!trace.accesses.is_empty(), "{}: empty trace", test.name);
+        // Window 64 slices every litmus trace into several windows.
+        assert_equivalent(test.name, &trace, 64);
+    }
+}
+
+/// Store-buffering with plain loads (see `tests/check_oracle.rs`): only
+/// commit arbitration keeps it SC, so `commit_without_arbitration`
+/// leaks the classic non-SC outcome for the oracle to catch.
+fn sb_plain(skew: u32) -> Vec<Box<dyn ThreadProgram>> {
+    let x = Addr(0x100);
+    let y = Addr(0x1100); // different cache lines
+    let prog = |mine: Addr, other: Addr, skew: u32| -> Box<dyn ThreadProgram> {
+        Box::new(ScriptProgram::new(vec![
+            ScriptOp::WarmRead(mine),
+            ScriptOp::WarmRead(other),
+            ScriptOp::Op(Instr::Compute(40 + skew)),
+            ScriptOp::Op(Instr::Store {
+                addr: mine,
+                value: 1,
+            }),
+            ScriptOp::Op(Instr::Load {
+                addr: other,
+                consume: false,
+            }),
+        ]))
+    };
+    vec![prog(x, y, 0), prog(y, x, skew)]
+}
+
+#[test]
+fn the_injected_fault_produces_an_identical_violation_report() {
+    let mut faulty = BulkConfig::bsc_base();
+    faulty.commit_without_arbitration = true;
+
+    let mut compared = false;
+    for skew in 0..8u32 {
+        let trace = run_traced(Model::Bulk(faulty.clone()), 1, sb_plain(skew));
+        let batch = match check(&trace.accesses, &trace.lifecycle) {
+            Ok(_) => continue, // this skew escaped; try the next
+            Err(e @ CheckError::Violation(_)) => e,
+            Err(CheckError::Malformed(m)) => panic!("malformed trace: {m}"),
+        };
+        // Single-window streaming: the full report — headline, named
+        // accesses, edge labels, lifecycle context — must be identical.
+        let stream = check_stream(&trace.accesses, &trace.lifecycle, StreamConfig::batch())
+            .expect_err("streaming must reject what batch rejects");
+        assert_eq!(
+            batch.to_string(),
+            stream.to_string(),
+            "streaming must render the same violation report"
+        );
+        // And the report must not depend on the pool width.
+        let mut reports = Vec::new();
+        for jobs in [1usize, 4] {
+            let err = check_stream(
+                &trace.accesses,
+                &trace.lifecycle,
+                StreamConfig::batch().with_jobs(jobs),
+            )
+            .expect_err("streaming must reject at any width");
+            match &err {
+                CheckError::Violation(_) => {}
+                other => panic!("expected a violation, got: {other}"),
+            }
+            reports.push(err.to_string());
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "pool width changed the violation report"
+        );
+        compared = true;
+        break;
+    }
+    assert!(
+        compared,
+        "commit_without_arbitration never produced a violation to compare"
+    );
+}
+
+#[test]
+fn a_seeded_fuzz_corpus_streams_to_the_same_verdicts() {
+    let entries = fuzz::sweep();
+    let spec = FuzzSpec {
+        ops_per_thread: 80,
+        ..FuzzSpec::default()
+    };
+    for entry in entries.iter().take(3) {
+        for seed in [1u64, 2] {
+            let (trace, _) = fuzz::run_traced(entry, spec, seed);
+            assert!(
+                !trace.accesses.is_empty(),
+                "{} seed {seed}: empty trace",
+                entry.name
+            );
+            // Window 256 matches the `--stream-check` differential shape.
+            assert_equivalent(&format!("{} seed {seed}", entry.name), &trace, 256);
+        }
+    }
+}
