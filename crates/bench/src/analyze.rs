@@ -27,7 +27,7 @@
 use std::collections::BTreeMap;
 
 use bulksc_stats::{Histogram, Table};
-use bulksc_trace::{Json, SCHEMA_VERSION};
+use bulksc_trace::{BlockMeta, Event, Json, SCHEMA_VERSION};
 
 /// The latency phases a run artifact carries, in lifecycle order.
 const PHASES: [&str; 5] = [
@@ -1038,6 +1038,372 @@ pub fn xray(jsonl: &str, origin: &str, top_n: usize) -> Result<Xray, String> {
         denies,
         attributed,
     })
+}
+
+/// A `bulksc-analyze query` predicate. Every populated dimension must
+/// match; an empty filter matches everything.
+#[derive(Clone, Debug, Default)]
+pub struct QueryFilter {
+    /// Only events issued by this core ([`Event::core_id`]).
+    pub core: Option<u32>,
+    /// Only these event kinds ([`Event::kind_id`]); empty = all kinds.
+    pub kinds: Vec<u8>,
+    /// Only events with `lo <= t <= hi`.
+    pub cycles: Option<(u64, u64)>,
+    /// Only events touching this line/word address ([`Event::line_addr`]).
+    pub line: Option<u64>,
+}
+
+impl QueryFilter {
+    /// Could a block with this index row contain a match? Conservative:
+    /// never a false negative, so skipping on `false` is sound.
+    pub fn block_may_match(&self, m: &BlockMeta) -> bool {
+        if let Some(core) = self.core {
+            if !m.may_contain_core(core) {
+                return false;
+            }
+        }
+        if !self.kinds.is_empty() && !self.kinds.iter().any(|&k| m.may_contain_kind(k)) {
+            return false;
+        }
+        if let Some((lo, hi)) = self.cycles {
+            if !m.overlaps_cycles(lo, hi) {
+                return false;
+            }
+        }
+        if let Some(addr) = self.line {
+            if !m.may_contain_addr(addr) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does this concrete event match?
+    pub fn event_matches(&self, cycle: u64, ev: &Event) -> bool {
+        if let Some(core) = self.core {
+            if ev.core_id() != Some(core) {
+                return false;
+            }
+        }
+        if !self.kinds.is_empty() && !self.kinds.contains(&ev.kind_id()) {
+            return false;
+        }
+        if let Some((lo, hi)) = self.cycles {
+            if cycle < lo || cycle > hi {
+                return false;
+            }
+        }
+        if let Some(addr) = self.line {
+            if ev.line_addr() != Some(addr) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Human rendering of the populated dimensions, for the report header.
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(c) = self.core {
+            parts.push(format!("core={c}"));
+        }
+        if !self.kinds.is_empty() {
+            let names: Vec<&str> = self
+                .kinds
+                .iter()
+                .map(|&k| Event::KIND_NAMES[k as usize])
+                .collect();
+            parts.push(format!("kind={}", names.join(",")));
+        }
+        if let Some((lo, hi)) = self.cycles {
+            parts.push(format!("cycles={lo}..{hi}"));
+        }
+        if let Some(a) = self.line {
+            parts.push(format!("line=0x{a:x}"));
+        }
+        if parts.is_empty() {
+            "(match all)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// The aggregation axis of `query --count-by`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountBy {
+    /// Event kind name.
+    Kind,
+    /// Issuing core (`core=N`; events without one under `(none)`).
+    Core,
+    /// Squash cause label (non-squash matches under `(none)`).
+    Cause,
+    /// Xray conflict site (unattributed matches under `(none)`).
+    Site,
+}
+
+impl CountBy {
+    /// Parse the `--count-by` argument.
+    pub fn parse(s: &str) -> Option<CountBy> {
+        Some(match s {
+            "kind" => CountBy::Kind,
+            "core" => CountBy::Core,
+            "cause" => CountBy::Cause,
+            "site" => CountBy::Site,
+            _ => return None,
+        })
+    }
+
+    fn key(self, ev: &Event) -> String {
+        let none = || "(none)".to_string();
+        match self {
+            CountBy::Kind => ev.name().to_string(),
+            CountBy::Core => ev.core_id().map_or_else(none, |c| format!("core={c}")),
+            CountBy::Cause => ev
+                .squash_cause()
+                .map_or_else(none, |c| c.label().to_string()),
+            CountBy::Site => ev.xray_site().map_or_else(none, str::to_string),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            CountBy::Kind => "kind",
+            CountBy::Core => "core",
+            CountBy::Cause => "cause",
+            CountBy::Site => "site",
+        }
+    }
+}
+
+/// The result of one query: matched lines (JSONL-rendered, capped at the
+/// limit), the aggregation, and — for indexed input — proof of how much
+/// work the index saved.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// How the filter rendered (for the report header).
+    pub filter: String,
+    /// Matching events re-rendered as JSONL, up to the caller's limit.
+    pub lines: Vec<String>,
+    /// Total matching events (may exceed `lines.len()`).
+    pub matched: u64,
+    /// Events actually decoded and tested.
+    pub scanned: u64,
+    /// Blocks in the artifact (0 for JSONL full scans).
+    pub blocks_total: usize,
+    /// Blocks the index let the query decode.
+    pub blocks_decoded: usize,
+    /// Blocks skipped without decoding.
+    pub blocks_skipped: usize,
+    /// `--count-by` table, sorted by descending count then key.
+    pub agg: Option<(CountBy, Vec<(String, u64)>)>,
+}
+
+impl QueryReport {
+    /// Render the report. `stats` adds the block-skip line (the proof the
+    /// index worked); omit it for format-agnostic output.
+    pub fn render(&self, origin: &str, stats: bool) -> String {
+        let mut out = format!("# query {origin}\nfilter: {}\n", self.filter);
+        if stats {
+            out.push_str(&format!(
+                "blocks: {} total, {} decoded, {} skipped by index\n",
+                self.blocks_total, self.blocks_decoded, self.blocks_skipped
+            ));
+        }
+        out.push_str(&format!(
+            "matched {} of {} scanned events\n",
+            self.matched, self.scanned
+        ));
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        let shown = self.lines.len() as u64;
+        if self.matched > shown {
+            out.push_str(&format!(
+                "... ({} more; raise --limit to see them)\n",
+                self.matched - shown
+            ));
+        }
+        if let Some((by, rows)) = &self.agg {
+            out.push_str(&format!("count by {}:\n", by.label()));
+            let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (key, n) in rows {
+                out.push_str(&format!("  {key:<width$}  {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Shared tail of both query paths: test events, collect lines + agg.
+struct QueryAccum<'f> {
+    filter: &'f QueryFilter,
+    limit: usize,
+    lines: Vec<String>,
+    matched: u64,
+    scanned: u64,
+    counts: BTreeMap<String, u64>,
+    count_by: Option<CountBy>,
+}
+
+impl<'f> QueryAccum<'f> {
+    fn new(filter: &'f QueryFilter, count_by: Option<CountBy>, limit: usize) -> QueryAccum<'f> {
+        QueryAccum {
+            filter,
+            limit,
+            lines: Vec::new(),
+            matched: 0,
+            scanned: 0,
+            counts: BTreeMap::new(),
+            count_by,
+        }
+    }
+
+    fn feed(&mut self, cycle: u64, ev: &Event) {
+        self.scanned += 1;
+        if !self.filter.event_matches(cycle, ev) {
+            return;
+        }
+        self.matched += 1;
+        if self.limit == 0 || self.lines.len() < self.limit {
+            self.lines.push(ev.jsonl(cycle));
+        }
+        if let Some(by) = self.count_by {
+            *self.counts.entry(by.key(ev)).or_insert(0) += 1;
+        }
+    }
+
+    fn into_report(self, filter_desc: String, blocks: (usize, usize, usize)) -> QueryReport {
+        let agg = self.count_by.map(|by| {
+            let mut rows: Vec<(String, u64)> = self.counts.into_iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            (by, rows)
+        });
+        QueryReport {
+            filter: filter_desc,
+            lines: self.lines,
+            matched: self.matched,
+            scanned: self.scanned,
+            blocks_total: blocks.0,
+            blocks_decoded: blocks.1,
+            blocks_skipped: blocks.2,
+            agg,
+        }
+    }
+}
+
+/// Query an indexed BTF artifact. Blocks whose index row cannot match the
+/// filter are **never decoded** — `blocks_skipped` counts them, and the
+/// skip-proof test pins that behaviour. `limit` caps rendered lines
+/// (0 = unlimited); counting is never capped.
+pub fn query_btf<R: std::io::Read + std::io::Seek>(
+    btf: &mut bulksc_trace::IndexedBtf<R>,
+    origin: &str,
+    filter: &QueryFilter,
+    count_by: Option<CountBy>,
+    limit: usize,
+) -> Result<QueryReport, String> {
+    let metas: Vec<BlockMeta> = btf.index().to_vec();
+    let mut acc = QueryAccum::new(filter, count_by, limit);
+    let mut decoded = 0usize;
+    for (i, meta) in metas.iter().enumerate() {
+        if !filter.block_may_match(meta) {
+            continue;
+        }
+        decoded += 1;
+        for (cycle, ev) in btf
+            .read_block(i)
+            .map_err(|e| format!("{origin}: block {i}: {e}"))?
+        {
+            acc.feed(cycle, &ev);
+        }
+    }
+    let total = metas.len();
+    Ok(acc.into_report(filter.describe(), (total, decoded, total - decoded)))
+}
+
+/// Query a JSONL trace by full scan — the fallback for text input, and
+/// the reference the index-skipping path is tested against.
+pub fn query_jsonl(
+    jsonl: &str,
+    origin: &str,
+    filter: &QueryFilter,
+    count_by: Option<CountBy>,
+    limit: usize,
+) -> Result<QueryReport, String> {
+    let mut lines = jsonl.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format!("{origin}: empty trace (not even a schema header)"))?;
+    bulksc_trace::btf::parse_jsonl_header(header).map_err(|e| format!("{origin}: {e}"))?;
+    let mut acc = QueryAccum::new(filter, count_by, limit);
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj =
+            Json::parse(line).ok_or_else(|| format!("{origin}: line {}: not valid JSON", i + 1))?;
+        let (cycle, ev) = bulksc_trace::btf::event_from_json(&obj)
+            .map_err(|e| format!("{origin}: line {}: {e}", i + 1))?;
+        acc.feed(cycle, &ev);
+    }
+    Ok(acc.into_report(filter.describe(), (0, 0, 0)))
+}
+
+/// Render a BTF artifact's observability footprint: format, size, and
+/// block/index statistics. This is what `report` prints for a `.btf`
+/// companion.
+pub fn btf_stats<R: std::io::Read + std::io::Seek>(
+    btf: &bulksc_trace::IndexedBtf<R>,
+    origin: &str,
+) -> String {
+    let metas = btf.index();
+    let events: u64 = metas.iter().map(|m| m.count as u64).sum();
+    let payload: u64 = metas.iter().map(|m| m.len as u64).sum();
+    let mut kind_mask = 0u32;
+    let mut core_mask = 0u64;
+    let (mut min_cycle, mut max_cycle) = (u64::MAX, 0u64);
+    for m in metas {
+        kind_mask |= m.kind_mask;
+        core_mask |= m.core_mask;
+        if m.count > 0 {
+            min_cycle = min_cycle.min(m.min_cycle);
+            max_cycle = max_cycle.max(m.max_cycle);
+        }
+    }
+    let kinds: Vec<&str> = Event::KIND_NAMES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| kind_mask & (1 << i) != 0)
+        .map(|(_, &n)| n)
+        .collect();
+    let mut out = format!(
+        "# trace {origin}\nformat: btf (schema v{}), {} bytes\n",
+        btf.version(),
+        btf.file_len()
+    );
+    out.push_str(&format!(
+        "blocks: {} ({} payload bytes, {} index bytes)\n",
+        metas.len(),
+        payload,
+        metas.len() * 64 + 4
+    ));
+    if events == 0 {
+        out.push_str("events: 0\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "events: {events} ({:.1} bytes/event), cycles {min_cycle}..{max_cycle}\n",
+        btf.file_len() as f64 / events as f64,
+    ));
+    out.push_str(&format!(
+        "kinds: {}\ncores (bitmap): {}\n",
+        kinds.join(","),
+        core_mask.count_ones()
+    ));
+    out
 }
 
 #[cfg(test)]

@@ -1,18 +1,22 @@
 //! `bulksc-analyze`: post-process run artifacts and event traces.
 //!
 //! ```text
-//! bulksc-analyze report    <results.json>...
-//! bulksc-analyze timeline  <trace.jsonl> [--out <chrome.json>]
+//! bulksc-analyze report    <results.json|trace.btf>...
+//! bulksc-analyze timeline  <trace.jsonl|.btf> [--out <chrome.json>]
 //! bulksc-analyze diff      <a.json> <b.json> [--threshold <pct>]
-//! bulksc-analyze check     <trace.jsonl|->... [--jobs N] [--metrics[=MS]]
+//! bulksc-analyze check     <trace.jsonl|.btf|->... [--jobs N] [--metrics[=MS]]
 //!                          [--stream[=WINDOW]] [--window N] [--max-rss-mb MB]
-//! bulksc-analyze synth-trace <N> [--cores C] [--words W]
+//! bulksc-analyze query     <trace.btf|.jsonl> [--core N] [--kind NAME]...
+//!                          [--cycles A..B] [--line ADDR] [--count-by kind|core|cause|site]
+//!                          [--limit N] [--stats]
+//! bulksc-analyze convert   <in.jsonl|in.btf> <out>
+//! bulksc-analyze synth-trace <N> [--cores C] [--words W] [--format jsonl|btf]
 //! bulksc-analyze prof      <perf.json> [--chrome <out.json>] [--max-trace-overhead <x>]
 //!                          [--max-metrics-overhead <x>] [--max-xray-overhead <x>]
 //! bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]
 //! bulksc-analyze metrics   <name.metrics.jsonl>...
 //! bulksc-analyze trend     <BENCH_label.json>...
-//! bulksc-analyze xray      <name.xray.jsonl> [--dot <out.dot>] [--top N]
+//! bulksc-analyze xray      <name.xray.jsonl|.btf> [--dot <out.dot>] [--top N]
 //! ```
 //!
 //! * `report` prints per-phase commit-latency percentiles, the per-core
@@ -67,6 +71,21 @@
 //!   squashed/denied/aggressor balance. `--dot` also writes the
 //!   victim→aggressor causality graph in Graphviz form; `--top N`
 //!   widens the hot-line table (default 10).
+//! * `query` filters a trace by core, event kind, cycle range, and/or
+//!   line address, printing matching events as JSONL (capped by
+//!   `--limit`, default 20, 0 = unlimited) and optionally a
+//!   `--count-by kind|core|cause|site` aggregation. On a `.btf` artifact
+//!   the footer index lets whole blocks be *skipped* without decoding;
+//!   `--stats` prints the total/decoded/skipped block counts as proof.
+//!   JSONL input falls back to a full scan with identical results.
+//! * `convert` transcodes a trace between JSONL and BTF (direction
+//!   sniffed from the input bytes), losslessly: `jsonl → btf → jsonl`
+//!   re-emission is byte-identical, original schema version included.
+//!
+//! Trace-consuming subcommands (`check`, `timeline`, `xray`, `query`,
+//! `report`) sniff the input format — magic bytes for BTF, `{` for JSONL
+//! — so `.btf` artifacts are consumed transparently everywhere a `.jsonl`
+//! is.
 //!
 //! Exit codes: 0 success, 1 validation/regression failure, 2 usage or
 //! unreadable/unsupported input.
@@ -76,18 +95,22 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bulksc-analyze report <results.json>...\n\
-         \x20      bulksc-analyze timeline <trace.jsonl> [--out <chrome.json>]\n\
+        "usage: bulksc-analyze report <results.json|trace.btf>...\n\
+         \x20      bulksc-analyze timeline <trace.jsonl|.btf> [--out <chrome.json>]\n\
          \x20      bulksc-analyze diff <a.json> <b.json> [--threshold <pct>]\n\
-         \x20      bulksc-analyze check <trace.jsonl|->... [--jobs N] [--metrics[=MS]]\n\
+         \x20      bulksc-analyze check <trace.jsonl|.btf|->... [--jobs N] [--metrics[=MS]]\n\
          \x20                           [--stream[=WINDOW]] [--window N] [--max-rss-mb MB]\n\
-         \x20      bulksc-analyze synth-trace <N> [--cores C] [--words W]\n\
+         \x20      bulksc-analyze query <trace.btf|.jsonl> [--core N] [--kind NAME]...\n\
+         \x20                           [--cycles A..B] [--line ADDR] \
+         [--count-by kind|core|cause|site] [--limit N] [--stats]\n\
+         \x20      bulksc-analyze convert <in.jsonl|in.btf> <out>\n\
+         \x20      bulksc-analyze synth-trace <N> [--cores C] [--words W] [--format jsonl|btf]\n\
          \x20      bulksc-analyze prof <perf.json> [--chrome <out.json>] \
          [--max-trace-overhead <x>] [--max-metrics-overhead <x>] [--max-xray-overhead <x>]\n\
          \x20      bulksc-analyze perf-diff <old.json> <new.json> [--threshold <pct>]\n\
          \x20      bulksc-analyze metrics <name.metrics.jsonl>...\n\
          \x20      bulksc-analyze trend <BENCH_label.json>...\n\
-         \x20      bulksc-analyze xray <name.xray.jsonl> [--dot <out.dot>] [--top N]"
+         \x20      bulksc-analyze xray <name.xray.jsonl|.btf> [--dot <out.dot>] [--top N]"
     );
     ExitCode::from(2)
 }
@@ -99,6 +122,36 @@ fn read(path: &str) -> Result<String, ExitCode> {
     })
 }
 
+/// Read a trace in either format as JSONL text: BTF input (sniffed by
+/// magic, not extension) is transcoded in memory, so every text-based
+/// consumer works on `.btf` artifacts unchanged.
+fn read_trace(path: &str) -> Result<String, ExitCode> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        eprintln!("bulksc-analyze: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    if bulksc_trace::btf::is_btf(&bytes) {
+        bulksc_trace::btf::btf_to_jsonl(&bytes).map_err(|e| {
+            eprintln!("bulksc-analyze: {path}: {e}");
+            ExitCode::from(2)
+        })
+    } else {
+        String::from_utf8(bytes).map_err(|e| {
+            eprintln!("bulksc-analyze: {path}: not UTF-8 (and not BTF): {e}");
+            ExitCode::from(2)
+        })
+    }
+}
+
+/// Parse an address argument: `0x`-prefixed hex or plain decimal.
+fn parse_addr(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -107,9 +160,31 @@ fn main() -> ExitCode {
     match (cmd.as_str(), &args[1..]) {
         ("report", paths) if !paths.is_empty() => {
             for path in paths {
-                let text = match read(path) {
+                let bytes = match std::fs::read(path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                if bulksc_trace::btf::is_btf(&bytes) {
+                    // A trace artifact, not a results file: report its
+                    // format, size, and block-index shape instead.
+                    match bulksc_trace::IndexedBtf::new(std::io::Cursor::new(bytes)) {
+                        Ok(btf) => print!("{}", analyze::btf_stats(&btf, path)),
+                        Err(e) => {
+                            eprintln!("bulksc-analyze: {path}: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                    continue;
+                }
+                let text = match String::from_utf8(bytes) {
                     Ok(t) => t,
-                    Err(code) => return code,
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {path}: not UTF-8 (and not BTF): {e}");
+                        return ExitCode::from(2);
+                    }
                 };
                 match analyze::report(&text, path) {
                     Ok(out) => {
@@ -131,7 +206,7 @@ fn main() -> ExitCode {
                 [ref flag, ref p] if flag == "--out" => Some(p.clone()),
                 _ => return usage(),
             };
-            let text = match read(path) {
+            let text = match read_trace(path) {
                 Ok(t) => t,
                 Err(code) => return code,
             };
@@ -195,10 +270,11 @@ fn main() -> ExitCode {
         ("check", rest) if !rest.is_empty() => {
             use bulksc_bench::pool::{self, Job};
             use bulksc_check::{
-                check_jsonl_reader, CheckError, StreamConfig, StreamError, ValueTrace,
+                check_btf_reader, check_jsonl_reader, CheckError, StreamConfig, StreamError,
+                ValueTrace,
             };
             use std::fs::File;
-            use std::io::BufReader;
+            use std::io::{BufRead, BufReader};
 
             // Split flags off the path list (paths keep their order). `-`
             // is a path meaning stdin.
@@ -252,21 +328,35 @@ fn main() -> ExitCode {
                 Fatal(String),
             }
 
+            /// Peek the buffered head of a trace stream without consuming
+            /// it: BTF's magic is binary, JSONL starts with `{`, so four
+            /// bytes decide the decode path even on an unseekable pipe.
+            fn sniff_btf<R: BufRead>(r: &mut R) -> std::io::Result<bool> {
+                Ok(bulksc_trace::btf::is_btf(r.fill_buf()?))
+            }
+
             /// Windowed certification of one trace (file or stdin),
             /// never holding more than the frontier in memory. The pool
             /// width parallelizes *within* each window seal.
             fn stream_one(path: &str, cfg: StreamConfig) -> CheckOut {
                 let origin = if path == "-" { "<stdin>" } else { path };
+                let fatal_read =
+                    |e: std::io::Error| format!("bulksc-analyze: cannot read {origin}: {e}");
                 let result = if path == "-" {
-                    check_jsonl_reader(std::io::stdin().lock(), origin, cfg)
+                    let mut input = BufReader::new(std::io::stdin());
+                    match sniff_btf(&mut input) {
+                        Ok(true) => check_btf_reader(input, origin, cfg),
+                        Ok(false) => check_jsonl_reader(input, origin, cfg),
+                        Err(e) => return CheckOut::Fatal(fatal_read(e)),
+                    }
                 } else {
-                    match File::open(path) {
-                        Ok(f) => check_jsonl_reader(BufReader::new(f), origin, cfg),
-                        Err(e) => {
-                            return CheckOut::Fatal(format!(
-                                "bulksc-analyze: cannot read {path}: {e}"
-                            ))
-                        }
+                    match File::open(path).map(BufReader::new) {
+                        Ok(mut input) => match sniff_btf(&mut input) {
+                            Ok(true) => check_btf_reader(input, origin, cfg),
+                            Ok(false) => check_jsonl_reader(input, origin, cfg),
+                            Err(e) => return CheckOut::Fatal(fatal_read(e)),
+                        },
+                        Err(e) => return CheckOut::Fatal(fatal_read(e)),
                     }
                 };
                 match result {
@@ -289,16 +379,23 @@ fn main() -> ExitCode {
             /// but the JSONL is still consumed line-at-a-time.
             fn batch_one(path: &str) -> CheckOut {
                 let origin = if path == "-" { "<stdin>" } else { path };
+                let fatal_read =
+                    |e: std::io::Error| format!("bulksc-analyze: cannot read {origin}: {e}");
                 let parsed = if path == "-" {
-                    ValueTrace::from_jsonl_reader(std::io::stdin().lock(), origin)
+                    let mut input = BufReader::new(std::io::stdin());
+                    match sniff_btf(&mut input) {
+                        Ok(true) => ValueTrace::from_btf_reader(input, origin),
+                        Ok(false) => ValueTrace::from_jsonl_reader(input, origin),
+                        Err(e) => return CheckOut::Fatal(fatal_read(e)),
+                    }
                 } else {
-                    match File::open(path) {
-                        Ok(f) => ValueTrace::from_jsonl_reader(BufReader::new(f), origin),
-                        Err(e) => {
-                            return CheckOut::Fatal(format!(
-                                "bulksc-analyze: cannot read {path}: {e}"
-                            ))
-                        }
+                    match File::open(path).map(BufReader::new) {
+                        Ok(mut input) => match sniff_btf(&mut input) {
+                            Ok(true) => ValueTrace::from_btf_reader(input, origin),
+                            Ok(false) => ValueTrace::from_jsonl_reader(input, origin),
+                            Err(e) => return CheckOut::Fatal(fatal_read(e)),
+                        },
+                        Err(e) => return CheckOut::Fatal(fatal_read(e)),
                     }
                 };
                 let trace = match parsed {
@@ -385,6 +482,158 @@ fn main() -> ExitCode {
             }
             worst
         }
+        ("query", rest) if !rest.is_empty() => {
+            use bulksc_bench::analyze::{CountBy, QueryFilter};
+            use bulksc_trace::Event;
+
+            let path = &rest[0];
+            let mut filter = QueryFilter {
+                core: None,
+                kinds: Vec::new(),
+                cycles: None,
+                line: None,
+            };
+            let mut count_by: Option<CountBy> = None;
+            let mut limit: usize = 20;
+            let mut stats = false;
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                if flag == "--stats" {
+                    stats = true;
+                    continue;
+                }
+                let Some(v) = it.next() else { return usage() };
+                match flag.as_str() {
+                    "--core" => match v.parse::<u32>() {
+                        Ok(c) => filter.core = Some(c),
+                        Err(_) => return usage(),
+                    },
+                    "--kind" => match Event::kind_id_of(v) {
+                        Some(k) => filter.kinds.push(k),
+                        None => {
+                            eprintln!(
+                                "bulksc-analyze: unknown event kind {v:?} (known: {})",
+                                Event::KIND_NAMES.join(", ")
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--cycles" => {
+                        let Some((lo, hi)) = v.split_once("..") else {
+                            return usage();
+                        };
+                        match (lo.parse::<u64>(), hi.parse::<u64>()) {
+                            (Ok(lo), Ok(hi)) if lo <= hi => filter.cycles = Some((lo, hi)),
+                            _ => return usage(),
+                        }
+                    }
+                    "--line" => match parse_addr(v) {
+                        Some(a) => filter.line = Some(a),
+                        None => return usage(),
+                    },
+                    "--count-by" => match CountBy::parse(v) {
+                        Some(b) => count_by = Some(b),
+                        None => return usage(),
+                    },
+                    "--limit" => match v.parse::<usize>() {
+                        Ok(n) => limit = n,
+                        Err(_) => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+
+            // Sniff the format from the first bytes, then take the indexed
+            // path (block skipping) for BTF or the full-scan path for JSONL.
+            let sniffed_btf = {
+                use std::io::Read;
+                match std::fs::File::open(path) {
+                    Ok(mut f) => {
+                        let mut magic = [0u8; 4];
+                        let mut got = 0;
+                        while got < 4 {
+                            match f.read(&mut magic[got..]) {
+                                Ok(0) => break,
+                                Ok(n) => got += n,
+                                Err(e) => {
+                                    eprintln!("bulksc-analyze: cannot read {path}: {e}");
+                                    return ExitCode::from(2);
+                                }
+                            }
+                        }
+                        bulksc_trace::btf::is_btf(&magic[..got])
+                    }
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+            let result = if sniffed_btf {
+                match bulksc_trace::IndexedBtf::open_path(path) {
+                    Ok(mut btf) => analyze::query_btf(&mut btf, path, &filter, count_by, limit),
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                match read(path) {
+                    Ok(text) => analyze::query_jsonl(&text, path, &filter, count_by, limit),
+                    Err(code) => return code,
+                }
+            };
+            match result {
+                Ok(report) => {
+                    print!("{}", report.render(path, stats));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bulksc-analyze: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        ("convert", rest) if rest.len() == 2 => {
+            let (inp, outp) = (&rest[0], &rest[1]);
+            let bytes = match std::fs::read(inp) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bulksc-analyze: cannot read {inp}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let (out_bytes, direction) = if bulksc_trace::btf::is_btf(&bytes) {
+                match bulksc_trace::btf::btf_to_jsonl(&bytes) {
+                    Ok(t) => (t.into_bytes(), "btf -> jsonl"),
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {inp}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                let text = match String::from_utf8(bytes) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {inp}: not UTF-8 (and not BTF): {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match bulksc_trace::btf::jsonl_to_btf(&text) {
+                    Ok(b) => (b, "jsonl -> btf"),
+                    Err(e) => {
+                        eprintln!("bulksc-analyze: {inp}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+            if let Err(e) = std::fs::write(outp, &out_bytes) {
+                eprintln!("bulksc-analyze: cannot write {outp}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("{inp} -> {outp} ({direction}, {} bytes)", out_bytes.len());
+            ExitCode::SUCCESS
+        }
         ("synth-trace", rest) if !rest.is_empty() => {
             use bulksc_trace::Event;
             use std::collections::HashMap;
@@ -395,67 +644,91 @@ fn main() -> ExitCode {
             };
             let mut cores: u32 = 8;
             let mut words: u64 = 64;
+            let mut btf = false;
             let mut it = rest[1..].iter();
             while let Some(flag) = it.next() {
-                match (flag.as_str(), it.next().and_then(|v| v.parse::<u64>().ok())) {
-                    ("--cores", Some(c)) if c >= 1 => cores = c as u32,
-                    ("--words", Some(w)) if w >= 1 => words = w,
+                match (flag.as_str(), it.next()) {
+                    ("--cores", Some(v)) => match v.parse::<u64>() {
+                        Ok(c) if c >= 1 => cores = c as u32,
+                        _ => return usage(),
+                    },
+                    ("--words", Some(v)) => match v.parse::<u64>() {
+                        Ok(w) if w >= 1 => words = w,
+                        _ => return usage(),
+                    },
+                    ("--format", Some(v)) => match v.as_str() {
+                        "jsonl" => btf = false,
+                        "btf" => btf = true,
+                        _ => return usage(),
+                    },
                     _ => return usage(),
                 }
             }
             // Million-soak access pattern, generated with per-word state
             // only, so a 100M-access trace can be piped straight into
-            // `check - --stream` without ever touching disk.
+            // `check - --stream` without ever touching disk — in either
+            // format (the BTF writer needs no seeking).
             let stdout = std::io::stdout().lock();
-            let mut out = std::io::BufWriter::with_capacity(1 << 20, stdout);
             let mut mem: HashMap<u64, u64> = HashMap::new();
             let mut po = vec![0u64; cores as usize];
-            let emit = |out: &mut dyn Write, line: String| -> Result<(), std::io::Error> {
-                out.write_all(line.as_bytes())?;
-                out.write_all(b"\n")
+            let mut synth_event = move |i: u64| -> Event {
+                let core = (i % cores as u64) as u32;
+                let seq = i / 1000;
+                let addr = i.wrapping_mul(0x9e37_79b9) % words * 8;
+                let ev = if i % 35 == 4 {
+                    let old = mem.get(&addr).copied().unwrap_or(0);
+                    mem.insert(addr, i + 1);
+                    Event::ValRmw {
+                        core,
+                        seq,
+                        po: po[core as usize],
+                        addr,
+                        old,
+                        new: i + 1,
+                        retired_at: 10 + i,
+                    }
+                } else if i % 5 < 2 {
+                    mem.insert(addr, i + 1);
+                    Event::ValStore {
+                        core,
+                        seq,
+                        po: po[core as usize],
+                        addr,
+                        value: i + 1,
+                        retired_at: 10 + i,
+                    }
+                } else {
+                    Event::ValLoad {
+                        core,
+                        seq,
+                        po: po[core as usize],
+                        addr,
+                        value: mem.get(&addr).copied().unwrap_or(0),
+                        retired_at: 10 + i,
+                    }
+                };
+                po[core as usize] += 1;
+                ev
             };
-            let mut run = || -> Result<(), std::io::Error> {
-                emit(&mut out, bulksc_trace::jsonl_header())?;
-                for i in 0..n {
-                    let core = (i % cores as u64) as u32;
-                    let seq = i / 1000;
-                    let addr = i.wrapping_mul(0x9e37_79b9) % words * 8;
-                    let ev = if i % 35 == 4 {
-                        let old = mem.get(&addr).copied().unwrap_or(0);
-                        mem.insert(addr, i + 1);
-                        Event::ValRmw {
-                            core,
-                            seq,
-                            po: po[core as usize],
-                            addr,
-                            old,
-                            new: i + 1,
-                            retired_at: 10 + i,
-                        }
-                    } else if i % 5 < 2 {
-                        mem.insert(addr, i + 1);
-                        Event::ValStore {
-                            core,
-                            seq,
-                            po: po[core as usize],
-                            addr,
-                            value: i + 1,
-                            retired_at: 10 + i,
-                        }
-                    } else {
-                        Event::ValLoad {
-                            core,
-                            seq,
-                            po: po[core as usize],
-                            addr,
-                            value: mem.get(&addr).copied().unwrap_or(0),
-                            retired_at: 10 + i,
-                        }
+            let run = move || -> Result<(), std::io::Error> {
+                let mut out = std::io::BufWriter::with_capacity(1 << 20, stdout);
+                if btf {
+                    let mut w = bulksc_trace::BtfWriter::new(out)?;
+                    for i in 0..n {
+                        w.push(20 + i, &synth_event(i))?;
+                    }
+                    w.finish()?.flush()
+                } else {
+                    let emit = |out: &mut dyn Write, line: String| -> Result<(), std::io::Error> {
+                        out.write_all(line.as_bytes())?;
+                        out.write_all(b"\n")
                     };
-                    po[core as usize] += 1;
-                    emit(&mut out, ev.jsonl(20 + i))?;
+                    emit(&mut out, bulksc_trace::jsonl_header())?;
+                    for i in 0..n {
+                        emit(&mut out, synth_event(i).jsonl(20 + i))?;
+                    }
+                    out.flush()
                 }
-                out.flush()
             };
             match run() {
                 Ok(()) => ExitCode::SUCCESS,
@@ -622,7 +895,7 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            let text = match read(path) {
+            let text = match read_trace(path) {
                 Ok(t) => t,
                 Err(code) => return code,
             };

@@ -62,8 +62,8 @@ pub mod stream;
 
 pub use order::{check, CheckError, EdgeKind, ScCertificate, ScViolation, ViolationKind};
 pub use stream::{
-    check_jsonl_reader, check_stream, Checkpoint, StreamCertificate, StreamChecker, StreamConfig,
-    StreamError,
+    check_btf_reader, check_jsonl_reader, check_stream, Checkpoint, StreamCertificate,
+    StreamChecker, StreamConfig, StreamError,
 };
 
 /// What one traced access did at its address.
@@ -253,6 +253,88 @@ pub fn parse_trace_line(line: &str, lineno: usize, origin: &str) -> Result<Trace
     })
 }
 
+/// The lifecycle label for a squash cause (static so [`LifecycleEvent`]
+/// stays `Copy`).
+fn squash_label(cause: bulksc_trace::SquashCause) -> &'static str {
+    match cause {
+        bulksc_trace::SquashCause::Alias => "squash(alias)",
+        bulksc_trace::SquashCause::TrueSharing => "squash(true-sharing)",
+        bulksc_trace::SquashCause::Overflow => "squash(overflow)",
+    }
+}
+
+/// Classify one decoded simulator event exactly as [`parse_trace_line`]
+/// classifies its JSONL rendering. This is the oracle's single event
+/// policy: the live [`CollectingTracer`] sink, the batch loaders, and the
+/// BTF ingestion path all route through it, so the two trace formats
+/// cannot drift in what the checker sees. Accesses come back with `idx`
+/// 0 — the caller assigns stream positions.
+pub fn classify_event(cycle: u64, event: &Event) -> TraceLine {
+    let access = |core, seq, po, addr, kind, retired_at| {
+        TraceLine::Access(Access {
+            idx: 0,
+            core,
+            seq,
+            po,
+            addr,
+            kind,
+            retired_at,
+            emitted_at: cycle,
+        })
+    };
+    let lifecycle = |core, seq, what| {
+        TraceLine::Lifecycle(LifecycleEvent {
+            t: cycle,
+            core,
+            seq,
+            what,
+        })
+    };
+    match *event {
+        Event::ValLoad {
+            core,
+            seq,
+            po,
+            addr,
+            value,
+            retired_at,
+        } => access(core, seq, po, addr, AccessKind::Load { value }, retired_at),
+        Event::ValStore {
+            core,
+            seq,
+            po,
+            addr,
+            value,
+            retired_at,
+        } => access(core, seq, po, addr, AccessKind::Store { value }, retired_at),
+        Event::ValRmw {
+            core,
+            seq,
+            po,
+            addr,
+            old,
+            new,
+            retired_at,
+        } => access(
+            core,
+            seq,
+            po,
+            addr,
+            AccessKind::Rmw { old, new },
+            retired_at,
+        ),
+        Event::ChunkStart { core, seq } => lifecycle(core, seq, "chunk_start"),
+        Event::CommitGrant { core, seq } => lifecycle(core, seq, "commit_grant"),
+        Event::CommitDeny { core, seq, .. } => lifecycle(core, seq, "commit_deny"),
+        Event::ChunkCommit { core, seq, .. } => lifecycle(core, seq, "chunk_commit"),
+        Event::ChunkAbandon { core, seq } => lifecycle(core, seq, "chunk_abandon"),
+        Event::Squash {
+            core, seq, cause, ..
+        } => lifecycle(core, seq, squash_label(cause)),
+        _ => TraceLine::Skip,
+    }
+}
+
 /// A full value trace of one execution: every committed memory access in
 /// global visibility order, plus the chunk-lifecycle context.
 #[derive(Clone, Debug, Default)]
@@ -267,72 +349,14 @@ impl ValueTrace {
     /// Absorb one simulator event (value events become accesses,
     /// lifecycle events become context, everything else is ignored).
     pub fn absorb(&mut self, cycle: u64, event: &Event) {
-        let mut push = |core, seq, po, addr, kind, retired_at| {
-            self.accesses.push(Access {
-                idx: self.accesses.len(),
-                core,
-                seq,
-                po,
-                addr,
-                kind,
-                retired_at,
-                emitted_at: cycle,
-            });
-        };
-        match *event {
-            Event::ValLoad {
-                core,
-                seq,
-                po,
-                addr,
-                value,
-                retired_at,
-            } => push(core, seq, po, addr, AccessKind::Load { value }, retired_at),
-            Event::ValStore {
-                core,
-                seq,
-                po,
-                addr,
-                value,
-                retired_at,
-            } => push(core, seq, po, addr, AccessKind::Store { value }, retired_at),
-            Event::ValRmw {
-                core,
-                seq,
-                po,
-                addr,
-                old,
-                new,
-                retired_at,
-            } => push(
-                core,
-                seq,
-                po,
-                addr,
-                AccessKind::Rmw { old, new },
-                retired_at,
-            ),
-            Event::ChunkStart { core, seq } => self.note(cycle, core, seq, "chunk_start"),
-            Event::CommitGrant { core, seq } => self.note(cycle, core, seq, "commit_grant"),
-            Event::CommitDeny { core, seq, .. } => self.note(cycle, core, seq, "commit_deny"),
-            Event::ChunkCommit { core, seq, .. } => self.note(cycle, core, seq, "chunk_commit"),
-            Event::ChunkAbandon { core, seq } => self.note(cycle, core, seq, "chunk_abandon"),
-            Event::Squash {
-                core, seq, cause, ..
-            } => {
-                let what = match cause.label() {
-                    "alias" => "squash(alias)",
-                    "true-sharing" => "squash(true-sharing)",
-                    _ => "squash(overflow)",
-                };
-                self.note(cycle, core, seq, what);
+        match classify_event(cycle, event) {
+            TraceLine::Access(mut a) => {
+                a.idx = self.accesses.len();
+                self.accesses.push(a);
             }
-            _ => {}
+            TraceLine::Lifecycle(e) => self.lifecycle.push(e),
+            TraceLine::Skip => {}
         }
-    }
-
-    fn note(&mut self, t: u64, core: u32, seq: u64, what: &'static str) {
-        self.lifecycle.push(LifecycleEvent { t, core, seq, what });
     }
 
     /// Parse a JSONL event stream (as written by `JsonlTracer`) into a
@@ -374,6 +398,22 @@ impl ValueTrace {
                 }
                 TraceLine::Lifecycle(e) => trace.lifecycle.push(e),
                 TraceLine::Skip => {}
+            }
+        }
+        Ok(trace)
+    }
+
+    /// [`ValueTrace::from_jsonl_reader`]'s binary sibling: load a BTF
+    /// artifact block by block. Same event policy (both routes go through
+    /// [`classify_event`] via [`ValueTrace::absorb`]), same error shape —
+    /// `origin` names the stream in every message.
+    pub fn from_btf_reader<R: std::io::Read>(r: R, origin: &str) -> Result<ValueTrace, String> {
+        let _prof = bulksc_prof::scope(bulksc_prof::Phase::Oracle);
+        let mut reader = bulksc_trace::BtfReader::new(r).map_err(|e| format!("{origin}: {e}"))?;
+        let mut trace = ValueTrace::default();
+        while let Some(block) = reader.next_block().map_err(|e| format!("{origin}: {e}"))? {
+            for (cycle, ev) in block {
+                trace.absorb(cycle, &ev);
             }
         }
         Ok(trace)

@@ -1054,6 +1054,71 @@ pub fn check_jsonl_reader<R: BufRead>(
     checker.finish().map_err(StreamError::Check)
 }
 
+/// Certify a BTF artifact with decode and check overlapped: a dedicated
+/// decode thread parses blocks and classifies events
+/// ([`crate::classify_event`]), shipping plain-data [`TraceLine`] batches
+/// over a bounded channel while this thread assigns stream positions and
+/// seals windows. Memory stays flat — at most `channel depth + 1` decoded
+/// blocks exist at once — and the JSONL and BTF paths see byte-for-byte
+/// the same access stream, because both classify through the same policy
+/// function.
+pub fn check_btf_reader<R: std::io::Read + Send>(
+    r: R,
+    origin: &str,
+    cfg: StreamConfig,
+) -> Result<StreamCertificate, StreamError> {
+    let _prof = bulksc_prof::scope(bulksc_prof::Phase::Oracle);
+    let mut checker = StreamChecker::new(cfg);
+    let mut count = 0usize;
+    let fed = &mut checker;
+    std::thread::scope(|scope| -> Result<(), StreamError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Result<Vec<TraceLine>, String>>(8);
+        scope.spawn(move || {
+            let mut reader = match bulksc_trace::BtfReader::new(r) {
+                Ok(reader) => reader,
+                Err(e) => {
+                    let _ = tx.send(Err(e.to_string()));
+                    return;
+                }
+            };
+            loop {
+                match reader.next_block() {
+                    Ok(Some(block)) => {
+                        let lines: Vec<TraceLine> = block
+                            .iter()
+                            .map(|(cycle, ev)| crate::classify_event(*cycle, ev))
+                            .collect();
+                        if tx.send(Ok(lines)).is_err() {
+                            return; // checker bailed out; stop decoding
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e.to_string()));
+                        return;
+                    }
+                }
+            }
+        });
+        for batch in rx {
+            let batch = batch.map_err(|e| StreamError::Input(format!("{origin}: {e}")))?;
+            for line in batch {
+                match line {
+                    TraceLine::Access(mut a) => {
+                        a.idx = count;
+                        count += 1;
+                        fed.push(a).map_err(StreamError::Check)?;
+                    }
+                    TraceLine::Lifecycle(e) => fed.push_lifecycle(e),
+                    TraceLine::Skip => {}
+                }
+            }
+        }
+        Ok(())
+    })?;
+    checker.finish().map_err(StreamError::Check)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1303,5 +1368,64 @@ mod tests {
         let err = check_jsonl_reader(Cursor::new(&b""[..]), "in.jsonl", StreamConfig::batch())
             .expect_err("empty");
         assert!(err.to_string().contains("empty trace"));
+    }
+
+    #[test]
+    fn btf_reader_matches_jsonl_reader() {
+        use bulksc_trace::Event;
+        // Synthesize a legal trace, render it both ways, and demand the
+        // two ingestion paths produce identical certificates.
+        let accesses = synth(5_000, 4, 64);
+        let mut jsonl = bulksc_trace::jsonl_header();
+        jsonl.push('\n');
+        let mut btf = bulksc_trace::BtfWriter::new(Vec::new())
+            .unwrap()
+            .with_block_events(512);
+        for a in &accesses {
+            let ev = match a.kind {
+                AccessKind::Load { value } => Event::ValLoad {
+                    core: a.core,
+                    seq: a.seq,
+                    po: a.po,
+                    addr: a.addr,
+                    value,
+                    retired_at: a.retired_at,
+                },
+                AccessKind::Store { value } => Event::ValStore {
+                    core: a.core,
+                    seq: a.seq,
+                    po: a.po,
+                    addr: a.addr,
+                    value,
+                    retired_at: a.retired_at,
+                },
+                AccessKind::Rmw { old, new } => Event::ValRmw {
+                    core: a.core,
+                    seq: a.seq,
+                    po: a.po,
+                    addr: a.addr,
+                    old,
+                    new,
+                    retired_at: a.retired_at,
+                },
+            };
+            jsonl.push_str(&ev.jsonl(a.emitted_at));
+            jsonl.push('\n');
+            btf.push(a.emitted_at, &ev).unwrap();
+        }
+        let btf = btf.finish().unwrap();
+        let cfg = StreamConfig::windowed(512).with_jobs(2);
+        let from_text =
+            check_jsonl_reader(Cursor::new(jsonl.as_bytes()), "t.jsonl", cfg.clone()).unwrap();
+        let from_btf = check_btf_reader(Cursor::new(btf.as_slice()), "t.btf", cfg).unwrap();
+        assert_eq!(from_text.accesses, from_btf.accesses);
+        assert_eq!(from_text.witness_hash, from_btf.witness_hash);
+        assert_eq!(from_text.final_memory, from_btf.final_memory);
+        assert_eq!(from_text.summary(), from_btf.summary());
+
+        // Input errors carry the origin, like the JSONL path's do.
+        let err = check_btf_reader(Cursor::new(&b"junk"[..]), "t.btf", StreamConfig::batch())
+            .expect_err("garbage");
+        assert!(err.to_string().contains("t.btf"), "{err}");
     }
 }

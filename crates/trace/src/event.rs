@@ -258,6 +258,116 @@ pub enum Event {
 }
 
 impl Event {
+    /// Number of event kinds (the size of the [`Event::KIND_NAMES`] table
+    /// and the width of a BTF block's kind bitmap).
+    pub const KIND_COUNT: usize = 16;
+
+    /// Every event name, indexed by [`Event::kind_id`]. The order is the
+    /// wire order of the BTF codec — append-only; never reorder.
+    pub const KIND_NAMES: [&'static str; Event::KIND_COUNT] = [
+        "chunk_start",
+        "commit_request",
+        "commit_grant",
+        "commit_deny",
+        "chunk_commit",
+        "chunk_abandon",
+        "squash",
+        "sig_expand",
+        "dir_displacement",
+        "cache_displacement",
+        "priv_supply",
+        "val_load",
+        "val_store",
+        "val_rmw",
+        "net_send",
+        "net_deliver",
+    ];
+
+    /// Stable numeric kind (the BTF record tag and kind-bitmap bit).
+    pub fn kind_id(&self) -> u8 {
+        match self {
+            Event::ChunkStart { .. } => 0,
+            Event::CommitRequest { .. } => 1,
+            Event::CommitGrant { .. } => 2,
+            Event::CommitDeny { .. } => 3,
+            Event::ChunkCommit { .. } => 4,
+            Event::ChunkAbandon { .. } => 5,
+            Event::Squash { .. } => 6,
+            Event::SigExpand { .. } => 7,
+            Event::DirDisplacement { .. } => 8,
+            Event::CacheDisplacement { .. } => 9,
+            Event::PrivSupply { .. } => 10,
+            Event::ValLoad { .. } => 11,
+            Event::ValStore { .. } => 12,
+            Event::ValRmw { .. } => 13,
+            Event::NetSend { .. } => 14,
+            Event::NetDeliver { .. } => 15,
+        }
+    }
+
+    /// The kind id for an event name, if it names one.
+    pub fn kind_id_of(name: &str) -> Option<u8> {
+        Event::KIND_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| i as u8)
+    }
+
+    /// The issuing core, for events that carry a `core` field (drives the
+    /// BTF per-block core bitmap and `query --core`).
+    pub fn core_id(&self) -> Option<u32> {
+        match *self {
+            Event::ChunkStart { core, .. }
+            | Event::CommitRequest { core, .. }
+            | Event::CommitGrant { core, .. }
+            | Event::CommitDeny { core, .. }
+            | Event::ChunkCommit { core, .. }
+            | Event::ChunkAbandon { core, .. }
+            | Event::Squash { core, .. }
+            | Event::SigExpand { core, .. }
+            | Event::CacheDisplacement { core, .. }
+            | Event::PrivSupply { core, .. }
+            | Event::ValLoad { core, .. }
+            | Event::ValStore { core, .. }
+            | Event::ValRmw { core, .. } => Some(core),
+            Event::DirDisplacement { .. } | Event::NetSend { .. } | Event::NetDeliver { .. } => {
+                None
+            }
+        }
+    }
+
+    /// The line/word address this event is about, if it carries one
+    /// (drives the BTF per-block address range and `query --line`).
+    pub fn line_addr(&self) -> Option<u64> {
+        match *self {
+            Event::DirDisplacement { line, .. }
+            | Event::CacheDisplacement { line, .. }
+            | Event::PrivSupply { line, .. } => Some(line),
+            Event::ValLoad { addr, .. }
+            | Event::ValStore { addr, .. }
+            | Event::ValRmw { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The squash cause, for squash events.
+    pub fn squash_cause(&self) -> Option<SquashCause> {
+        match *self {
+            Event::Squash { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+
+    /// The conflict-attribution site, when this event carries xray data.
+    pub fn xray_site(&self) -> Option<&'static str> {
+        match self {
+            Event::CommitDeny { xray, .. } | Event::Squash { xray, .. } => {
+                xray.as_ref().map(|a| a.site)
+            }
+            _ => None,
+        }
+    }
+
     /// Stable snake_case name (the `ev` field of the JSONL encoding).
     pub fn name(&self) -> &'static str {
         match self {

@@ -77,11 +77,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+pub mod btf;
 pub mod event;
 pub mod json;
 pub mod sampler;
 pub mod sinks;
 
+pub use btf::{BlockMeta, BtfError, BtfReader, BtfTracer, BtfWriter, IndexedBtf};
 pub use event::{ConflictAttr, Endpoint, EndpointKind, Event, SquashCause, XRAY_WITNESS_CAP};
 pub use json::Json;
 pub use sampler::{GaugeSnapshot, IntervalSample, IntervalSeries};

@@ -56,6 +56,47 @@ echo "==> synth-trace 4000000 | check - --stream (RSS-bounded)"
 ./target/release/bulksc-analyze synth-trace 4000000 |
   ./target/release/bulksc-analyze check - --stream --window 65536 --jobs 2 --max-rss-mb 192
 
+# BTF gate: the binary trace format must be lossless and invisible to
+# every consumer. The demo trace (regenerated above) converts to BTF;
+# `check` sniffs the format and certifies through the native BTF decode
+# path; an index-backed query smoke is diffed against a committed golden
+# (tests/golden/query.txt — re-bless by re-running the query after an
+# intentional change); and converting back must reproduce the original
+# JSONL byte-for-byte.
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  convert results/trace_demo.jsonl results/trace_demo.btf
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  check results/trace_demo.btf --jobs 2
+cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  query results/trace_demo.btf --kind squash --count-by cause --stats \
+  > results/query.ci.txt
+run diff -u tests/golden/query.txt results/query.ci.txt
+run cargo run -q --release --offline -p bulksc-bench --bin bulksc-analyze -- \
+  convert results/trace_demo.btf results/trace_demo.ci.jsonl
+run cmp results/trace_demo.jsonl results/trace_demo.ci.jsonl
+rm -f results/query.ci.txt results/trace_demo.ci.jsonl
+
+# BTF throughput gate: certifying the same synthetic trace end-to-end
+# (generator | windowed checker) must be no slower through the BTF pipe
+# than through the JSONL pipe — the binary decode path replaces JSON
+# parsing, so it has no excuse. EXPERIMENTS.md records the measured
+# ratio at 4M accesses on the reference host.
+echo "==> synth-trace 2000000 [--format btf] | check - --stream (timed, btf <= jsonl)"
+t0=$(date +%s%N)
+./target/release/bulksc-analyze synth-trace 2000000 |
+  ./target/release/bulksc-analyze check - --stream --window 65536 --jobs 2 > /dev/null
+t1=$(date +%s%N)
+./target/release/bulksc-analyze synth-trace 2000000 --format btf |
+  ./target/release/bulksc-analyze check - --stream --window 65536 --jobs 2 > /dev/null
+t2=$(date +%s%N)
+jsonl_ms=$(((t1 - t0) / 1000000))
+btf_ms=$(((t2 - t1) / 1000000))
+echo "    jsonl pipe: ${jsonl_ms} ms, btf pipe: ${btf_ms} ms"
+if [ "$btf_ms" -gt "$jsonl_ms" ]; then
+  echo "BTF streaming certification (${btf_ms} ms) slower than JSONL (${jsonl_ms} ms)" >&2
+  exit 1
+fi
+
 # Differential fuzz smoke: every generated trace is certified twice —
 # batch and windowed streaming at two pool widths — and the verdicts,
 # witnesses, and hashes must agree case by case.

@@ -1,0 +1,240 @@
+//! BTF ⇄ JSONL equivalence, end to end.
+//!
+//! The binary trace format is only trustworthy if it is *invisible*: any
+//! trace this repo can produce must survive `jsonl → btf → jsonl`
+//! byte-identically, every consumer (oracle, timeline, xray, query) must
+//! reach the same answer from either encoding, and the block index must
+//! demonstrably skip work without ever changing a result. Three corpora
+//! pin that:
+//!
+//! * the demo-example trace (the run behind `results/trace_demo.jsonl`);
+//! * a live xray capture — squash causes, conflict-attribution blobs,
+//!   witness lists, net hops — recorded through *both* sinks;
+//! * a seeded fuzz corpus under contended configs (value events, the
+//!   same traces `bulksc-fuzz` differentially sweeps).
+
+use bulksc::{BulkConfig, Model, System, SystemConfig};
+use bulksc_bench::analyze::{self, QueryFilter};
+use bulksc_bench::{fuzz, xray};
+use bulksc_check::{check_btf_reader, check_jsonl_reader, StreamConfig};
+use bulksc_trace::btf::{btf_to_jsonl, jsonl_to_btf};
+use bulksc_trace::{BtfWriter, IndexedBtf, JsonlTracer, TraceHandle};
+use bulksc_workloads::{by_name, fuzz_programs, FuzzSpec, SyntheticApp, ThreadProgram};
+
+/// The `examples/trace_demo.rs` run (ocean, seed 42, budget 5k), traced
+/// as JSONL — the same stream `scripts/ci.sh` converts and queries.
+fn demo_jsonl() -> String {
+    let mut cfg = SystemConfig::cmp8(Model::Bulk(BulkConfig::bsc_dypvt()));
+    cfg.budget = 5_000;
+    let app = by_name("ocean").expect("catalog app");
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.cores)
+        .map(|t| Box::new(SyntheticApp::new(app, t, cfg.cores, 42)) as Box<dyn ThreadProgram>)
+        .collect();
+    let mut sys = System::new(cfg, programs);
+    let sink = JsonlTracer::shared();
+    let mut handle = TraceHandle::off();
+    handle.attach(sink.clone());
+    sys.set_tracer(handle);
+    assert!(sys.run(u64::MAX / 4), "demo run finishes");
+    let text = sink.borrow().contents().to_string();
+    text
+}
+
+/// One fuzz case recorded as JSONL text (the same run shape
+/// `fuzz::run_traced` certifies, with the text sink attached instead).
+fn fuzz_jsonl(entry: &fuzz::SweepEntry, spec: FuzzSpec, seed: u64) -> String {
+    let mut cfg = SystemConfig::cmp8(entry.model.clone());
+    cfg.cores = spec.threads;
+    cfg.dirs = entry.dirs;
+    cfg.l1 = entry.l1;
+    cfg.budget = u64::MAX;
+    let mut sys = System::new(cfg, fuzz_programs(spec, seed));
+    let sink = JsonlTracer::shared();
+    let mut handle = TraceHandle::off();
+    handle.attach(sink.clone());
+    sys.set_tracer(handle);
+    assert!(
+        sys.run(50_000_000),
+        "fuzz seed {seed} under {} did not finish",
+        entry.name
+    );
+    let text = sink.borrow().contents().to_string();
+    text
+}
+
+/// Every trace the round-trip must hold on: name + JSONL text.
+fn corpus() -> Vec<(String, String)> {
+    let mut traces = vec![
+        ("trace_demo".to_string(), demo_jsonl()),
+        ("xray capture".to_string(), xray::capture_stream(25_000)),
+    ];
+    let spec = FuzzSpec {
+        ops_per_thread: 80,
+        ..FuzzSpec::default()
+    };
+    for entry in fuzz::sweep().iter().take(3) {
+        for seed in [1u64, 2] {
+            traces.push((
+                format!("{} seed {seed}", entry.name),
+                fuzz_jsonl(entry, spec, seed),
+            ));
+        }
+    }
+    traces
+}
+
+#[test]
+fn jsonl_btf_jsonl_is_byte_identical_on_every_corpus_trace() {
+    for (name, text) in corpus() {
+        let btf = jsonl_to_btf(&text).unwrap_or_else(|e| panic!("{name}: encode: {e}"));
+        assert!(
+            btf.len() < text.len(),
+            "{name}: BTF ({} bytes) must be smaller than JSONL ({} bytes)",
+            btf.len(),
+            text.len()
+        );
+        let back = btf_to_jsonl(&btf).unwrap_or_else(|e| panic!("{name}: decode: {e}"));
+        assert_eq!(
+            back, text,
+            "{name}: jsonl → btf → jsonl must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn checker_verdicts_agree_across_formats_and_pool_widths() {
+    for (name, text) in corpus() {
+        if !text.contains("\"ev\":\"val_") {
+            continue; // no value events — nothing for the oracle
+        }
+        let btf = jsonl_to_btf(&text).unwrap_or_else(|e| panic!("{name}: encode: {e}"));
+        let mut hashes = Vec::new();
+        for jobs in [1usize, 4] {
+            let cfg = StreamConfig::windowed(512).with_jobs(jobs);
+            let j = check_jsonl_reader(text.as_bytes(), name.as_str(), cfg.clone())
+                .unwrap_or_else(|e| panic!("{name}: jsonl path (jobs {jobs}): {e}"));
+            let b = check_btf_reader(btf.as_slice(), name.as_str(), cfg)
+                .unwrap_or_else(|e| panic!("{name}: btf path (jobs {jobs}): {e}"));
+            assert_eq!(j.accesses, b.accesses, "{name}: access counts diverge");
+            assert_eq!(
+                j.witness_hash, b.witness_hash,
+                "{name}: witness hash diverges across formats (jobs {jobs})"
+            );
+            assert_eq!(
+                j.final_memory, b.final_memory,
+                "{name}: replayed memory diverges across formats"
+            );
+            assert_eq!(j.summary(), b.summary(), "{name}: certificates diverge");
+            hashes.push(b.witness_hash);
+        }
+        assert_eq!(
+            hashes[0], hashes[1],
+            "{name}: pool width changed the BTF-path witness hash"
+        );
+    }
+}
+
+#[test]
+fn btf_tracer_capture_decodes_to_the_jsonl_capture() {
+    // The same pinned xray run through both sinks: the BtfTracer artifact
+    // must decode to exactly what the JsonlTracer wrote, and the derived
+    // reports must not notice which encoding they came from.
+    let jsonl = xray::capture_stream(25_000);
+    let btf = xray::capture_stream_btf(25_000);
+    assert_eq!(
+        btf_to_jsonl(&btf).expect("decode BtfTracer artifact"),
+        jsonl,
+        "the two sinks must record the identical event stream"
+    );
+
+    let tl_j = analyze::timeline(&jsonl, "capture.jsonl").expect("timeline (jsonl)");
+    let decoded = btf_to_jsonl(&btf).unwrap();
+    let tl_b = analyze::timeline(&decoded, "capture.jsonl").expect("timeline (btf)");
+    assert_eq!(
+        tl_j.summary(),
+        tl_b.summary(),
+        "timeline diverges across formats"
+    );
+    assert_eq!(
+        tl_j.chrome_trace, tl_b.chrome_trace,
+        "chrome trace diverges across formats"
+    );
+
+    let x_j = analyze::xray(&jsonl, "capture.jsonl", 10).expect("xray (jsonl)");
+    let x_b = analyze::xray(&decoded, "capture.jsonl", 10).expect("xray (btf)");
+    assert_eq!(x_j.text, x_b.text, "xray report diverges across formats");
+    assert_eq!(x_j.dot, x_b.dot, "xray dot graph diverges across formats");
+}
+
+#[test]
+fn query_skips_unmatching_blocks_without_changing_results() {
+    // Small blocks force a multi-block artifact; a narrow cycle filter
+    // must then skip whole blocks (the index proof) while producing the
+    // exact result of the full-scan JSONL path.
+    let text = demo_jsonl();
+    let events: Vec<(u64, bulksc_trace::Event)> = text
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let json = bulksc_trace::Json::parse(l).expect("demo trace line parses");
+            bulksc_trace::btf::event_from_json(&json).expect("demo trace event decodes")
+        })
+        .collect();
+    assert!(events.len() > 1_000, "demo trace is non-trivial");
+
+    let mut w = BtfWriter::new(Vec::new()).unwrap().with_block_events(256);
+    for (cycle, ev) in &events {
+        w.push(*cycle, ev).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+    let mut btf = IndexedBtf::new(std::io::Cursor::new(bytes)).unwrap();
+    let blocks_total = btf.index().len();
+    assert!(blocks_total > 3, "filter test needs several blocks");
+
+    // A cycle window covering only the first block's range...
+    let first_max = btf.index()[0].max_cycle;
+    let filters = [
+        QueryFilter {
+            core: None,
+            kinds: Vec::new(),
+            cycles: Some((0, first_max)),
+            line: None,
+        },
+        // ...and a kind that never occurs, which must skip *everything*.
+        QueryFilter {
+            core: None,
+            kinds: vec![bulksc_trace::Event::kind_id_of("chunk_abandon").unwrap()],
+            cycles: None,
+            line: None,
+        },
+    ];
+    for (i, filter) in filters.iter().enumerate() {
+        let fast = analyze::query_btf(&mut btf, "demo.btf", filter, None, 0)
+            .unwrap_or_else(|e| panic!("query_btf: {e}"));
+        assert!(
+            fast.blocks_skipped > 0,
+            "filter {i}: index skipped nothing ({} blocks decoded of {})",
+            fast.blocks_decoded,
+            fast.blocks_total
+        );
+        assert_eq!(
+            fast.blocks_decoded + fast.blocks_skipped,
+            blocks_total,
+            "filter {i}: block accounting is inconsistent"
+        );
+        let slow = analyze::query_jsonl(&text, "demo.jsonl", filter, None, 0)
+            .unwrap_or_else(|e| panic!("query_jsonl: {e}"));
+        assert_eq!(
+            fast.matched, slow.matched,
+            "filter {i}: match counts diverge"
+        );
+        assert_eq!(fast.lines, slow.lines, "filter {i}: matched events diverge");
+    }
+    // The never-occurring kind decodes zero blocks: pure index traversal.
+    let none = analyze::query_btf(&mut btf, "demo.btf", &filters[1], None, 0).unwrap();
+    assert_eq!(
+        none.blocks_decoded, 0,
+        "an impossible filter must decode nothing"
+    );
+    assert_eq!(none.matched, 0);
+}
